@@ -1,0 +1,17 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark prints a paper-vs-measured comparison after timing the
+flow step it exercises, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper's tables and figures as terminal output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,137 @@
+"""Section 7: branch-and-bound scalability and the heuristic baseline.
+
+The paper closes by noting that "because of its time-complexity, the
+proposed branch-and-bound algorithm might fail for larger designs" and
+that ongoing work replaces it with a faster exploration heuristic.
+This benchmark measures both claims on synthetic signal-flow graphs of
+growing size:
+
+* exhaustive B&B node counts grow super-linearly without the bounding
+  rule and are cut substantially with it;
+* the greedy (first-solution, largest-cone) heuristic visits a tiny
+  fraction of the nodes, with a bounded optimality gap on these
+  workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.synth import MapperOptions, map_sfg, map_sfg_greedy
+from repro.vhif.sfg import BlockKind, SignalFlowGraph
+
+from conftest import banner
+
+
+def ladder_sfg(n_stages: int, seed: int = 7) -> SignalFlowGraph:
+    """A ladder of weighted-sum stages: stage i adds a scaled copy of
+    the input to the previous stage's output (filter-like topology)."""
+    rng = random.Random(seed)
+    g = SignalFlowGraph(f"ladder{n_stages}")
+    x = g.add(BlockKind.INPUT, name="x")
+    previous = x
+    for stage in range(n_stages):
+        scale = g.add(BlockKind.SCALE, gain=round(rng.uniform(1.5, 4.0), 2))
+        g.connect(x if stage % 2 == 0 else previous, scale)
+        adder = g.add(BlockKind.ADD, n_inputs=2)
+        g.connect(scale, adder, port=0)
+        g.connect(previous, adder, port=1)
+        previous = adder
+    out = g.add(BlockKind.OUTPUT, name="y")
+    g.connect(previous, out)
+    return g
+
+
+SIZES = [2, 3, 4, 5]
+
+
+def run_scaling_series():
+    rows = []
+    for stages in SIZES:
+        g = ladder_sfg(stages)
+        n_blocks = len(g.processing_blocks())
+        exhaustive = map_sfg(
+            g, options=MapperOptions(enable_bounding=False,
+                                     enable_transforms=False),
+        )
+        bounded = map_sfg(
+            g, options=MapperOptions(enable_bounding=True,
+                                     enable_transforms=False),
+        )
+        greedy = map_sfg_greedy(g)
+        rows.append(
+            {
+                "stages": stages,
+                "blocks": n_blocks,
+                "exhaustive_nodes": exhaustive.statistics.nodes_visited,
+                "bounded_nodes": bounded.statistics.nodes_visited,
+                "pruned": bounded.statistics.nodes_pruned,
+                "greedy_nodes": greedy.statistics.nodes_visited,
+                "exhaustive_opamps": exhaustive.netlist.total_opamps(),
+                "greedy_opamps": greedy.netlist.total_opamps(),
+                "exhaustive_s": exhaustive.statistics.runtime_s,
+                "greedy_s": greedy.statistics.runtime_s,
+            }
+        )
+    return rows
+
+
+def test_scaling_series(benchmark):
+    rows = benchmark.pedantic(run_scaling_series, rounds=1, iterations=1)
+    banner("Section 7: search-effort scaling (B&B vs bounded B&B vs greedy)")
+    header = (
+        f"{'stages':>6} {'blocks':>6} {'B&B nodes':>10} {'bounded':>8} "
+        f"{'pruned':>7} {'greedy':>7} {'B&B opamps':>10} {'greedy':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['stages']:>6} {row['blocks']:>6} "
+            f"{row['exhaustive_nodes']:>10} {row['bounded_nodes']:>8} "
+            f"{row['pruned']:>7} {row['greedy_nodes']:>7} "
+            f"{row['exhaustive_opamps']:>10} {row['greedy_opamps']:>7}"
+        )
+    # Node counts grow super-linearly in the exhaustive search...
+    nodes = [row["exhaustive_nodes"] for row in rows]
+    assert nodes[-1] > nodes[0] * 4
+    growth_tail = nodes[-1] / nodes[-2]
+    growth_head = nodes[1] / nodes[0]
+    assert growth_tail >= 1.5  # still multiplying at the end
+    # ...bounding prunes...
+    assert all(row["pruned"] > 0 for row in rows[1:])
+    assert all(
+        row["bounded_nodes"] <= row["exhaustive_nodes"] for row in rows
+    )
+    # ...and the heuristic explores far less.
+    assert all(
+        row["greedy_nodes"] <= row["bounded_nodes"] for row in rows
+    )
+    # Optimality: B&B is never worse than greedy.
+    assert all(
+        row["exhaustive_opamps"] <= row["greedy_opamps"] for row in rows
+    )
+
+
+def test_greedy_gap(benchmark):
+    """Greedy optimality gap across several random topologies."""
+
+    def run():
+        gaps = []
+        for seed in range(5):
+            g = ladder_sfg(3, seed=seed)
+            optimal = map_sfg(
+                g, options=MapperOptions(enable_transforms=False)
+            )
+            greedy = map_sfg_greedy(g)
+            gaps.append(
+                greedy.netlist.total_opamps()
+                - optimal.netlist.total_opamps()
+            )
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Section 7: greedy heuristic optimality gap")
+    print(f"op-amp gap per seed: {gaps}")
+    assert all(gap >= 0 for gap in gaps)
+    assert max(gaps) <= 2

@@ -1,0 +1,75 @@
+"""Design-space exploration: performance constraints vs implementation cost.
+
+Figure 1 of the paper shows synthesis driven by a design-space
+exploration loop over the performance estimation tools.  This benchmark
+traces the loop's central trade-off on the receiver: as the required
+signal bandwidth grows, the sized op amps need more transconductance
+and bias current, so estimated area and power rise monotonically — and
+past the process's reach, synthesis correctly reports infeasibility.
+"""
+
+import pytest
+
+from repro.apps import receiver
+from repro.diagnostics import SynthesisError
+from repro.estimation import ConstraintSet
+from repro.flow import FlowOptions, synthesize
+
+from conftest import banner
+
+BANDWIDTHS = [5e3, 20e3, 100e3, 400e3, 2e6, 5e6]
+
+
+def run_sweep():
+    rows = []
+    for bandwidth in BANDWIDTHS:
+        options = FlowOptions(
+            constraints=ConstraintSet(signal_bandwidth_hz=bandwidth),
+            derive_constraints_from_annotations=False,
+        )
+        try:
+            result = synthesize(receiver.VASS_SOURCE, options=options)
+            rows.append(
+                {
+                    "bandwidth": bandwidth,
+                    "area": result.estimate.area_um2,
+                    "power": result.estimate.power * 1e3,
+                    "opamps": result.estimate.opamps,
+                    "feasible": True,
+                }
+            )
+        except SynthesisError:
+            rows.append(
+                {
+                    "bandwidth": bandwidth,
+                    "area": float("nan"),
+                    "power": float("nan"),
+                    "opamps": 0,
+                    "feasible": False,
+                }
+            )
+    return rows
+
+
+def test_bandwidth_area_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    banner("Design-space exploration: receiver area/power vs bandwidth")
+    print(f"{'band [kHz]':>10} {'area [um^2]':>12} {'power [mW]':>11} "
+          f"{'op amps':>8} {'feasible':>9}")
+    for row in rows:
+        area = f"{row['area']:,.0f}" if row["feasible"] else "-"
+        power = f"{row['power']:.2f}" if row["feasible"] else "-"
+        print(
+            f"{row['bandwidth']/1e3:>10.0f} {area:>12} {power:>11} "
+            f"{row['opamps']:>8} {str(row['feasible']):>9}"
+        )
+    feasible = [row for row in rows if row["feasible"]]
+    assert len(feasible) >= 3
+    # Area and power rise monotonically with the bandwidth requirement.
+    areas = [row["area"] for row in feasible]
+    powers = [row["power"] for row in feasible]
+    assert areas == sorted(areas)
+    assert powers == sorted(powers)
+    # The 2 um process gives out eventually (the paper's constraint
+    # satisfaction aspect: infeasible points are rejected, not fudged).
+    assert not rows[-1]["feasible"]

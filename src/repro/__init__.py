@@ -1,0 +1,35 @@
+"""Reproduction of "A VHDL-AMS Compiler and Architecture Generator for
+Behavioral Synthesis of Analog Systems" (Doboli & Vemuri, DATE 1999).
+
+The public API mirrors the paper's design flow (Figure 1):
+
+* :func:`repro.vass.parse_source` / :func:`repro.vass.analyze_source` —
+  the VASS frontend (Section 3);
+* :func:`repro.compiler.compile_design` — VASS to VHIF (Section 4);
+* :func:`repro.synth.map_sfg` — branch-and-bound architecture
+  generation (Section 5);
+* :func:`repro.flow.synthesize` — the whole pipeline in one call;
+* :mod:`repro.spice` — netlisting and circuit-level simulation
+  (Section 6's experiments);
+* :mod:`repro.apps` — the five Table-1 applications.
+"""
+
+from repro.compiler import CompilerOptions, compile_design
+from repro.flow import FlowOptions, SynthesisResult, synthesize
+from repro.vass import analyze_source, parse_source
+from repro.verify import EquivalenceReport, verify_equivalence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions",
+    "FlowOptions",
+    "SynthesisResult",
+    "analyze_source",
+    "compile_design",
+    "parse_source",
+    "synthesize",
+    "verify_equivalence",
+    "EquivalenceReport",
+    "__version__",
+]

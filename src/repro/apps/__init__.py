@@ -1,0 +1,35 @@
+"""The five Table-1 applications plus extension examples, in VASS."""
+
+from repro.apps import (
+    biquad_filter,
+    function_generator,
+    iterative_solver,
+    missile_solver,
+    power_meter,
+    receiver,
+)
+
+#: application key -> module, in Table-1 order
+ALL_APPLICATIONS = {
+    "receiver": receiver,
+    "power_meter": power_meter,
+    "missile_solver": missile_solver,
+    "iterative_solver": iterative_solver,
+    "function_generator": function_generator,
+}
+
+#: applications beyond the paper's Table 1 (extension features)
+EXTRA_APPLICATIONS = {
+    "biquad_filter": biquad_filter,
+}
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "EXTRA_APPLICATIONS",
+    "biquad_filter",
+    "function_generator",
+    "iterative_solver",
+    "missile_solver",
+    "power_meter",
+    "receiver",
+]

@@ -1,0 +1,261 @@
+"""Command-line interface of the VASE reproduction.
+
+Subcommands::
+
+    vase compile  FILE [--entity NAME] [--dot]   # VASS -> VHIF report
+    vase synth    FILE [--entity NAME]           # full flow -> netlist
+    vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
+    vase verify   FILE [--amplitude A] [...]     # spec-vs-circuit check
+    vase ac       FILE [--f-start F] [...]       # AC sweep of the circuit
+    vase table1                                  # reproduce Table 1
+    vase examples                                # list bundled applications
+
+``FILE`` may also be the name of a bundled application
+(``receiver``, ``power_meter``, ``missile_solver``, ``iterative_solver``,
+``function_generator``, ``biquad_filter``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.apps import ALL_APPLICATIONS, EXTRA_APPLICATIONS
+from repro.compiler import compile_design
+from repro.diagnostics import VaseError
+from repro.flow import synthesize
+from repro.spice import to_spice_deck
+from repro.vhif.dot import design_to_dot
+
+
+def _load_source(spec: str) -> str:
+    if spec in ALL_APPLICATIONS:
+        return ALL_APPLICATIONS[spec].VASS_SOURCE
+    if spec in EXTRA_APPLICATIONS:
+        return EXTRA_APPLICATIONS[spec].VASS_SOURCE
+    with open(spec, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = _load_source(args.file)
+    design = compile_design(source, entity_name=args.entity)
+    if args.dot:
+        print(design_to_dot(design))
+    else:
+        print(design.describe())
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    source = _load_source(args.file)
+    result = synthesize(source, entity_name=args.entity)
+    print(result.describe())
+    print()
+    print(result.netlist.describe())
+    stats = result.mapping.statistics
+    print(
+        f"\nsearch: {stats.nodes_visited} nodes visited, "
+        f"{stats.nodes_pruned} pruned, "
+        f"{stats.complete_mappings} complete mappings, "
+        f"{stats.runtime_s * 1e3:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_spice(args: argparse.Namespace) -> int:
+    source = _load_source(args.file)
+    result = synthesize(source, entity_name=args.entity)
+    print(to_spice_deck(result.netlist))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.verify import verify_equivalence
+
+    source = _load_source(args.file)
+    result = synthesize(source, entity_name=args.entity)
+    inputs = {
+        name: (lambda t, a=args.amplitude, f=args.frequency:
+               a * math.sin(2.0 * math.pi * f * t))
+        for name, info in result.design.ports.items()
+        if info.direction == "in"
+    }
+    report = verify_equivalence(
+        result, inputs=inputs, t_end=args.t_end, tolerance=args.tolerance
+    )
+    print(result.describe())
+    print()
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+def _cmd_ac(args: argparse.Namespace) -> int:
+    from repro.spice import ac_sweep, dc, elaborate
+
+    source = _load_source(args.file)
+    result = synthesize(source, entity_name=args.entity)
+    in_ports = [
+        name
+        for name, info in result.design.ports.items()
+        if info.direction == "in"
+    ]
+    out_ports = [
+        name
+        for name, info in result.design.ports.items()
+        if info.direction == "out"
+    ]
+    if not in_ports or not out_ports:
+        print("error: AC analysis needs one input and one output port",
+              file=sys.stderr)
+        return 1
+    circuit = elaborate(
+        result.netlist, input_waves={p: dc(0.0) for p in in_ports}
+    )
+    out = circuit.output_nodes[out_ports[0]]
+    response = ac_sweep(
+        circuit.circuit,
+        args.f_start,
+        args.f_stop,
+        points_per_decade=args.points,
+        probes=[out],
+        ac_source=f"VIN_{in_ports[0]}",
+    )
+    print(f"* AC response {in_ports[0]} -> {out_ports[0]}")
+    print(f"{'f [Hz]':>12}  {'mag [dB]':>9}  {'phase [deg]':>11}")
+    mags = response.magnitude_db(out)
+    phases = response.phase_deg(out)
+    for f, m, p in zip(response.frequencies, mags, phases):
+        print(f"{f:>12.2f}  {m:>9.2f}  {p:>11.1f}")
+    print(f"* -3 dB corner: {response.cutoff_frequency(out):.1f} Hz")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    source = _load_source(args.file)
+    result = synthesize(source, entity_name=args.entity)
+    print(
+        generate_report(
+            result,
+            title=args.file,
+            include_spice=not args.no_spice,
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    del args
+    header = (
+        f"{'Application':<20} {'blocks':>6} {'states':>6} {'datapath':>8}  "
+        "Synthesis Results"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, module in ALL_APPLICATIONS.items():
+        result = synthesize(module.VASS_SOURCE)
+        stats = result.design.statistics()
+        print(
+            f"{name:<20} {stats.n_blocks:>6} {stats.n_states:>6} "
+            f"{stats.n_datapath:>8}  {result.summary}"
+        )
+        print(f"{'  (paper)':<20} {module.PAPER_ROW['vhif_blocks']:>6} "
+              f"{module.PAPER_ROW['vhif_states']:>6} "
+              f"{module.PAPER_ROW['vhif_datapath']:>8}  "
+              f"{module.PAPER_ROW['components']}")
+    return 0
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    del args
+    for name, module in {**ALL_APPLICATIONS, **EXTRA_APPLICATIONS}.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<20} {doc}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vase",
+        description=(
+            "VASE reproduction: behavioral synthesis of analog systems "
+            "from VHDL-AMS (Doboli & Vemuri, DATE 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile VASS to VHIF")
+    p_compile.add_argument("file", help="VASS file or bundled app name")
+    p_compile.add_argument("--entity", default=None)
+    p_compile.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of text")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_synth = sub.add_parser("synth", help="run the full synthesis flow")
+    p_synth.add_argument("file", help="VASS file or bundled app name")
+    p_synth.add_argument("--entity", default=None)
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_spice = sub.add_parser("spice", help="synthesize and print SPICE deck")
+    p_spice.add_argument("file", help="VASS file or bundled app name")
+    p_spice.add_argument("--entity", default=None)
+    p_spice.set_defaults(func=_cmd_spice)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check spec-vs-circuit equivalence on sine stimuli",
+    )
+    p_verify.add_argument("file", help="VASS file or bundled app name")
+    p_verify.add_argument("--entity", default=None)
+    p_verify.add_argument("--amplitude", type=float, default=0.5)
+    p_verify.add_argument("--frequency", type=float, default=1000.0)
+    p_verify.add_argument("--t-end", type=float, default=2e-3)
+    p_verify.add_argument("--tolerance", type=float, default=0.08)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_ac = sub.add_parser(
+        "ac", help="AC sweep of the synthesized circuit"
+    )
+    p_ac.add_argument("file", help="VASS file or bundled app name")
+    p_ac.add_argument("--entity", default=None)
+    p_ac.add_argument("--f-start", type=float, default=10.0)
+    p_ac.add_argument("--f-stop", type=float, default=1e5)
+    p_ac.add_argument("--points", type=int, default=5)
+    p_ac.set_defaults(func=_cmd_ac)
+
+    p_report = sub.add_parser(
+        "report", help="markdown design report for a specification"
+    )
+    p_report.add_argument("file", help="VASS file or bundled app name")
+    p_report.add_argument("--entity", default=None)
+    p_report.add_argument("--no-spice", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_table = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_ex = sub.add_parser("examples", help="list bundled applications")
+    p_ex.set_defaults(func=_cmd_examples)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except VaseError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The VASS-to-VHIF compiler (paper Section 4)."""
+
+from repro.compiler.dae import Causalization, DaeCompiler, dot_name, strip_dots
+from repro.compiler.driver import (
+    CompilerOptions,
+    DesignCompiler,
+    compile_design,
+    enumerate_solvers,
+)
+from repro.compiler.expressions import ExprCompiler
+from repro.compiler.procedural import ProceduralCompiler, compile_procedural
+from repro.compiler.process import ProcessCompiler, compile_process
+from repro.compiler.whileloop import WhileLoopCompiler, loop_variables
+from repro.compiler import symbolic
+
+__all__ = [
+    "Causalization",
+    "CompilerOptions",
+    "DaeCompiler",
+    "DesignCompiler",
+    "ExprCompiler",
+    "ProceduralCompiler",
+    "ProcessCompiler",
+    "WhileLoopCompiler",
+    "compile_design",
+    "compile_procedural",
+    "compile_process",
+    "dot_name",
+    "enumerate_solvers",
+    "loop_variables",
+    "strip_dots",
+    "symbolic",
+]

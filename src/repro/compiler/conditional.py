@@ -1,0 +1,255 @@
+"""Compilation of simultaneous if/case statements (conditional DAEs).
+
+A ``simultaneous if`` selects between alternative equation sets
+depending on a condition.  VHIF realizes the selection with analog
+multiplexers/switches in the signal path, configured either by an FSM
+output *signal* (event-driven control, as in the receiver's ``c1``) or
+by a comparator block when the condition tests a quantity directly.
+
+Each branch's equations are solved symbolically for the statement's
+unknowns (so branches may be written implicitly), compiled, and the
+branch values are combined with a MUX chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.vass.semantics import AnalyzedDesign, ValueType
+from repro.compiler import symbolic
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT
+
+
+class ConditionControl:
+    """How a branch condition drives a MUX control input."""
+
+    def __init__(
+        self,
+        signal: Optional[str] = None,
+        polarity: bool = True,
+        comparator: Optional[Block] = None,
+    ):
+        self.signal = signal
+        self.polarity = polarity  # False: condition true when signal = '0'
+        self.comparator = comparator
+
+    def attach(self, compiler: ExprCompiler, mux: Block) -> None:
+        if self.signal is not None:
+            compiler.sfg.bind_control(self.signal, mux)
+        elif self.comparator is not None:
+            compiler.sfg.connect(self.comparator, mux, port=CONTROL_PORT)
+        else:
+            raise CompileError("condition control has no source")
+
+
+def classify_condition(
+    condition: ast.Expression,
+    design: AnalyzedDesign,
+    compiler: ExprCompiler,
+) -> ConditionControl:
+    """Map a condition onto a control source.
+
+    ``signal = '1'`` / ``signal = '0'`` / bare bit signals become control
+    bindings resolved against FSM outputs; analog comparisons become
+    comparator blocks.
+    """
+    # signal = 'x'
+    if isinstance(condition, ast.BinaryOp) and condition.operator == "=":
+        left, right = condition.left, condition.right
+        if isinstance(right, ast.Name) and isinstance(left, ast.CharacterLiteral):
+            left, right = right, left
+        if isinstance(left, ast.Name) and isinstance(right, ast.CharacterLiteral):
+            symbol = design.scope.lookup(left.identifier)
+            if symbol is not None and symbol.value_type is ValueType.BIT:
+                return ConditionControl(
+                    signal=left.identifier, polarity=right.value == "1"
+                )
+        if isinstance(left, ast.Name) and isinstance(right, ast.BooleanLiteral):
+            symbol = design.scope.lookup(left.identifier)
+            if symbol is not None and symbol.value_type is ValueType.BOOLEAN:
+                return ConditionControl(
+                    signal=left.identifier, polarity=right.value
+                )
+    # bare signal of bit/boolean type
+    if isinstance(condition, ast.Name):
+        symbol = design.scope.lookup(condition.identifier)
+        if symbol is not None and symbol.value_type in (
+            ValueType.BIT,
+            ValueType.BOOLEAN,
+        ):
+            return ConditionControl(signal=condition.identifier, polarity=True)
+    if isinstance(condition, ast.UnaryOp) and condition.operator == "not":
+        inner = classify_condition(condition.operand, design, compiler)
+        return ConditionControl(
+            signal=inner.signal,
+            polarity=not inner.polarity,
+            comparator=inner.comparator,
+        )
+    # analog comparison -> comparator block
+    comparator = compiler.compile_condition(condition)
+    return ConditionControl(comparator=comparator)
+
+
+def _equations_of(stmts: Sequence[ast.ConcurrentStmt]) -> List[ast.SimpleSimultaneous]:
+    equations: List[ast.SimpleSimultaneous] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.SimpleSimultaneous):
+            equations.append(stmt)
+        else:
+            raise CompileError(
+                "only simple simultaneous statements are supported inside "
+                "simultaneous if/case branches",
+                stmt.location,
+            )
+    return equations
+
+
+def conditional_unknowns(
+    stmt: ast.ConcurrentStmt, candidates: Sequence[str]
+) -> List[str]:
+    """Names from ``candidates`` defined by every branch of ``stmt``."""
+    branch_bodies: List[Sequence[ast.ConcurrentStmt]] = []
+    if isinstance(stmt, ast.SimultaneousIf):
+        branch_bodies = [body for _, body in stmt.branches]
+        if stmt.else_body:
+            branch_bodies.append(stmt.else_body)
+    elif isinstance(stmt, ast.SimultaneousCase):
+        branch_bodies = [body for _, body in stmt.alternatives]
+        if stmt.others is not None:
+            branch_bodies.append(stmt.others)
+    else:
+        return []
+    per_branch: List[set] = []
+    for body in branch_bodies:
+        names: set = set()
+        for eq in _equations_of(body):
+            names |= set(ast.referenced_names(eq.lhs))
+            names |= set(ast.referenced_names(eq.rhs))
+        per_branch.append(names)
+    if not per_branch:
+        return []
+    common = set.intersection(*per_branch)
+    return [name for name in candidates if name in common]
+
+
+def _solve_branch(
+    body: Sequence[ast.ConcurrentStmt],
+    unknowns: Sequence[str],
+    compiler: ExprCompiler,
+    location,
+) -> Dict[str, Block]:
+    """Solve each branch equation for its unknown and compile the value."""
+    equations = _equations_of(body)
+    values: Dict[str, Block] = {}
+    remaining = list(unknowns)
+    for eq in equations:
+        names = set(ast.referenced_names(eq.lhs)) | set(
+            ast.referenced_names(eq.rhs)
+        )
+        involved = [u for u in remaining if u in names]
+        if not involved:
+            raise CompileError(
+                f"branch equation {eq} does not define any unknown", eq.location
+            )
+        unknown = involved[0]
+        solved = symbolic.solve_for(eq.lhs, eq.rhs, unknown)
+        values[unknown] = compiler.compile(solved)
+        remaining.remove(unknown)
+    if remaining:
+        raise CompileError(
+            f"branch does not define unknowns {remaining}", location
+        )
+    return values
+
+
+def compile_simultaneous_if(
+    stmt: ast.SimultaneousIf,
+    unknowns: Sequence[str],
+    design: AnalyzedDesign,
+    compiler: ExprCompiler,
+) -> Dict[str, Block]:
+    """Compile a simultaneous-if into per-unknown MUX chains.
+
+    Returns a binding for every unknown.  The branch chain is built
+    back-to-front: the innermost MUX selects between the last condition
+    and the else value.
+    """
+    if not stmt.else_body and len(stmt.branches) < 2:
+        raise CompileError(
+            "simultaneous if needs an else branch (a quantity must be "
+            "determined under every condition)",
+            stmt.location,
+        )
+    controls: List[ConditionControl] = []
+    branch_values: List[Dict[str, Block]] = []
+    for condition, body in stmt.branches:
+        controls.append(classify_condition(condition, design, compiler))
+        branch_values.append(_solve_branch(body, unknowns, compiler, stmt.location))
+    if stmt.else_body:
+        else_values = _solve_branch(stmt.else_body, unknowns, compiler, stmt.location)
+    else:
+        raise CompileError(
+            "simultaneous if without else cannot determine its unknowns "
+            "in all modes",
+            stmt.location,
+        )
+
+    result: Dict[str, Block] = {}
+    for unknown in unknowns:
+        current = else_values[unknown]
+        for control, values in zip(reversed(controls), reversed(branch_values)):
+            mux = compiler.sfg.add(BlockKind.MUX, n_inputs=2)
+            true_value, false_value = values[unknown], current
+            if not control.polarity:
+                true_value, false_value = false_value, true_value
+            compiler.sfg.connect(true_value, mux, port=0)
+            compiler.sfg.connect(false_value, mux, port=1)
+            control.attach(compiler, mux)
+            current = mux
+        current.name = f"q_{unknown}"
+        result[unknown] = current
+    return result
+
+
+def compile_simultaneous_case(
+    stmt: ast.SimultaneousCase,
+    unknowns: Sequence[str],
+    design: AnalyzedDesign,
+    compiler: ExprCompiler,
+) -> Dict[str, Block]:
+    """Compile a simultaneous-case by lowering it to an if chain.
+
+    The selector must be a *signal*; each alternative's choices become
+    equality conditions.
+    """
+    if not isinstance(stmt.selector, ast.Name):
+        raise CompileError(
+            "simultaneous case selector must be a signal name", stmt.location
+        )
+    branches: List[Tuple[ast.Expression, List[ast.ConcurrentStmt]]] = []
+    for choices, body in stmt.alternatives:
+        condition: Optional[ast.Expression] = None
+        for choice in choices:
+            test = ast.BinaryOp(operator="=", left=stmt.selector, right=choice)
+            condition = (
+                test
+                if condition is None
+                else ast.BinaryOp(operator="or", left=condition, right=test)
+            )
+        assert condition is not None
+        branches.append((condition, list(body)))
+    if stmt.others is None:
+        if not branches:
+            raise CompileError("empty simultaneous case", stmt.location)
+        # Use the last alternative as the default.
+        last_condition, last_body = branches.pop()
+        else_body = last_body
+    else:
+        else_body = list(stmt.others)
+    lowered = ast.SimultaneousIf(
+        branches=branches, else_body=else_body, location=stmt.location
+    )
+    return compile_simultaneous_if(lowered, unknowns, design, compiler)

@@ -1,0 +1,313 @@
+"""Compilation of simultaneous statements (DAE sets) into signal flow.
+
+"Except for cases where input and output signals are explicitly known or
+can be inferred, simple simultaneous statements can not be mapped into a
+unique signal-flow structure.  Each structure represents a distinct
+'solver' for the DAE set.  Our synthesis tool considers all VHIF
+topologies that 'solve' a DAE set" (paper Section 4).
+
+The implementation follows classical analog-computer causalization:
+
+1. every ``x'dot`` occurrence is replaced by a fresh algebraic name and
+   an integrator ``x = (1/s) x_dot`` is planned — *integral causality*
+   makes states known and their derivatives unknown;
+2. equations are matched to the remaining unknowns with a bipartite
+   matching; **every** perfect matching is a candidate causalization
+   (solver), enumerated by backtracking;
+3. each matched equation is solved symbolically for its unknown
+   (:func:`repro.compiler.symbolic.solve_for`);
+4. solved expressions are ordered by data dependence; dependence cycles
+   among purely algebraic unknowns disqualify a causalization (the
+   hardware would contain a delay-free loop);
+5. the chosen causalization is emitted as blocks: integrators for the
+   states, expression cones for the algebraic unknowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.compiler import symbolic
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.sfg import Block, BlockKind
+
+DOT_SUFFIX = "__dot"
+
+
+def dot_name(quantity: str) -> str:
+    """The synthetic algebraic name standing for ``quantity'dot``."""
+    return quantity + DOT_SUFFIX
+
+
+def strip_dots(expr: ast.Expression) -> ast.Expression:
+    """Replace ``q'dot`` attribute nodes with references to dot names."""
+    if isinstance(expr, ast.AttributeExpr) and expr.attribute == "dot":
+        prefix = strip_dots(expr.prefix)
+        if isinstance(prefix, ast.Name):
+            return ast.Name(identifier=dot_name(prefix.identifier))
+        raise CompileError("'dot prefix must be a quantity name", expr.location)
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(operator=expr.operator, operand=strip_dots(expr.operand))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            operator=expr.operator,
+            left=strip_dots(expr.left),
+            right=strip_dots(expr.right),
+        )
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            name=expr.name, arguments=[strip_dots(a) for a in expr.arguments]
+        )
+    if isinstance(expr, ast.AttributeExpr):
+        return ast.AttributeExpr(
+            prefix=strip_dots(expr.prefix),
+            attribute=expr.attribute,
+            arguments=[strip_dots(a) for a in expr.arguments],
+        )
+    return expr
+
+
+@dataclass
+class Equation:
+    """One preprocessed equation of the DAE set."""
+
+    lhs: ast.Expression
+    rhs: ast.Expression
+    index: int = 0
+
+    def names(self) -> Set[str]:
+        return set(ast.referenced_names(self.lhs)) | set(
+            ast.referenced_names(self.rhs)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.lhs} == {self.rhs}"
+
+
+@dataclass
+class Causalization:
+    """One solver: an assignment of equations to unknowns, solved."""
+
+    #: unknown -> solved explicit expression (free of the unknown)
+    solutions: Dict[str, ast.Expression]
+    #: states realized as integrators: state name -> initial value
+    states: Dict[str, float]
+    #: evaluation order of the algebraic unknowns
+    order: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"  {u} := {e}" for u, e in self.solutions.items()]
+        if self.states:
+            lines.append("  states: " + ", ".join(sorted(self.states)))
+        return "\n".join(lines)
+
+
+class DaeCompiler:
+    """Causalizes a DAE set and emits the chosen solver's blocks."""
+
+    def __init__(
+        self,
+        equations: Sequence[ast.SimpleSimultaneous],
+        unknowns: Sequence[str],
+        initial_values: Optional[Dict[str, float]] = None,
+        max_solvers: int = 16,
+    ):
+        self.raw_equations = list(equations)
+        self.requested_unknowns = list(unknowns)
+        self.initial_values = dict(initial_values or {})
+        self.max_solvers = max_solvers
+
+        self.equations: List[Equation] = []
+        self.states: Dict[str, float] = {}
+        self.algebraic_unknowns: List[str] = []
+        self._preprocess()
+
+    # -- preprocessing -------------------------------------------------------
+
+    def _preprocess(self) -> None:
+        """Strip 'dot attributes and apply integral causality."""
+        dotted: Set[str] = set()
+        for index, eq in enumerate(self.raw_equations):
+            lhs = strip_dots(eq.lhs)
+            rhs = strip_dots(eq.rhs)
+            equation = Equation(lhs=lhs, rhs=rhs, index=index)
+            for name in equation.names():
+                if name.endswith(DOT_SUFFIX):
+                    dotted.add(name[: -len(DOT_SUFFIX)])
+            self.equations.append(equation)
+
+        unknown_set = set(self.requested_unknowns)
+        for state in sorted(dotted):
+            if state in unknown_set:
+                # Integral causality: the state becomes known (integrator
+                # output), its derivative becomes the unknown.
+                self.states[state] = self.initial_values.get(state, 0.0)
+                unknown_set.discard(state)
+                unknown_set.add(dot_name(state))
+            # Dotted knowns (inputs) stay: 'dot of a known compiles to a
+            # differentiator block inside the expression compiler, so we
+            # re-materialize the attribute for them.
+        self.algebraic_unknowns = sorted(unknown_set)
+        if len(self.equations) < len(self.algebraic_unknowns):
+            raise CompileError(
+                f"DAE set is underdetermined: {len(self.equations)} equations "
+                f"for unknowns {self.algebraic_unknowns}"
+            )
+
+    def _restore_known_dots(self, expr: ast.Expression) -> ast.Expression:
+        """Turn dot-names of *known* quantities back into 'dot attributes."""
+        for name in set(ast.referenced_names(expr)):
+            if not name.endswith(DOT_SUFFIX):
+                continue
+            base = name[: -len(DOT_SUFFIX)]
+            if base in self.states or name in self.algebraic_unknowns:
+                continue
+            expr = symbolic.substitute(
+                expr,
+                name,
+                ast.AttributeExpr(
+                    prefix=ast.Name(identifier=base), attribute="dot"
+                ),
+            )
+        return expr
+
+    # -- matching enumeration ------------------------------------------------------
+
+    def _candidate_equations(self, unknown: str) -> List[int]:
+        return [
+            eq.index for eq in self.equations if unknown in eq.names()
+        ]
+
+    def enumerate_causalizations(self) -> List[Causalization]:
+        """All valid solvers of the DAE set, up to ``max_solvers``.
+
+        A valid solver pairs every unknown with a distinct equation that
+        can be solved for it and whose solved expressions contain no
+        delay-free dependence cycle.
+        """
+        unknowns = self.algebraic_unknowns
+        results: List[Causalization] = []
+        used: Set[int] = set()
+        assignment: Dict[str, int] = {}
+
+        # Order unknowns by scarcity of candidate equations (fail fast).
+        ordered = sorted(unknowns, key=lambda u: len(self._candidate_equations(u)))
+
+        def backtrack(position: int) -> None:
+            if len(results) >= self.max_solvers:
+                return
+            if position == len(ordered):
+                causalization = self._try_solve(assignment)
+                if causalization is not None:
+                    results.append(causalization)
+                return
+            unknown = ordered[position]
+            for eq_index in self._candidate_equations(unknown):
+                if eq_index in used:
+                    continue
+                used.add(eq_index)
+                assignment[unknown] = eq_index
+                backtrack(position + 1)
+                used.discard(eq_index)
+                del assignment[unknown]
+
+        backtrack(0)
+        if not unknowns and self.equations:
+            raise CompileError(
+                "DAE set has equations but no unknowns to solve for"
+            )
+        return results
+
+    def _try_solve(self, assignment: Dict[str, int]) -> Optional[Causalization]:
+        solutions: Dict[str, ast.Expression] = {}
+        for unknown, eq_index in assignment.items():
+            equation = self.equations[eq_index]
+            try:
+                solved = symbolic.solve_for(equation.lhs, equation.rhs, unknown)
+            except CompileError:
+                return None
+            solutions[unknown] = self._restore_known_dots(solved)
+        order = self._topological_order(solutions)
+        if order is None:
+            return None
+        return Causalization(
+            solutions=solutions, states=dict(self.states), order=order
+        )
+
+    def _topological_order(
+        self, solutions: Dict[str, ast.Expression]
+    ) -> Optional[List[str]]:
+        """Order algebraic unknowns by dependence; None when cyclic."""
+        unknown_set = set(solutions)
+        dependencies: Dict[str, Set[str]] = {}
+        for unknown, expr in solutions.items():
+            dependencies[unknown] = {
+                n for n in ast.referenced_names(expr) if n in unknown_set
+            }
+        order: List[str] = []
+        remaining = dict(dependencies)
+        while remaining:
+            ready = sorted(u for u, deps in remaining.items() if not deps)
+            if not ready:
+                return None  # delay-free algebraic loop
+            for unknown in ready:
+                order.append(unknown)
+                del remaining[unknown]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return order
+
+    # -- emission -----------------------------------------------------------------
+
+    def emit(
+        self,
+        compiler: ExprCompiler,
+        causalization: Optional[Causalization] = None,
+    ) -> Dict[str, Block]:
+        """Emit the solver's blocks into ``compiler``'s graph.
+
+        All names that the equations *read* (inputs, quantities computed
+        by other constructs) must already be bound in ``compiler``.
+        Returns the new bindings: one block per unknown and per state.
+        """
+        if causalization is None:
+            candidates = self.enumerate_causalizations()
+            if not candidates:
+                raise CompileError(
+                    "no causalization solves the DAE set "
+                    + "; ".join(str(eq) for eq in self.equations)
+                )
+            causalization = candidates[0]
+
+        produced: Dict[str, Block] = {}
+        # 1. Integrators first: their outputs are the known states, and
+        #    they may appear inside any solved expression (feedback).
+        for state, initial in sorted(causalization.states.items()):
+            integrator = compiler.sfg.add(
+                BlockKind.INTEGRATE, name=state, gain=1.0, initial=initial
+            )
+            compiler.bind(state, integrator)
+            produced[state] = integrator
+        # 2. Algebraic unknowns in dependence order.
+        for unknown in causalization.order:
+            block = compiler.compile(causalization.solutions[unknown])
+            if not unknown.endswith(DOT_SUFFIX) and block.name.startswith(
+                block.kind.value
+            ):
+                # Rename only auto-named blocks: an aliased input or an
+                # already-labeled block keeps its identity.
+                block.name = f"q_{unknown}"
+            compiler.bind(unknown, block)
+            produced[unknown] = block
+        # 3. Close integrator feedback: connect x__dot into x's integrator.
+        for state in causalization.states:
+            derivative = produced.get(dot_name(state))
+            if derivative is None:
+                raise CompileError(
+                    f"no equation determines {state}'dot"
+                )
+            compiler.sfg.connect(derivative, produced[state], port=0)
+        return produced

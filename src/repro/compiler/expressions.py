@@ -1,0 +1,544 @@
+"""Compilation of VASS expressions into signal-flow blocks.
+
+The expression compiler lowers an analog-valued expression tree onto
+:class:`~repro.vhif.sfg.SignalFlowGraph` blocks, performing:
+
+* constant folding (static sub-expressions become CONST blocks);
+* strength selection (multiplication by a static value becomes a SCALE
+  block — an amplifier — instead of a MUL block — a multiplier circuit);
+* n-ary flattening of additions (so weighted sums map onto a single
+  summing amplifier later);
+* common sub-expression elimination keyed on the canonical form of the
+  expression *under the current name bindings*, so equal sub-trees share
+  one block (the compile-time face of the paper's hardware sharing);
+* lowering of the VHDL-AMS attributes: ``'dot`` → differentiator,
+  ``'integ`` → integrator, ``'above`` → comparator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.vass.semantics import Scope, SemanticError, eval_static
+from repro.vhif.sfg import Block, BlockKind, SignalFlowGraph
+
+
+class ExprCompiler:
+    """Compiles expressions into blocks of one signal-flow graph.
+
+    ``bindings`` maps VASS names to the blocks currently producing their
+    values.  Procedural compilation rebinds names as assignments execute;
+    the CSE cache keys include block identities, so stale cache hits
+    cannot occur.
+    """
+
+    def __init__(self, sfg: SignalFlowGraph, scope: Optional[Scope] = None):
+        self.sfg = sfg
+        self.scope = scope
+        self.bindings: Dict[str, Block] = {}
+        #: names currently bound to compile-time numeric values (e.g.
+        #: unrolled for-loop variables); substituted before compilation.
+        self.static_bindings: Dict[str, float] = {}
+        self._cache: Dict[str, Block] = {}
+        self._const_cache: Dict[float, Block] = {}
+
+    # -- bindings -------------------------------------------------------------
+
+    def bind(self, name: str, block: Block) -> None:
+        self.bindings[name] = block
+
+    def lookup(self, name: str) -> Optional[Block]:
+        return self.bindings.get(name)
+
+    # -- const / cache helpers ---------------------------------------------------
+
+    def const(self, value: float) -> Block:
+        """A CONST block for ``value`` (deduplicated)."""
+        value = float(value)
+        block = self._const_cache.get(value)
+        if block is None or block not in self.sfg:
+            block = self.sfg.add(BlockKind.CONST, value=value)
+            self._const_cache[value] = block
+        return block
+
+    def _key(self, expr: ast.Expression) -> str:
+        """Canonical cache key resolving names to their bound blocks."""
+        if isinstance(expr, ast.Name):
+            bound = self.bindings.get(expr.identifier)
+            if bound is not None:
+                return f"@{bound.block_id}"
+            return expr.identifier
+        if isinstance(expr, ast.RealLiteral):
+            return repr(expr.value)
+        if isinstance(expr, ast.IntegerLiteral):
+            return repr(float(expr.value))
+        if isinstance(expr, ast.UnaryOp):
+            return f"({expr.operator} {self._key(expr.operand)})"
+        if isinstance(expr, ast.BinaryOp):
+            left, right = self._key(expr.left), self._key(expr.right)
+            if expr.operator in ("+", "*") and right < left:
+                left, right = right, left
+            return f"({left} {expr.operator} {right})"
+        if isinstance(expr, ast.FunctionCall):
+            args = ",".join(self._key(a) for a in expr.arguments)
+            return f"{expr.name}({args})"
+        if isinstance(expr, ast.AttributeExpr):
+            args = ",".join(self._key(a) for a in expr.arguments)
+            return f"{self._key(expr.prefix)}'{expr.attribute}({args})"
+        return repr(expr)
+
+    def _static_value(self, expr: ast.Expression) -> Optional[float]:
+        """Evaluate ``expr`` statically if possible, else None.
+
+        A name bound to a block is *not* static even if it also denotes
+        a constant in the scope (the binding wins).
+        """
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.Name) and node.identifier in self.bindings:
+                return None
+            if isinstance(node, ast.AttributeExpr):
+                return None
+        try:
+            value = eval_static(expr, self.scope)
+        except SemanticError:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+    # -- main entry -------------------------------------------------------------
+
+    def compile(self, expr: ast.Expression) -> Block:
+        """Return a block whose output carries the value of ``expr``."""
+        if self.static_bindings:
+            from repro.compiler import symbolic
+
+            for name, value in self.static_bindings.items():
+                expr = symbolic.substitute(
+                    expr, name, ast.RealLiteral(value=value)
+                )
+        static = self._static_value(expr)
+        if static is not None:
+            return self.const(static)
+        key = self._key(expr)
+        cached = self._cache.get(key)
+        if cached is not None and cached in self.sfg:
+            return cached
+        block = self._compile_uncached(expr)
+        self._cache[key] = block
+        return block
+
+    # -- structural compilation ---------------------------------------------------
+
+    def _compile_uncached(self, expr: ast.Expression) -> Block:
+        if isinstance(expr, ast.Name):
+            bound = self.bindings.get(expr.identifier)
+            if bound is None:
+                raise CompileError(
+                    f"no value available for {expr.identifier!r} "
+                    "(undriven quantity?)",
+                    expr.location,
+                )
+            return bound
+        if isinstance(expr, (ast.RealLiteral, ast.IntegerLiteral)):
+            value = (
+                expr.value
+                if isinstance(expr, ast.RealLiteral)
+                else float(expr.value)
+            )
+            return self.const(float(value))
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.FunctionCall):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.AttributeExpr):
+            return self._compile_attribute(expr)
+        raise CompileError(
+            f"cannot compile {type(expr).__name__} to signal flow",
+            getattr(expr, "location", None) or expr.location,
+        )
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> Block:
+        operand = self.compile(expr.operand)
+        if expr.operator == "-":
+            block = self.sfg.add(BlockKind.NEG)
+            self.sfg.connect(operand, block)
+            return block
+        if expr.operator == "+":
+            return operand
+        if expr.operator == "abs":
+            block = self.sfg.add(BlockKind.ABS)
+            self.sfg.connect(operand, block)
+            return block
+        raise CompileError(
+            f"operator {expr.operator!r} has no signal-flow realization",
+            expr.location,
+        )
+
+    def _collect_add_terms(
+        self, expr: ast.Expression
+    ) -> List[Tuple[ast.Expression, float]]:
+        """Flatten nested +/- into (term, sign) pairs."""
+        terms: List[Tuple[ast.Expression, float]] = []
+
+        def walk(node: ast.Expression, sign: float) -> None:
+            if isinstance(node, ast.BinaryOp) and node.operator == "+":
+                walk(node.left, sign)
+                walk(node.right, sign)
+            elif isinstance(node, ast.BinaryOp) and node.operator == "-":
+                walk(node.left, sign)
+                walk(node.right, -sign)
+            elif isinstance(node, ast.UnaryOp) and node.operator == "-":
+                walk(node.operand, -sign)
+            else:
+                terms.append((node, sign))
+
+        walk(expr, 1.0)
+        return terms
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> Block:
+        op = expr.operator
+        if op in ("+", "-"):
+            return self._compile_sum(expr)
+        if op == "*":
+            return self._compile_product(expr)
+        if op == "/":
+            return self._compile_division(expr)
+        if op == "**":
+            return self._compile_power(expr)
+        if op in ("mod", "rem"):
+            raise CompileError(
+                f"operator {op!r} has no continuous-time realization",
+                expr.location,
+            )
+        raise CompileError(
+            f"operator {op!r} is not an analog operation", expr.location
+        )
+
+    def _compile_sum(self, expr: ast.BinaryOp) -> Block:
+        terms = self._collect_add_terms(expr)
+        positive = [t for t, s in terms if s > 0]
+        negative = [t for t, s in terms if s < 0]
+        if positive and negative and len(terms) == 2:
+            sub = self.sfg.add(BlockKind.SUB)
+            self.sfg.connect(self.compile(positive[0]), sub, port=0)
+            self.sfg.connect(self.compile(negative[0]), sub, port=1)
+            return sub
+        compiled: List[Block] = []
+        for term, sign in terms:
+            block = self.compile(term)
+            if sign < 0:
+                negated = self.sfg.add(BlockKind.NEG)
+                self.sfg.connect(block, negated)
+                block = negated
+            compiled.append(block)
+        if len(compiled) == 1:
+            return compiled[0]
+        adder = self.sfg.add(BlockKind.ADD, n_inputs=len(compiled))
+        for port, block in enumerate(compiled):
+            self.sfg.connect(block, adder, port=port)
+        return adder
+
+    def _compile_product(self, expr: ast.BinaryOp) -> Block:
+        left_static = self._static_value(expr.left)
+        right_static = self._static_value(expr.right)
+        if left_static is not None or right_static is not None:
+            gain = left_static if left_static is not None else right_static
+            signal = expr.right if left_static is not None else expr.left
+            operand = self.compile(signal)
+            if gain == 1.0:
+                return operand
+            if gain == -1.0:
+                block = self.sfg.add(BlockKind.NEG)
+                self.sfg.connect(operand, block)
+                return block
+            block = self.sfg.add(BlockKind.SCALE, gain=float(gain))
+            self.sfg.connect(operand, block)
+            return block
+        mul = self.sfg.add(BlockKind.MUL)
+        self.sfg.connect(self.compile(expr.left), mul, port=0)
+        self.sfg.connect(self.compile(expr.right), mul, port=1)
+        return mul
+
+    def _compile_division(self, expr: ast.BinaryOp) -> Block:
+        right_static = self._static_value(expr.right)
+        if right_static is not None:
+            if right_static == 0.0:
+                raise CompileError("division by constant zero", expr.location)
+            operand = self.compile(expr.left)
+            gain = 1.0 / right_static
+            if gain == 1.0:
+                return operand
+            block = self.sfg.add(BlockKind.SCALE, gain=gain)
+            self.sfg.connect(operand, block)
+            return block
+        div = self.sfg.add(BlockKind.DIV)
+        self.sfg.connect(self.compile(expr.left), div, port=0)
+        self.sfg.connect(self.compile(expr.right), div, port=1)
+        return div
+
+    def _compile_power(self, expr: ast.BinaryOp) -> Block:
+        exponent = self._static_value(expr.right)
+        if exponent is None:
+            raise CompileError(
+                "exponent of ** must be static in VASS", expr.location
+            )
+        base = self.compile(expr.left)
+        if exponent == 1.0:
+            return base
+        if float(exponent).is_integer() and 2 <= exponent <= 4:
+            # Small integer powers become multiplier chains.
+            result = base
+            for _ in range(int(exponent) - 1):
+                mul = self.sfg.add(BlockKind.MUL)
+                self.sfg.connect(result, mul, port=0)
+                self.sfg.connect(base, mul, port=1)
+                result = mul
+            return result
+        # General powers through the log/antilog pair: x**c = exp(c*log(x)).
+        log_block = self.sfg.add(BlockKind.LOG)
+        self.sfg.connect(base, log_block)
+        scale = self.sfg.add(BlockKind.SCALE, gain=float(exponent))
+        self.sfg.connect(log_block, scale)
+        exp_block = self.sfg.add(BlockKind.EXP)
+        self.sfg.connect(scale, exp_block)
+        return exp_block
+
+    def _compile_call(self, expr: ast.FunctionCall) -> Block:
+        if expr.name in ("log", "ln"):
+            block = self.sfg.add(BlockKind.LOG)
+            self.sfg.connect(self.compile(expr.arguments[0]), block)
+            return block
+        if expr.name == "exp":
+            block = self.sfg.add(BlockKind.EXP)
+            self.sfg.connect(self.compile(expr.arguments[0]), block)
+            return block
+        if expr.name == "sqrt":
+            # sqrt(x) = exp(0.5 * log(x))
+            log_block = self.sfg.add(BlockKind.LOG)
+            self.sfg.connect(self.compile(expr.arguments[0]), log_block)
+            scale = self.sfg.add(BlockKind.SCALE, gain=0.5)
+            self.sfg.connect(log_block, scale)
+            exp_block = self.sfg.add(BlockKind.EXP)
+            self.sfg.connect(scale, exp_block)
+            return exp_block
+        if expr.name == "limit":
+            if len(expr.arguments) != 3:
+                raise CompileError("limit(x, low, high) takes 3 arguments",
+                                   expr.location)
+            low = self._static_value(expr.arguments[1])
+            high = self._static_value(expr.arguments[2])
+            if low is None or high is None:
+                raise CompileError("limit bounds must be static", expr.location)
+            block = self.sfg.add(BlockKind.LIMIT, low=low, high=high)
+            self.sfg.connect(self.compile(expr.arguments[0]), block)
+            return block
+        raise CompileError(
+            f"function {expr.name!r} has no signal-flow realization",
+            expr.location,
+        )
+
+    def _compile_attribute(self, expr: ast.AttributeExpr) -> Block:
+        attribute = expr.attribute
+        if attribute == "dot":
+            block = self.sfg.add(BlockKind.DIFFERENTIATE)
+            self.sfg.connect(self.compile(expr.prefix), block)
+            return block
+        if attribute == "integ":
+            block = self.sfg.add(BlockKind.INTEGRATE, gain=1.0, initial=0.0)
+            self.sfg.connect(self.compile(expr.prefix), block)
+            return block
+        if attribute == "above":
+            threshold = self._static_value(expr.arguments[0])
+            if threshold is None:
+                raise CompileError(
+                    "'above threshold must be static", expr.location
+                )
+            block = self.sfg.add(BlockKind.COMPARATOR, threshold=threshold)
+            self.sfg.connect(self.compile(expr.prefix), block)
+            return block
+        if attribute == "ltf":
+            return self._compile_ltf(expr)
+        raise CompileError(
+            f"attribute '{attribute} has no signal-flow realization",
+            expr.location,
+        )
+
+    def _coefficient_vector(self, expr: ast.Expression) -> List[float]:
+        """Static coefficient list of an 'ltf argument (ascending powers)."""
+        if not isinstance(expr, ast.Aggregate):
+            value = self._static_value(expr)
+            if value is None:
+                raise CompileError(
+                    "'ltf coefficients must be a static aggregate",
+                    expr.location,
+                )
+            return [value]
+        values: List[float] = []
+        for element in expr.elements:
+            value = self._static_value(element)
+            if value is None:
+                raise CompileError(
+                    "'ltf coefficients must be static", element.location
+                )
+            values.append(value)
+        return values
+
+    def _compile_ltf(self, expr: ast.AttributeExpr) -> Block:
+        """Lower ``u'ltf(num, den)`` to an integrator chain.
+
+        Coefficients are in ascending powers of s.  The realization is
+        the phase-variable (controllable canonical) analog-computer
+        form: an n-integrator chain whose head computes::
+
+            w^(n) = (u - a_{n-1} w^(n-1) - ... - a_0 w) / a_n
+
+        and whose output taps realize ``y = sum b_k w^(k)`` (plus a
+        direct feed-through term when the function is only proper).
+        """
+        if len(expr.arguments) != 2:
+            raise CompileError("'ltf takes (num, den)", expr.location)
+        num = self._coefficient_vector(expr.arguments[0])
+        den = self._coefficient_vector(expr.arguments[1])
+        while len(den) > 1 and den[-1] == 0.0:
+            den.pop()
+        order = len(den) - 1
+        if order < 1:
+            raise CompileError(
+                "'ltf denominator must have order >= 1", expr.location
+            )
+        if den[-1] == 0.0:
+            raise CompileError(
+                "'ltf leading denominator coefficient is zero", expr.location
+            )
+        if len(num) > len(den):
+            raise CompileError(
+                "'ltf transfer function must be proper "
+                "(len(num) <= len(den))",
+                expr.location,
+            )
+        an = den[-1]
+        direct = 0.0
+        num = list(num) + [0.0] * (len(den) - len(num))
+        if num[-1] != 0.0:
+            # Proper but not strictly proper: split off the direct term.
+            direct = num[-1] / an
+            num = [b - direct * a for b, a in zip(num, den)]
+        num = num[:-1]  # strictly-proper numerator, degree < order
+
+        source = self.compile(expr.prefix)
+
+        # Integrator chain: taps[k] carries w^(k); taps[order] is the
+        # head node (the adder output), taps[0] is w.
+        integrators: List[Block] = []
+        for k in range(order):
+            integrators.append(
+                self.sfg.add(
+                    BlockKind.INTEGRATE,
+                    name=f"ltf_x{k}_{self.sfg.name}_{len(self.sfg.blocks)}",
+                    gain=1.0,
+                    initial=0.0,
+                )
+            )
+        # Chain: integrator[k] integrates taps[k+1] -> taps[k].
+        for k in range(order - 1):
+            self.sfg.connect(integrators[k + 1], integrators[k], port=0)
+        taps: List[Block] = list(integrators)  # taps[k] = w^(k)
+
+        # Head adder: u/an - sum(a_k/an * w^(k)).
+        feedback_terms: List[Block] = []
+        for k in range(order):
+            coefficient = -den[k] / an
+            if coefficient == 0.0:
+                continue
+            scale = self.sfg.add(BlockKind.SCALE, gain=coefficient)
+            self.sfg.connect(taps[k], scale)
+            feedback_terms.append(scale)
+        if an != 1.0:
+            driven = self.sfg.add(BlockKind.SCALE, gain=1.0 / an)
+            self.sfg.connect(source, driven)
+        else:
+            driven = source
+        if feedback_terms:
+            head = self.sfg.add(
+                BlockKind.ADD, n_inputs=1 + len(feedback_terms)
+            )
+            self.sfg.connect(driven, head, port=0)
+            for port, term in enumerate(feedback_terms, start=1):
+                self.sfg.connect(term, head, port=port)
+        else:
+            head = driven
+        self.sfg.connect(head, integrators[order - 1], port=0)
+
+        # Output combination: y = sum b_k w^(k) (+ direct * u).  The
+        # 1/a_n normalization already lives in the head adder, so the
+        # numerator coefficients apply unscaled.
+        output_terms: List[Block] = []
+        for k, coefficient in enumerate(num):
+            if coefficient == 0.0:
+                continue
+            if coefficient == 1.0:
+                output_terms.append(taps[k])
+            else:
+                scale = self.sfg.add(BlockKind.SCALE, gain=coefficient)
+                self.sfg.connect(taps[k], scale)
+                output_terms.append(scale)
+        if direct != 0.0:
+            scale = self.sfg.add(BlockKind.SCALE, gain=direct)
+            self.sfg.connect(source, scale)
+            output_terms.append(scale)
+        if not output_terms:
+            raise CompileError("'ltf numerator is zero", expr.location)
+        if len(output_terms) == 1:
+            return output_terms[0]
+        combiner = self.sfg.add(BlockKind.ADD, n_inputs=len(output_terms))
+        for port, term in enumerate(output_terms):
+            self.sfg.connect(term, combiner, port=port)
+        return combiner
+
+    # -- boolean conditions ------------------------------------------------------
+
+    def compile_condition(self, expr: ast.Expression) -> Block:
+        """Compile a boolean condition over quantities to a comparator.
+
+        Supported forms: relational comparisons of analog expressions
+        (``a > b`` etc.), ``q'above(th)``, and negations thereof.  The
+        resulting block outputs a boolean suitable for a control input.
+        """
+        if isinstance(expr, ast.UnaryOp) and expr.operator == "not":
+            inner = self.compile_condition(expr.operand)
+            # Invert by comparing the (0/1) output against 0.5 downward:
+            # a NEG + comparator at -0.5 realizes the complement.
+            neg = self.sfg.add(BlockKind.NEG)
+            self.sfg.connect(inner, neg)
+            cmp = self.sfg.add(BlockKind.COMPARATOR, threshold=-0.5)
+            self.sfg.connect(neg, cmp)
+            return cmp
+        if isinstance(expr, ast.AttributeExpr) and expr.attribute == "above":
+            return self._compile_attribute(expr)
+        if isinstance(expr, ast.BinaryOp) and expr.operator in (
+            ">",
+            ">=",
+            "<",
+            "<=",
+        ):
+            left, right = expr.left, expr.right
+            flip = expr.operator in ("<", "<=")
+            diff = ast.BinaryOp(operator="-", left=left, right=right)
+            operand = self.compile(diff)
+            if flip:
+                negated = self.sfg.add(BlockKind.NEG)
+                self.sfg.connect(operand, negated)
+                operand = negated
+            cmp = self.sfg.add(BlockKind.COMPARATOR, threshold=0.0)
+            self.sfg.connect(operand, cmp)
+            return cmp
+        raise CompileError(
+            "condition cannot be realized as an analog comparator",
+            getattr(expr, "location", None) or expr.location,
+        )

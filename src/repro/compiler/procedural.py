@@ -1,0 +1,195 @@
+"""Compilation of procedural statements into pure dataflow.
+
+A procedural is "a pure functional block computing analog outputs from
+its inputs without relying on any state information" (paper Section 4).
+Instruction sequencing is preserved by data dependence alone: the output
+of the block for an assignment becomes an input of the block for any
+following statement referring to the same name.
+
+* assignments rebind names to new blocks;
+* ``if`` statements merge divergent bindings with analog multiplexers;
+* ``for`` loops are unrolled (bounds are static by the VASS rules);
+* ``while`` loops use the Figure-4 sampling structure
+  (:mod:`repro.compiler.whileloop`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.vass.semantics import AnalyzedDesign, SemanticError, eval_static
+from repro.compiler.conditional import classify_condition
+from repro.compiler.expressions import ExprCompiler
+from repro.compiler.whileloop import WhileLoopCompiler
+from repro.vhif.sfg import Block, BlockKind
+
+
+class ProceduralCompiler:
+    """Compiles one procedural statement into signal-flow blocks."""
+
+    def __init__(
+        self,
+        procedural: ast.ProceduralStmt,
+        design: AnalyzedDesign,
+        compiler: ExprCompiler,
+    ):
+        self.procedural = procedural
+        self.design = design
+        self.compiler = compiler
+
+    # -- helpers -------------------------------------------------------------
+
+    def _compile_expr(
+        self, expr: ast.Expression, bindings: Dict[str, Block]
+    ) -> Block:
+        self.compiler.bindings = dict(bindings)
+        return self.compiler.compile(expr)
+
+    def _static_int(self, expr: ast.Expression) -> int:
+        try:
+            value = eval_static(expr, self.design.scope)
+        except SemanticError as err:
+            raise CompileError(err.bare_message, expr.location)
+        return int(round(float(value)))  # type: ignore[arg-type]
+
+    # -- statement compilation ---------------------------------------------------
+
+    def compile_body(
+        self,
+        stmts: Sequence[ast.SequentialStmt],
+        bindings: Dict[str, Block],
+    ) -> Dict[str, Block]:
+        """Compile a statement list; returns the updated bindings."""
+        current = dict(bindings)
+        for stmt in stmts:
+            if isinstance(stmt, ast.VariableAssignment):
+                if stmt.index is not None:
+                    raise CompileError(
+                        "indexed assignment is not supported in procedurals",
+                        stmt.location,
+                    )
+                current[stmt.target] = self._compile_expr(stmt.value, current)
+            elif isinstance(stmt, ast.SignalAssignment):
+                raise CompileError(
+                    "signal assignment inside a procedural is not in VASS "
+                    "(use a process)",
+                    stmt.location,
+                )
+            elif isinstance(stmt, ast.IfStmt):
+                current = self._compile_if(stmt, current)
+            elif isinstance(stmt, ast.CaseStmt):
+                current = self._compile_if(self._lower_case(stmt), current)
+            elif isinstance(stmt, ast.ForStmt):
+                current = self._compile_for(stmt, current)
+            elif isinstance(stmt, ast.WhileStmt):
+                loop = WhileLoopCompiler(self.compiler, self.compile_body)
+                current = loop.compile(stmt, current)
+            elif isinstance(stmt, ast.NullStmt):
+                continue
+            elif isinstance(stmt, ast.BreakStmt):
+                continue
+            else:
+                raise CompileError(
+                    f"unsupported statement {type(stmt).__name__} in "
+                    "procedural",
+                    stmt.location,
+                )
+        return current
+
+    def _lower_case(self, stmt: ast.CaseStmt) -> ast.IfStmt:
+        branches = []
+        for choices, body in stmt.alternatives:
+            for choice in choices:
+                test = ast.BinaryOp(operator="=", left=stmt.selector, right=choice)
+                branches.append((test, list(body)))
+        return ast.IfStmt(
+            branches=branches,
+            else_body=list(stmt.others or []),
+            location=stmt.location,
+        )
+
+    def _compile_if(
+        self, stmt: ast.IfStmt, bindings: Dict[str, Block]
+    ) -> Dict[str, Block]:
+        """Compile both arms, then merge divergent bindings with MUXes."""
+        arms: List[Dict[str, Block]] = []
+        controls = []
+        for condition, body in stmt.branches:
+            self.compiler.bindings = dict(bindings)
+            controls.append(
+                classify_condition(condition, self.design, self.compiler)
+            )
+            arms.append(self.compile_body(body, bindings))
+        else_bindings = self.compile_body(stmt.else_body, bindings)
+
+        targets: Set[str] = set()
+        for arm in arms + [else_bindings]:
+            for name, block in arm.items():
+                if bindings.get(name) is not block:
+                    targets.add(name)
+        merged = dict(bindings)
+        for name in sorted(targets):
+            current: Optional[Block] = else_bindings.get(name, bindings.get(name))
+            if current is None:
+                raise CompileError(
+                    f"{name!r} is assigned in only one branch and has no "
+                    "prior value",
+                    stmt.location,
+                )
+            for control, arm in zip(reversed(controls), reversed(arms)):
+                arm_block = arm.get(name, bindings.get(name))
+                if arm_block is None:
+                    raise CompileError(
+                        f"{name!r} has no value in one branch", stmt.location
+                    )
+                mux = self.compiler.sfg.add(BlockKind.MUX, n_inputs=2)
+                true_value, false_value = arm_block, current
+                if not control.polarity:
+                    true_value, false_value = false_value, true_value
+                self.compiler.sfg.connect(true_value, mux, port=0)
+                self.compiler.sfg.connect(false_value, mux, port=1)
+                control.attach(self.compiler, mux)
+                current = mux
+            merged[name] = current
+        return merged
+
+    def _compile_for(
+        self, stmt: ast.ForStmt, bindings: Dict[str, Block]
+    ) -> Dict[str, Block]:
+        """Unroll the loop: the bounds are static by the VASS rules."""
+        low = self._static_int(stmt.low)
+        high = self._static_int(stmt.high)
+        if high - low + 1 > 64:
+            raise CompileError(
+                f"for-loop unrolls to {high - low + 1} iterations; "
+                "VASS caps unrolling at 64",
+                stmt.location,
+            )
+        current = dict(bindings)
+        for i in range(low, high + 1):
+            # The loop variable is a compile-time constant per iteration.
+            self.compiler.static_bindings[stmt.variable] = float(i)
+            try:
+                current = self.compile_body(stmt.body, current)
+            finally:
+                self.compiler.static_bindings.pop(stmt.variable, None)
+        current.pop(stmt.variable, None)
+        return current
+
+    # -- entry point -----------------------------------------------------------------
+
+    def compile(self, bindings: Dict[str, Block]) -> Dict[str, Block]:
+        """Compile the whole procedural; returns final name bindings."""
+        return self.compile_body(self.procedural.body, bindings)
+
+
+def compile_procedural(
+    procedural: ast.ProceduralStmt,
+    design: AnalyzedDesign,
+    compiler: ExprCompiler,
+    bindings: Dict[str, Block],
+) -> Dict[str, Block]:
+    """Compile one procedural statement (see module docs)."""
+    return ProceduralCompiler(procedural, design, compiler).compile(bindings)

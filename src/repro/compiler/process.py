@@ -1,0 +1,401 @@
+"""Compilation of VASS process statements into VHIF FSMs.
+
+Translation rules (paper Section 4, Figure 3):
+
+* the FSM has a ``start`` state denoting the suspended process; resuming
+  is the transition from ``start`` controlled by the logical OR of the
+  events in the sensitivity list (no arbitration — only one event occurs
+  at a time);
+* successive statements are grouped into the *same* state when they have
+  no data dependencies (maximal concurrency); a data dependency with any
+  statement of the current state opens a new state;
+* ``if``/``case`` statements become conditional arcs between states;
+* ``'above`` events originate in the continuous-time part: the compiler
+  instantiates a comparator block in the main signal-flow graph and
+  registers it as the event source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.vass.semantics import AnalyzedDesign, SemanticError, ValueType, eval_static
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.design import VhifDesign
+from repro.vhif.fsm import (
+    ALWAYS,
+    AboveEvent,
+    AllOf,
+    AnyOf,
+    Condition,
+    DataOp,
+    ExprCondition,
+    Fsm,
+    Not,
+    PortEvent,
+    SignalEquals,
+    START_STATE,
+    sensitivity_condition,
+)
+from repro.vhif.sfg import BlockKind
+
+
+def _fold_constants(
+    expr: ast.Expression, design: AnalyzedDesign
+) -> ast.Expression:
+    """Replace references to static constants with literals.
+
+    FSM data-path expressions are evaluated against the runtime
+    environment, which knows signals and quantities but not VASS
+    constants; folding keeps the environment small.
+    """
+    if isinstance(expr, ast.Name):
+        symbol = design.scope.lookup(expr.identifier)
+        if symbol is not None and symbol.static_value is not None:
+            return ast.RealLiteral(value=symbol.static_value)
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            operator=expr.operator, operand=_fold_constants(expr.operand, design)
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            operator=expr.operator,
+            left=_fold_constants(expr.left, design),
+            right=_fold_constants(expr.right, design),
+        )
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            name=expr.name,
+            arguments=[_fold_constants(a, design) for a in expr.arguments],
+        )
+    if isinstance(expr, ast.AttributeExpr):
+        return ast.AttributeExpr(
+            prefix=_fold_constants(expr.prefix, design),
+            attribute=expr.attribute,
+            arguments=[_fold_constants(a, design) for a in expr.arguments],
+        )
+    return expr
+
+
+class ProcessCompiler:
+    """Builds one FSM from one process statement."""
+
+    def __init__(
+        self,
+        process: ast.ProcessStmt,
+        design: AnalyzedDesign,
+        vhif: VhifDesign,
+        compiler: ExprCompiler,
+        name: str,
+    ):
+        self.process = process
+        self.design = design
+        self.vhif = vhif
+        self.compiler = compiler
+        self.fsm = Fsm(name=name)
+        self._state_counter = 0
+        #: control source for sampling hardware: a *signal* name (first
+        #: port event in the sensitivity list) or a comparator block.
+        self._sample_control_signal: Optional[str] = None
+        self._sample_control_block = None
+
+    # -- sensitivity ----------------------------------------------------------
+
+    def _compile_sensitivity(self) -> Condition:
+        events: List[Condition] = []
+        for event in self.process.sensitivity:
+            if isinstance(event, ast.AttributeExpr) and event.attribute == "above":
+                above = self._compile_above_event(event)
+                events.append(above)
+                if self._sample_control_block is None:
+                    source = self.vhif.event_sources[above.key]
+                    self._sample_control_block = self.compiler.sfg.block(
+                        source[1]
+                    )
+            elif isinstance(event, ast.Name):
+                events.append(PortEvent(name=event.identifier))
+                if self._sample_control_signal is None:
+                    self._sample_control_signal = event.identifier
+            else:
+                raise CompileError(
+                    "unsupported sensitivity entry", event.location
+                )
+        return sensitivity_condition(events)
+
+    def _compile_above_event(self, event: ast.AttributeExpr) -> AboveEvent:
+        if not isinstance(event.prefix, ast.Name):
+            raise CompileError(
+                "'above prefix must be a quantity name", event.location
+            )
+        quantity = event.prefix.identifier
+        try:
+            threshold = float(eval_static(event.arguments[0], self.design.scope))  # type: ignore[arg-type]
+        except SemanticError as err:
+            raise CompileError(
+                f"'above threshold must be static: {err.bare_message}",
+                event.location,
+            )
+        threshold_name = (
+            event.arguments[0].identifier
+            if isinstance(event.arguments[0], ast.Name)
+            else None
+        )
+        above = AboveEvent(
+            quantity=quantity, threshold=threshold, threshold_name=threshold_name
+        )
+        # The event originates in the continuous-time part: instantiate
+        # (or reuse, through CSE) a comparator watching the quantity.
+        comparator = self.compiler.compile(
+            ast.AttributeExpr(
+                prefix=ast.Name(identifier=quantity),
+                attribute="above",
+                arguments=[ast.RealLiteral(value=threshold)],
+            )
+        )
+        self.vhif.event_sources[above.key] = (
+            self.compiler.sfg.name,
+            comparator.block_id,
+        )
+        return above
+
+    # -- conditions on arcs ------------------------------------------------------
+
+    def _arc_condition(self, condition: ast.Expression) -> Condition:
+        folded = _fold_constants(condition, self.design)
+        # signal = 'x' level test
+        if isinstance(folded, ast.BinaryOp) and folded.operator == "=":
+            left, right = folded.left, folded.right
+            if isinstance(left, ast.Name) and isinstance(
+                right, ast.CharacterLiteral
+            ):
+                return SignalEquals(name=left.identifier, value=right.value)
+            if isinstance(left, ast.Name) and isinstance(right, ast.BooleanLiteral):
+                return SignalEquals(name=left.identifier, value=right.value)
+        # 'above level tests reference the comparator through the
+        # environment; ExprCondition evaluates them against quantity taps.
+        text = str(condition)
+        return ExprCondition(expr=folded, text=text)
+
+    # -- state construction --------------------------------------------------------
+
+    def _new_state(self) -> str:
+        self._state_counter += 1
+        name = f"state{self._state_counter}"
+        self.fsm.add_state(name)
+        return name
+
+    def _emit_chain(
+        self,
+        stmts: Sequence[ast.SequentialStmt],
+        entries: List[Tuple[str, Condition]],
+    ) -> List[Tuple[str, Condition]]:
+        """Compile a statement list; returns the exit arcs.
+
+        ``entries`` are (state, condition) pairs from which execution
+        enters this chain.  The return value lists (state, condition)
+        pairs from which execution leaves it.
+        """
+        current: Optional[str] = None  # open state collecting concurrent ops
+
+        def ensure_state() -> str:
+            nonlocal current, entries
+            if current is None:
+                current = self._new_state()
+                for state, condition in entries:
+                    self.fsm.add_transition(state, current, condition)
+                entries = [(current, ALWAYS)]
+            return current
+
+        for stmt in stmts:
+            if isinstance(stmt, (ast.SignalAssignment, ast.VariableAssignment)):
+                expr = _fold_constants(stmt.value, self.design)
+                if isinstance(stmt, ast.SignalAssignment) and self._is_analog(
+                    expr
+                ):
+                    # Sampling rule: assigning a continuous-time value to
+                    # a *signal* requires a sample-and-hold (plus an A/D
+                    # converter for bit-vector targets).  The hardware
+                    # lives in the signal-flow graph, gated by the
+                    # process's triggering event; the FSM keeps a
+                    # data-path op reading the sampled value.
+                    expr = self._lower_sampled(stmt, expr)
+                op = DataOp(
+                    target=stmt.target,
+                    expr=expr,
+                    is_signal=isinstance(stmt, ast.SignalAssignment),
+                )
+                state_name = ensure_state()
+                state = self.fsm.state(state_name)
+                reads = set(op.reads())
+                writes = state.writes()
+                # Data dependency with the current state: open a new one.
+                if reads & writes or op.target in writes:
+                    previous = state_name
+                    current = None
+                    entries = [(previous, ALWAYS)]
+                    state = self.fsm.state(ensure_state())
+                state.operations.append(op)
+            elif isinstance(stmt, ast.IfStmt):
+                entries = self._emit_branches(stmt, entries, current)
+                current = None
+            elif isinstance(stmt, ast.CaseStmt):
+                lowered = self._lower_case(stmt)
+                entries = self._emit_branches(lowered, entries, current)
+                current = None
+            elif isinstance(stmt, ast.NullStmt):
+                continue
+            elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+                raise CompileError(
+                    "loops inside processes are not supported by the "
+                    "VASS compiler (use a procedural)",
+                    stmt.location,
+                )
+            elif isinstance(stmt, ast.BreakStmt):
+                continue  # discontinuity hints do not synthesize
+            else:
+                raise CompileError(
+                    f"unsupported statement {type(stmt).__name__} in process",
+                    stmt.location,
+                )
+        return entries
+
+    def _is_analog(self, expr: ast.Expression) -> bool:
+        """True when the expression reads continuous-time values."""
+        for name in ast.referenced_names(expr):
+            symbol = self.design.scope.lookup(name)
+            if (
+                symbol is not None
+                and symbol.object_class is ast.ObjectClass.QUANTITY
+            ):
+                return True
+        return False
+
+    def _lower_sampled(
+        self, stmt: ast.SignalAssignment, expr: ast.Expression
+    ) -> ast.Expression:
+        """Emit S/H (+ ADC) hardware for a sampled quantity expression."""
+        sfg = self.compiler.sfg
+        value = self.compiler.compile(expr)
+        hold = sfg.add(BlockKind.SAMPLE_HOLD, name=f"sh_{stmt.target}")
+        sfg.connect(value, hold, port=0)
+        self._attach_sample_control(hold)
+        final = hold
+        target_symbol = self.design.scope.lookup(stmt.target)
+        if (
+            target_symbol is not None
+            and target_symbol.value_type is ValueType.BIT_VECTOR
+        ):
+            bits = 8
+            if target_symbol.bounds is not None:
+                lo, hi = target_symbol.bounds
+                bits = abs(hi - lo) + 1
+            adc = sfg.add(BlockKind.ADC, name=f"adc_{stmt.target}", bits=bits)
+            sfg.connect(hold, adc, port=0)
+            self._attach_sample_control(adc)
+            final = adc
+        tap = f"{stmt.target}_sampled"
+        self.vhif.quantity_taps[tap] = (sfg.name, final.block_id)
+        return ast.Name(identifier=tap, location=stmt.location)
+
+    def _attach_sample_control(self, block) -> None:
+        sfg = self.compiler.sfg
+        if self._sample_control_signal is not None:
+            sfg.bind_control(self._sample_control_signal, block)
+        elif self._sample_control_block is not None:
+            from repro.vhif.sfg import CONTROL_PORT
+
+            sfg.connect(self._sample_control_block, block, port=CONTROL_PORT)
+        else:
+            raise CompileError(
+                "sampled signal assignment needs a triggering event",
+                self.process.location,
+            )
+
+    def _lower_case(self, stmt: ast.CaseStmt) -> ast.IfStmt:
+        branches: List[Tuple[ast.Expression, List[ast.SequentialStmt]]] = []
+        for choices, body in stmt.alternatives:
+            for choice in choices:
+                test = ast.BinaryOp(operator="=", left=stmt.selector, right=choice)
+                branches.append((test, list(body)))
+        return ast.IfStmt(
+            branches=branches,
+            else_body=list(stmt.others or []),
+            location=stmt.location,
+        )
+
+    def _emit_branches(
+        self,
+        stmt: ast.IfStmt,
+        entries: List[Tuple[str, Condition]],
+        current: Optional[str],
+    ) -> List[Tuple[str, Condition]]:
+        """Emit an if/elsif/else as conditional arcs between states."""
+        if current is not None:
+            # Branch decisions start from the state that just closed.
+            entries = [(current, ALWAYS)]
+        exits: List[Tuple[str, Condition]] = []
+        taken: List[Condition] = []
+        for condition, body in stmt.branches:
+            arc = self._arc_condition(condition)
+            guard: Condition = (
+                arc
+                if not taken
+                else AllOf(operands=tuple([Not(operand=c) for c in taken] + [arc]))
+            )
+            branch_entries = [
+                (state, _combine(entry_cond, guard)) for state, entry_cond in entries
+            ]
+            exits.extend(self._emit_chain(body, branch_entries))
+            taken.append(arc)
+        otherwise: Condition = (
+            Not(operand=taken[0])
+            if len(taken) == 1
+            else AllOf(operands=tuple(Not(operand=c) for c in taken))
+        )
+        if stmt.else_body:
+            else_entries = [
+                (state, _combine(entry_cond, otherwise))
+                for state, entry_cond in entries
+            ]
+            exits.extend(self._emit_chain(stmt.else_body, else_entries))
+        else:
+            exits.extend(
+                (state, _combine(entry_cond, otherwise))
+                for state, entry_cond in entries
+            )
+        return exits
+
+    # -- main ----------------------------------------------------------------------
+
+    def compile(self) -> Fsm:
+        resume = self._compile_sensitivity()
+        exits = self._emit_chain(self.process.body, [(START_STATE, resume)])
+        # Exits suspend implicitly (no arcs needed): after the last state
+        # the process waits in it until the next resume would need an arc
+        # from start.  We model suspension by arcs back to start only when
+        # a chain produced no state at all (degenerate process).
+        del exits
+        self.fsm.validate()
+        return self.fsm
+
+
+def _combine(first: Condition, second: Condition) -> Condition:
+    if first is ALWAYS:
+        return second
+    if second is ALWAYS:
+        return first
+    return AllOf(operands=(first, second))
+
+
+def compile_process(
+    process: ast.ProcessStmt,
+    design: AnalyzedDesign,
+    vhif: VhifDesign,
+    compiler: ExprCompiler,
+    name: str,
+) -> Fsm:
+    """Compile one process statement into an FSM (see module docs)."""
+    return ProcessCompiler(process, design, vhif, compiler, name).compile()

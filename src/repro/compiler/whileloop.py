@@ -1,0 +1,143 @@
+"""The Figure-4 while-loop transformation.
+
+VASS while-loops denote a *sampling functionality*.  The paper avoids
+multiplexing the conditional's inputs by duplicating the conditional
+into two distinct blocks:
+
+* ``icontr`` — evaluates the conditional on values computed *outside*
+  the loop and decides whether the loop is entered (inputs are routed to
+  the loop body through switch ``sw1``);
+* ``contr`` — evaluates the conditional on the loop's own values; while
+  true, sample-and-hold ``S/H1`` trails the loop body's output and
+  switch ``sw3`` isolates ``S/H2``; when it turns false, ``sw3`` closes
+  and ``S/H2`` latches the result, holding it constant while the loop
+  body executes again.
+
+The loop iterates once per sampling period: the feedback path runs
+through ``S/H1``, a stateful block, so each simulator step (and, in
+hardware, each loop delay) advances the iteration by one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT
+
+
+def loop_variables(stmt: ast.WhileStmt) -> Tuple[List[str], List[str]]:
+    """(carried, read-only) variable names of a while loop.
+
+    *Carried* variables are assigned in the body; they iterate through
+    the feedback path.  *Read-only* names are consumed by the body or
+    condition but never assigned.
+    """
+    assigned: List[str] = []
+    for inner in ast.walk_sequential(stmt.body):
+        if isinstance(inner, ast.VariableAssignment) and inner.target not in assigned:
+            assigned.append(inner.target)
+        if isinstance(inner, ast.SignalAssignment):
+            raise CompileError(
+                "signal assignment inside a while loop is not synthesizable",
+                inner.location,
+            )
+    reads: Set[str] = set(ast.referenced_names(stmt.condition))
+    for inner in ast.walk_sequential(stmt.body):
+        if isinstance(inner, ast.VariableAssignment):
+            reads |= set(ast.referenced_names(inner.value))
+    read_only = sorted(reads - set(assigned))
+    return assigned, read_only
+
+
+class WhileLoopCompiler:
+    """Compiles one while statement into the Figure-4 block structure."""
+
+    def __init__(self, compiler: ExprCompiler, compile_body):
+        """``compile_body(bindings) -> bindings`` compiles the loop body
+        as pure dataflow under the given name bindings (provided by the
+        procedural compiler to avoid a circular import)."""
+        self.compiler = compiler
+        self._compile_body = compile_body
+
+    def compile(
+        self, stmt: ast.WhileStmt, bindings: Dict[str, Block]
+    ) -> Dict[str, Block]:
+        sfg = self.compiler.sfg
+        carried, _read_only = loop_variables(stmt)
+        if not carried:
+            raise CompileError(
+                "while loop body assigns no variables; nothing to iterate",
+                stmt.location,
+            )
+        for name in carried:
+            if name not in bindings:
+                raise CompileError(
+                    f"loop variable {name!r} has no value before the loop "
+                    "(VASS while loops refine an initial value)",
+                    stmt.location,
+                )
+
+        # -- icontr: the entry conditional, evaluated on outside values.
+        self.compiler.bindings = dict(bindings)
+        icontr = self.compiler.compile_condition(stmt.condition)
+        icontr.name = f"icontr{icontr.block_id}"
+
+        # -- sw1 per carried variable: routes the entry value in.
+        entry_switches: Dict[str, Block] = {}
+        for name in carried:
+            sw1 = sfg.add(BlockKind.SWITCH, name=f"sw1_{name}")
+            sfg.connect(bindings[name], sw1, port=0)
+            sfg.connect(icontr, sw1, port=CONTROL_PORT)
+            entry_switches[name] = sw1
+
+        # -- current iterate: entry value or S/H1 feedback.  The S/H1
+        #    blocks are created first so the feedback edge can close.
+        holds: Dict[str, Block] = {}
+        muxes: Dict[str, Block] = {}
+        for name in carried:
+            sh1 = sfg.add(BlockKind.SAMPLE_HOLD, name=f"sh1_{name}")
+            holds[name] = sh1
+            mux = sfg.add(BlockKind.MUX, n_inputs=2, name=f"iter_{name}")
+            sfg.connect(sh1, mux, port=0)  # control true: keep iterating
+            sfg.connect(entry_switches[name], mux, port=1)
+            muxes[name] = mux
+
+        # -- the loop body as pure dataflow over the current iterate.
+        body_bindings = dict(bindings)
+        for name in carried:
+            body_bindings[name] = muxes[name]
+        result_bindings = self._compile_body(stmt.body, body_bindings)
+
+        # -- contr: the loop conditional on the loop's own values.
+        self.compiler.bindings = dict(body_bindings)
+        contr = self.compiler.compile_condition(stmt.condition)
+        contr.name = f"contr{contr.block_id}"
+        inverted = sfg.add(BlockKind.NEG)
+        sfg.connect(contr, inverted)
+        not_contr = sfg.add(
+            BlockKind.COMPARATOR, threshold=-0.5, name=f"ncontr{contr.block_id}"
+        )
+        sfg.connect(inverted, not_contr)
+
+        outputs = dict(bindings)
+        for name in carried:
+            # S/H1 trails the body output while contr is true.
+            sfg.connect(result_bindings[name], holds[name], port=0)
+            sfg.connect(contr, holds[name], port=CONTROL_PORT)
+            sfg.connect(contr, muxes[name], port=CONTROL_PORT)
+            # sw3 guards S/H2 against in-flight values: it tracks the
+            # iterate while the loop runs and freezes the converged
+            # value the moment the conditional turns false; S/H2 then
+            # latches it and holds the output constant while the loop
+            # body executes again.
+            sw3 = sfg.add(BlockKind.SWITCH, name=f"sw3_{name}")
+            sfg.connect(muxes[name], sw3, port=0)
+            sfg.connect(contr, sw3, port=CONTROL_PORT)
+            sh2 = sfg.add(BlockKind.SAMPLE_HOLD, name=f"sh2_{name}")
+            sfg.connect(sw3, sh2, port=0)
+            sfg.connect(not_contr, sh2, port=CONTROL_PORT)
+            outputs[name] = sh2
+        return outputs

@@ -1,0 +1,157 @@
+"""Source locations, diagnostics and exception types for the VASE flow.
+
+Every stage of the flow (lexer, parser, semantic analyzer, compiler,
+mapper) reports problems through the classes defined here so that a user
+gets uniform ``file:line:column`` messages regardless of where an error
+was detected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position inside a VASS source text."""
+
+    line: int = 0
+    column: int = 0
+    filename: str = "<string>"
+
+    def __str__(self) -> str:
+        if self.line <= 0:
+            return self.filename
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for nodes synthesized by the compiler itself.
+NO_LOCATION = SourceLocation(0, 0, "<builtin>")
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic message."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single message tied to a source location."""
+
+    severity: Severity
+    message: str
+    location: SourceLocation = NO_LOCATION
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity}: {self.message}"
+
+
+class VaseError(Exception):
+    """Base class of all errors raised by the VASE reproduction."""
+
+
+class LexerError(VaseError):
+    """Raised for malformed tokens."""
+
+    def __init__(self, message: str, location: SourceLocation = NO_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.bare_message = message
+
+
+class ParseError(VaseError):
+    """Raised when the parser cannot continue."""
+
+    def __init__(self, message: str, location: SourceLocation = NO_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.bare_message = message
+
+
+class SemanticError(VaseError):
+    """Raised for violations of VASS static semantics."""
+
+    def __init__(self, message: str, location: SourceLocation = NO_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.bare_message = message
+
+
+class CompileError(VaseError):
+    """Raised when a legal VASS program cannot be translated to VHIF."""
+
+    def __init__(self, message: str, location: SourceLocation = NO_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.bare_message = message
+
+
+class SynthesisError(VaseError):
+    """Raised when architecture generation fails (e.g. unmappable block)."""
+
+
+class SimulationError(VaseError):
+    """Raised by the MNA / behavioral simulators."""
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics emitted during a flow stage.
+
+    Errors are collected rather than raised immediately so that a single
+    run can report several independent problems; stages call
+    :meth:`check` at their end to raise if anything fatal accumulated.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def note(self, message: str, location: SourceLocation = NO_LOCATION) -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, location))
+
+    def warn(self, message: str, location: SourceLocation = NO_LOCATION) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, location))
+
+    def error(self, message: str, location: SourceLocation = NO_LOCATION) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def check(self, stage: str, error_class: type = SemanticError) -> None:
+        """Raise ``error_class`` summarizing collected errors, if any."""
+        errs = self.errors
+        if not errs:
+            return
+        summary = "; ".join(str(e) for e in errs[:10])
+        more = len(errs) - 10
+        if more > 0:
+            summary += f" (+{more} more)"
+        first_loc: Optional[SourceLocation] = errs[0].location
+        if issubclass(error_class, (SemanticError, ParseError, CompileError)):
+            raise error_class(f"{stage} failed: {summary}", first_loc or NO_LOCATION)
+        raise error_class(f"{stage} failed: {summary}")

@@ -1,0 +1,31 @@
+"""Analog performance estimation (substitute for [17] and [4])."""
+
+from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
+from repro.estimation.estimator import Estimator
+from repro.estimation.montecarlo import (
+    MismatchTrial,
+    YieldReport,
+    mismatch_analysis,
+)
+from repro.estimation.opamp import (
+    OpAmpDesign,
+    OpAmpSpec,
+    design_two_stage,
+    min_opamp_area,
+)
+from repro.estimation.technology import MOSIS_SCN20, Technology
+
+__all__ = [
+    "ConstraintSet",
+    "Estimator",
+    "MismatchTrial",
+    "YieldReport",
+    "mismatch_analysis",
+    "MOSIS_SCN20",
+    "OpAmpDesign",
+    "OpAmpSpec",
+    "PerformanceEstimate",
+    "Technology",
+    "design_two_stage",
+    "min_opamp_area",
+]

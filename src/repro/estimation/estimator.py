@@ -1,0 +1,164 @@
+"""Netlist-level performance estimation.
+
+Substitute for the estimation tools the mapper calls on every complete
+mapping [17][4]: for each component instance the estimator derives the
+specification its op amps must meet (closed-loop gain scales the
+required unity-gain frequency; the application's signal amplitude and
+bandwidth set the slew rate), sizes a two-stage op amp for it, and rolls
+areas/powers up into a :class:`PerformanceEstimate`.
+
+Passive area (resistors, capacitors) and a fixed overhead per switch /
+mux are included so that zero-op-amp components still cost area.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
+from repro.estimation.opamp import OpAmpSpec, design_two_stage, min_opamp_area
+from repro.estimation.technology import MOSIS_SCN20, Technology
+
+if TYPE_CHECKING:  # imported lazily to avoid an estimation <-> synth cycle
+    from repro.synth.netlist import ComponentInstance, Netlist
+
+#: nominal resistor value assumed for gain networks, ohms
+_NOMINAL_RESISTOR = 20.0e3
+#: area of a transmission-gate switch (two minimum devices + routing)
+_SWITCH_AREA = 40.0e-12  # 40 um^2 in m^2
+#: digital overhead of an ADC (SAR logic), m^2
+_ADC_LOGIC_AREA = 0.15e-6
+
+
+class Estimator:
+    """Performance estimation tool bound to one technology."""
+
+    def __init__(
+        self,
+        technology: Technology = MOSIS_SCN20,
+        constraints: Optional[ConstraintSet] = None,
+    ):
+        self.technology = technology
+        self.constraints = constraints or ConstraintSet()
+        self._cache: Dict[Tuple[float, float, float], object] = {}
+
+    # -- op amp sizing ----------------------------------------------------------
+
+    def _base_spec(self) -> OpAmpSpec:
+        c = self.constraints
+        # Slew to reproduce the full signal amplitude at the band edge:
+        # SR >= 2*pi*f*A (sine-wave criterion).
+        slew = 2.0 * math.pi * c.signal_bandwidth_hz * c.signal_amplitude
+        ugf = 10.0 * c.signal_bandwidth_hz  # loop-gain margin at band edge
+        if c.min_ugf_hz is not None:
+            ugf = max(ugf, c.min_ugf_hz)
+        if c.min_slew_rate is not None:
+            slew = max(slew, c.min_slew_rate)
+        return OpAmpSpec(
+            ugf_hz=ugf,
+            slew_rate=slew,
+            cload=c.load_capacitance,
+            swing=c.signal_amplitude,
+        )
+
+    def _sized_opamp(self, spec: OpAmpSpec):
+        key = (spec.ugf_hz, spec.slew_rate, spec.cload)
+        design = self._cache.get(key)
+        if design is None:
+            design = design_two_stage(spec, self.technology)
+            self._cache[key] = design
+        return design
+
+    # -- per-instance estimation ----------------------------------------------------
+
+    def estimate_instance(self, instance: ComponentInstance) -> PerformanceEstimate:
+        """Area/power/speed estimate of one component instance."""
+        tech = self.technology
+        estimate = PerformanceEstimate()
+        gain = instance.spec.required_gain(instance.params)
+        base = self._base_spec()
+
+        n_opamps = instance.spec.opamps
+        if n_opamps > 0:
+            if instance.spec.name == "inverting_cascade":
+                # The cascade splits the gain: each stage needs only
+                # sqrt(gain) times the base UGF — the transformation's
+                # bandwidth benefit.
+                stage_spec = base.scaled(math.sqrt(max(gain, 1.0)))
+                designs = [self._sized_opamp(stage_spec)] * n_opamps
+            else:
+                spec = base.scaled(gain)
+                designs = [self._sized_opamp(spec)] * n_opamps
+            for design in designs:
+                estimate.area += design.area
+                estimate.power += design.power
+                estimate.min_ugf_hz = min(estimate.min_ugf_hz, design.ugf_hz)
+                estimate.min_slew_rate = min(
+                    estimate.min_slew_rate, design.slew_rate
+                )
+                if not design.feasible:
+                    estimate.feasible = False
+                    estimate.notes.extend(
+                        f"{instance.name}: {note}" for note in design.notes
+                    )
+            estimate.opamps = n_opamps
+
+        # Passive network area.
+        estimate.area += instance.spec.passives * tech.resistor_area(
+            _NOMINAL_RESISTOR
+        )
+        if instance.spec.name in ("integrator", "summing_integrator",
+                                  "differentiator", "sample_hold"):
+            estimate.area += tech.capacitor_area(20.0e-12)
+        if instance.spec.name in ("analog_switch", "analog_mux"):
+            ways = int(instance.params.get("ways", 2))
+            estimate.area += _SWITCH_AREA * max(ways, 1)
+        if instance.spec.name == "adc":
+            estimate.area += _ADC_LOGIC_AREA
+        return estimate
+
+    # -- netlist roll-up ---------------------------------------------------------------
+
+    def estimate(self, netlist: Netlist) -> PerformanceEstimate:
+        """Estimate a complete mapping (the paper's • step)."""
+        total = PerformanceEstimate()
+        for instance in netlist.instances:
+            one = self.estimate_instance(instance)
+            total.area += one.area
+            total.power += one.power
+            total.opamps += one.opamps
+            total.min_ugf_hz = min(total.min_ugf_hz, one.min_ugf_hz)
+            total.min_slew_rate = min(total.min_slew_rate, one.min_slew_rate)
+            if not one.feasible:
+                total.feasible = False
+                total.notes.extend(one.notes)
+        return total
+
+    def min_area(self) -> float:
+        """MinArea of the bounding rule: a minimum-size op amp's area."""
+        return min_opamp_area(self.technology)
+
+    def min_area_per_opamp(self, library) -> float:
+        """Tightest valid per-op-amp area lower bound for ``library``.
+
+        Every op amp in a mapping belongs to some component instance, so
+        the total area is at least ``opamps * min_spec(area/opamps)``.
+        This refines the paper's raw ``MinArea`` with the fact that a
+        library circuit always carries its passive network too.
+        """
+        from repro.synth.netlist import ComponentInstance
+
+        best = float("inf")
+        for spec in library.specs():
+            if spec.opamps <= 0:
+                continue
+            dummy = ComponentInstance(name="_bound", spec=spec, params={})
+            estimate = self.estimate_instance(dummy)
+            best = min(best, estimate.area / spec.opamps)
+        if best == float("inf"):
+            best = min_opamp_area(self.technology)
+        return best
+
+    def satisfies(self, estimate: PerformanceEstimate) -> bool:
+        return self.constraints.satisfied_by(estimate)

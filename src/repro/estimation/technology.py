@@ -1,0 +1,62 @@
+"""Process technology description (MOSIS SCN-2.0 µm flavor).
+
+Substitute for the fabrication data behind the paper's estimation tools
+[17][4].  Values are representative of a 2 µm double-poly double-metal
+CMOS process (the paper's receiver experiment uses MOSIS SCN-2.0um);
+they only need to be *plausible and monotone* — the synthesis flow uses
+them to rank mappings, not to tape out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """CMOS process constants used by the square-law sizing equations."""
+
+    name: str = "SCN20"
+    #: feature size (minimum drawn channel length), meters
+    feature_size: float = 2.0e-6
+    #: supply voltage, volts
+    vdd: float = 5.0
+    vss: float = -5.0
+    #: NMOS / PMOS transconductance parameters k' = µCox, A/V^2
+    kp_n: float = 50.0e-6
+    kp_p: float = 17.0e-6
+    #: threshold voltages, volts
+    vt_n: float = 0.75
+    vt_p: float = -0.85
+    #: channel-length modulation, 1/V
+    lambda_n: float = 0.04
+    lambda_p: float = 0.05
+    #: gate-oxide capacitance per area, F/m^2
+    cox: float = 0.9e-3
+    #: poly-poly capacitor density, F/m^2
+    cap_density: float = 0.5e-3
+    #: poly resistor sheet density: area per ohm, m^2/ohm
+    #: (~25 ohm/sq poly drawn 2 um wide incl. spacing)
+    res_area_per_ohm: float = 1.6e-13
+    #: routing/well overhead multiplier on active area
+    layout_overhead: float = 2.5
+
+    @property
+    def min_length(self) -> float:
+        return self.feature_size
+
+    @property
+    def min_width(self) -> float:
+        return 1.5 * self.feature_size
+
+    def capacitor_area(self, capacitance: float) -> float:
+        """Layout area (m^2) of a poly-poly capacitor."""
+        return capacitance / self.cap_density
+
+    def resistor_area(self, resistance: float) -> float:
+        """Layout area (m^2) of a poly resistor."""
+        return resistance * self.res_area_per_ohm
+
+
+#: The default process used throughout the reproduction.
+MOSIS_SCN20 = Technology()

@@ -1,0 +1,188 @@
+"""The end-to-end VASE flow: VASS text in, op-amp netlist out.
+
+Mirrors Figure 1 of the paper: a VHDL-AMS (VASS) specification is
+compiled into VHIF, simple FSMs are realized as analog control circuits
+(zero-cross detectors, Schmitt triggers), the signal-flow graphs are
+mapped by branch-and-bound architecture generation, interfacing
+transformations buffer overloaded nets, and the performance estimation
+tools price the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler import CompilerOptions, compile_design
+from repro.estimation import ConstraintSet, Estimator, PerformanceEstimate
+from repro.library import ComponentLibrary, PatternMatcher, default_library
+from repro.synth import (
+    InterfacingOptions,
+    MapperOptions,
+    MappingResult,
+    Netlist,
+    apply_interfacing,
+    map_sfg,
+)
+from repro.synth.fsm_mapping import (
+    FsmRealizationSummary,
+    RealizedControl,
+    realize_event_controls,
+    summarize_fsm_realizations,
+)
+from repro.vhif.design import VhifDesign
+
+
+@dataclass
+class FlowOptions:
+    """All knobs of the flow in one bag."""
+
+    compiler: CompilerOptions = field(default_factory=CompilerOptions)
+    mapper: MapperOptions = field(default_factory=MapperOptions)
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    interfacing: Optional[InterfacingOptions] = field(
+        default_factory=InterfacingOptions
+    )
+    #: realize simple FSMs as analog comparator hardware before mapping
+    realize_fsm_controls: bool = True
+    #: derive constraint defaults from port annotations (the paper's
+    #: declarative mechanism: FREQUENCY sets the signal bandwidth,
+    #: RANGE / LIMITED set the amplitude the op amps must swing)
+    derive_constraints_from_annotations: bool = True
+    #: run the technology-independent peephole passes on the VHIF
+    #: (scale fusion, negation absorption) before mapping
+    optimize_vhif: bool = True
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the flow produced for one design."""
+
+    design: VhifDesign
+    netlist: Netlist
+    estimate: PerformanceEstimate
+    mapping: MappingResult
+    realized_controls: List[RealizedControl] = field(default_factory=list)
+    #: per-FSM realization summary (analog vs digital fallback [8])
+    fsm_summaries: List[FsmRealizationSummary] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        """Table-1 style component summary."""
+        return self.netlist.summary()
+
+    def describe(self) -> str:
+        stats = self.design.statistics()
+        lines = [
+            f"design {self.design.name!r}:",
+            f"  VHIF: {stats.n_blocks} blocks, {stats.n_states} states, "
+            f"{stats.n_datapath} data-path elements",
+            f"  netlist: {self.summary}",
+            f"  {self.estimate.describe()}",
+        ]
+        if self.realized_controls:
+            kinds = ", ".join(
+                f"{r.signal}->{r.kind}" for r in self.realized_controls
+            )
+            lines.append(f"  FSM controls realized: {kinds}")
+        for summary in self.fsm_summaries:
+            if summary.mode != "analog":
+                lines.append(f"  {summary.describe()}")
+        return "\n".join(lines)
+
+    @property
+    def digital_fallback_area(self) -> float:
+        """Standard-cell area of FSM parts outside the analog mapping."""
+        return sum(s.estimated_area for s in self.fsm_summaries)
+
+
+def derive_constraints(
+    design: VhifDesign, base: ConstraintSet
+) -> ConstraintSet:
+    """Refine a constraint set from the design's port annotations.
+
+    Only fields still at their dataclass defaults are derived, so an
+    explicitly-configured constraint always wins:
+
+    * ``signal_bandwidth_hz`` ← the widest FREQUENCY annotation;
+    * ``signal_amplitude`` ← the largest RANGE magnitude or LIMITED
+      level among the ports.
+    """
+    defaults = ConstraintSet()
+    derived = ConstraintSet(**vars(base))
+
+    if base.signal_bandwidth_hz == defaults.signal_bandwidth_hz:
+        bands = [
+            info.frequency_range[1]
+            for info in design.ports.values()
+            if info.frequency_range is not None
+        ]
+        if bands:
+            derived.signal_bandwidth_hz = max(bands)
+
+    if base.signal_amplitude == defaults.signal_amplitude:
+        amplitudes = []
+        for info in design.ports.values():
+            if info.value_range is not None:
+                low, high = info.value_range
+                amplitudes.append(max(abs(low), abs(high)))
+            if info.limit_level is not None:
+                amplitudes.append(abs(info.limit_level))
+            if info.drive_amplitude is not None:
+                amplitudes.append(abs(info.drive_amplitude))
+        if amplitudes:
+            derived.signal_amplitude = max(amplitudes)
+    return derived
+
+
+def synthesize(
+    source: str,
+    entity_name: Optional[str] = None,
+    library: Optional[ComponentLibrary] = None,
+    options: Optional[FlowOptions] = None,
+    architecture_name: Optional[str] = None,
+) -> SynthesisResult:
+    """Run the complete behavioral synthesis flow on VASS source text."""
+    options = options or FlowOptions()
+    library = library or default_library()
+
+    design = compile_design(
+        source,
+        entity_name=entity_name,
+        options=options.compiler,
+        architecture_name=architecture_name,
+    )
+    realized: List[RealizedControl] = []
+    if options.realize_fsm_controls:
+        realized = realize_event_controls(design)
+    if options.optimize_vhif:
+        from repro.vhif.optimize import optimize_design
+
+        optimize_design(design)
+
+    constraints = options.constraints
+    if options.derive_constraints_from_annotations:
+        constraints = derive_constraints(design, constraints)
+    estimator = Estimator(constraints=constraints)
+    matcher = PatternMatcher(
+        library, enable_transforms=options.mapper.enable_transforms
+    )
+    mapping = map_sfg(
+        design.main_sfg,
+        library=library,
+        estimator=estimator,
+        options=options.mapper,
+        matcher=matcher,
+    )
+    netlist = mapping.netlist
+    if options.interfacing is not None:
+        apply_interfacing(netlist, design, options.interfacing)
+    estimate = estimator.estimate(netlist)
+    return SynthesisResult(
+        design=design,
+        netlist=netlist,
+        estimate=estimate,
+        mapping=mapping,
+        realized_controls=realized,
+        fsm_summaries=summarize_fsm_realizations(design, realized),
+    )

@@ -1,0 +1,16 @@
+"""Component and pattern libraries (substitute for the cell library [7])."""
+
+from repro.library.components import (
+    ComponentLibrary,
+    ComponentSpec,
+    default_library,
+)
+from repro.library.patterns import PatternMatch, PatternMatcher
+
+__all__ = [
+    "ComponentLibrary",
+    "ComponentSpec",
+    "PatternMatch",
+    "PatternMatcher",
+    "default_library",
+]

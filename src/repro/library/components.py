@@ -1,0 +1,277 @@
+"""The op-amp-level analog component library.
+
+Substitutes for the Cincinnati CMOS analog cell library [7] the paper
+maps onto.  Each :class:`ComponentSpec` describes one library circuit:
+its op-amp count (the mapper's area proxy and the bounding-rule
+currency), its passive-element count (for area estimation), the
+closed-loop specification it imposes on its op amps (for the
+performance estimator), and the Table-1 display category.
+
+The library is a plain registry so benchmarks can instantiate custom
+libraries (e.g. the Figure-6 comp1/comp2/comp3 library) without
+touching the default catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.diagnostics import SynthesisError
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One circuit of the component library."""
+
+    name: str
+    #: display category used in Table-1 style summaries
+    category: str
+    #: number of operational amplifiers in the circuit
+    opamps: int
+    #: number of passive elements (R, C) for area estimation
+    passives: int = 2
+    #: closed-loop gain magnitude the op amp(s) must support; the
+    #: estimator multiplies it into the required unity-gain frequency.
+    #: None means unity / not gain-determined.
+    gain_param: Optional[str] = None
+    #: does the circuit invert the signal (an inverting stage)?
+    inverting: bool = False
+    #: free-form notes (documentation)
+    description: str = ""
+
+    def required_gain(self, params: Mapping[str, object]) -> float:
+        """Closed-loop |gain| implied by an instance's parameters."""
+        if self.gain_param is None:
+            return 1.0
+        value = params.get(self.gain_param, 1.0)
+        if isinstance(value, (list, tuple)):
+            return max((abs(float(v)) for v in value), default=1.0)
+        return abs(float(value))
+
+
+#: The default component catalog, modeled on the classes of circuits the
+#: paper's experiments report (Table 1, last column) plus the interface
+#: circuits introduced by the branching rule's transformations.
+def _default_specs() -> List[ComponentSpec]:
+    return [
+        ComponentSpec(
+            name="inverting_amplifier",
+            category="amplif.",
+            opamps=1,
+            passives=2,
+            gain_param="gain",
+            inverting=True,
+            description="R2/R1 inverting op-amp stage",
+        ),
+        ComponentSpec(
+            name="noninverting_amplifier",
+            category="amplif.",
+            opamps=1,
+            passives=2,
+            gain_param="gain",
+            description="(1 + R2/R1) non-inverting op-amp stage",
+        ),
+        ComponentSpec(
+            name="inverting_cascade",
+            category="amplif.",
+            opamps=2,
+            passives=4,
+            gain_param="gain",
+            description=(
+                "two inverting stages in cascade; a functional "
+                "transformation target for high-gain / high-bandwidth paths"
+            ),
+        ),
+        ComponentSpec(
+            name="summing_amplifier",
+            category="amplif.",
+            opamps=1,
+            passives=4,
+            gain_param="weights",
+            inverting=True,
+            description="inverting weighted summer, one R per input",
+        ),
+        ComponentSpec(
+            name="switched_gain_amplifier",
+            category="amplif.",
+            opamps=1,
+            passives=4,
+            gain_param="gains",
+            description=(
+                "amplifier whose gain-setting resistor is switched by a "
+                "control signal (the receiver's rvar compensation stage)"
+            ),
+        ),
+        ComponentSpec(
+            name="difference_amplifier",
+            category="diff. amplif.",
+            opamps=1,
+            passives=4,
+            gain_param="gain",
+            description="classic 4-resistor difference stage",
+        ),
+        ComponentSpec(
+            name="integrator",
+            category="integ.",
+            opamps=1,
+            passives=2,
+            # no gain_param: the integrator "gain" is 1/RC, a time
+            # constant — it does not scale the op amp's UGF requirement.
+            inverting=True,
+            description="inverting RC (Miller) integrator",
+        ),
+        ComponentSpec(
+            name="summing_integrator",
+            category="integ.",
+            opamps=1,
+            passives=4,
+            inverting=True,
+            description="multi-input RC integrator (analog computer style)",
+        ),
+        ComponentSpec(
+            name="differentiator",
+            category="diff.",
+            opamps=1,
+            passives=3,
+            description="RC differentiator with high-frequency roll-off",
+        ),
+        ComponentSpec(
+            name="log_amplifier",
+            category="log.amplif.",
+            opamps=1,
+            passives=2,
+            description="transdiode logarithmic amplifier",
+        ),
+        ComponentSpec(
+            name="antilog_amplifier",
+            category="anti-log.amplif.",
+            opamps=1,
+            passives=2,
+            description="exponential (anti-log) amplifier",
+        ),
+        ComponentSpec(
+            name="multiplier",
+            category="multiplier",
+            opamps=3,
+            passives=6,
+            description="log/antilog four-quadrant multiplier core",
+        ),
+        ComponentSpec(
+            name="divider",
+            category="divider",
+            opamps=3,
+            passives=6,
+            description="log/antilog divider core",
+        ),
+        ComponentSpec(
+            name="sample_hold",
+            category="S/H",
+            opamps=1,
+            passives=2,
+            description="track-and-hold with hold capacitor and buffer",
+        ),
+        ComponentSpec(
+            name="analog_switch",
+            category="switch",
+            opamps=0,
+            passives=1,
+            description="transmission-gate analog switch",
+        ),
+        ComponentSpec(
+            name="analog_mux",
+            category="MUX",
+            opamps=0,
+            passives=2,
+            description="transmission-gate analog multiplexer",
+        ),
+        ComponentSpec(
+            name="zero_cross_detector",
+            category="zero-cross det.",
+            opamps=1,
+            passives=1,
+            description="open-loop comparator with small hysteresis margin",
+        ),
+        ComponentSpec(
+            name="schmitt_trigger",
+            category="Schmitt trigger",
+            opamps=1,
+            passives=2,
+            description="positive-feedback comparator with set thresholds",
+        ),
+        ComponentSpec(
+            name="adc",
+            category="ADC",
+            opamps=2,
+            passives=8,
+            description="successive-approximation converter front end",
+        ),
+        ComponentSpec(
+            name="voltage_follower",
+            category="follower",
+            opamps=1,
+            passives=0,
+            description="unity-gain buffer for interfacing transformations",
+        ),
+        ComponentSpec(
+            name="output_stage",
+            category="output stage",
+            opamps=1,
+            passives=3,
+            description=(
+                "power output stage with limiting, inferred from port "
+                "annotations (the paper's block 4)"
+            ),
+        ),
+        ComponentSpec(
+            name="limiter",
+            category="limiter",
+            opamps=1,
+            passives=3,
+            description="precision clipping stage",
+        ),
+        ComponentSpec(
+            name="rectifier",
+            category="rectifier",
+            opamps=2,
+            passives=4,
+            description="precision full-wave rectifier (absolute value)",
+        ),
+    ]
+
+
+class ComponentLibrary:
+    """A named registry of component specs."""
+
+    def __init__(self, specs: Optional[List[ComponentSpec]] = None,
+                 name: str = "default"):
+        self.name = name
+        self._specs: Dict[str, ComponentSpec] = {}
+        for spec in specs if specs is not None else _default_specs():
+            self.add(spec)
+
+    def add(self, spec: ComponentSpec) -> None:
+        if spec.name in self._specs:
+            raise SynthesisError(f"duplicate component {spec.name!r}")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> ComponentSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise SynthesisError(f"library {self.name!r} has no component "
+                                 f"{name!r}")
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> List[ComponentSpec]:
+        return list(self._specs.values())
+
+
+def default_library() -> ComponentLibrary:
+    """The default analog cell library (substitute for [7])."""
+    return ComponentLibrary()

@@ -1,0 +1,556 @@
+"""The pattern library: VHIF block-structures ↔ library components.
+
+"The algorithm uses a library of patterns, that relate VHIF
+block-structures to electronic circuits in the component library"
+(paper Section 5, Figure 6b).  A :class:`PatternMatcher` enumerates, for
+a given sub-graph (cone) of a signal-flow graph, every component that
+implements the cone's overall functionality — including *functional
+transformation* alternatives such as splitting a high-gain amplifier
+into a cascade of two lower-gain stages.
+
+Multi-block patterns implemented here:
+
+* ``weighted sum`` — an ADD fed by SCALE/NEG stages collapses into one
+  summing amplifier whose input resistors realize the weights (this is
+  Figure 6's ``comp1`` when restricted to one scaled input);
+* ``summing/scaled integrator`` — SCALEs and an optional ADD in front of
+  an INTEGRATE collapse into a multi-input RC integrator;
+* ``log-antilog multiplier / divider`` — EXP(LOG(a) ± LOG(b)) collapses
+  into a translinear multiplier or divider core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.library.components import ComponentLibrary, ComponentSpec
+from repro.vhif.sfg import Block, BlockKind, SignalFlowGraph
+
+ControlSource = Union[str, int, None]
+
+
+@dataclass
+class PatternMatch:
+    """One way of implementing a cone with one library component."""
+
+    component: str
+    params: Dict[str, object]
+    cone: FrozenSet[int]
+    root_id: int
+    #: external driver block ids, one per component input, in port order
+    inputs: List[int]
+    control: ControlSource = None
+    opamps: int = 0
+    #: name of the functional transformation that produced this match
+    transform: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.cone)
+
+    def signature(self) -> Tuple[str, str, Tuple[int, ...]]:
+        """Sharing key: component + parameters + input sources.
+
+        Two cones in distinct signal paths can share one physical
+        component exactly when their signatures are equal ("identical
+        inputs, similar operations").
+        """
+        return (
+            self.component,
+            repr(sorted(self.params.items())),
+            tuple(self.inputs),
+        )
+
+    def describe(self) -> str:
+        t = f" [{self.transform}]" if self.transform else ""
+        return (
+            f"{self.component}({self.opamps} op amps) covering "
+            f"{sorted(self.cone)}{t}"
+        )
+
+
+class PatternMatcher:
+    """Enumerates component implementations for SFG cones."""
+
+    def __init__(
+        self,
+        library: ComponentLibrary,
+        max_sum_inputs: int = 8,
+        max_weighted_scales: Optional[int] = None,
+        cascade_gain_threshold: float = 10.0,
+        enable_transforms: bool = True,
+    ):
+        self.library = library
+        self.max_sum_inputs = max_sum_inputs
+        #: cap on SCALE blocks foldable into one weighted sum (Figure 6's
+        #: comp1 uses 1); None means unlimited.
+        self.max_weighted_scales = max_weighted_scales
+        self.cascade_gain_threshold = cascade_gain_threshold
+        self.enable_transforms = enable_transforms
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _spec(self, name: str) -> Optional[ComponentSpec]:
+        return self.library.get(name) if name in self.library else None
+
+    def _external_inputs(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int]
+    ) -> List[int]:
+        return [driver.block_id for driver, _, _ in sfg.cone_inputs(cone)]
+
+    def _control_of(self, sfg: SignalFlowGraph, block: Block) -> ControlSource:
+        signal = sfg.control_signal_of(block)
+        if signal is not None:
+            return signal
+        driver = sfg.control_driver_of(block)
+        if driver is not None:
+            return driver.block_id
+        return None
+
+    def _make(
+        self,
+        component: str,
+        sfg: SignalFlowGraph,
+        cone: FrozenSet[int],
+        root: Block,
+        params: Optional[Dict[str, object]] = None,
+        inputs: Optional[List[int]] = None,
+        control: ControlSource = None,
+        transform: Optional[str] = None,
+        extra_opamps: int = 0,
+    ) -> Optional[PatternMatch]:
+        spec = self._spec(component)
+        if spec is None:
+            return None
+        return PatternMatch(
+            component=component,
+            params=dict(params or {}),
+            cone=cone,
+            root_id=root.block_id,
+            inputs=(
+                inputs
+                if inputs is not None
+                else self._external_inputs(sfg, cone)
+            ),
+            control=control,
+            opamps=spec.opamps + extra_opamps,
+            transform=transform,
+        )
+
+    # -- single-block patterns -----------------------------------------------------
+
+    def _match_single(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        kind = root.kind
+        out: List[Optional[PatternMatch]] = []
+        if kind is BlockKind.SCALE:
+            gain = root.gain
+            if gain < 0:
+                out.append(
+                    self._make(
+                        "inverting_amplifier",
+                        sfg,
+                        cone,
+                        root,
+                        params={"gain": gain},
+                    )
+                )
+            else:
+                out.append(
+                    self._make(
+                        "noninverting_amplifier",
+                        sfg,
+                        cone,
+                        root,
+                        params={"gain": gain},
+                    )
+                )
+            if self.enable_transforms and abs(gain) > 1.0:
+                # Functional transformation: replace one op amp by a
+                # chain of two op amps with lower gains (bandwidth).
+                out.append(
+                    self._make(
+                        "inverting_cascade",
+                        sfg,
+                        cone,
+                        root,
+                        params={"gain": gain},
+                        transform="cascade_split",
+                    )
+                )
+        elif kind is BlockKind.NEG:
+            out.append(
+                self._make(
+                    "inverting_amplifier", sfg, cone, root, params={"gain": -1.0}
+                )
+            )
+        elif kind is BlockKind.ADD:
+            weights = [1.0] * root.n_inputs
+            out.append(
+                self._make(
+                    self._weighted_sum_component(has_scales=False),
+                    sfg,
+                    cone,
+                    root,
+                    params={"weights": weights},
+                )
+            )
+        elif kind is BlockKind.SUB:
+            out.append(
+                self._make(
+                    "difference_amplifier", sfg, cone, root, params={"gain": 1.0}
+                )
+            )
+        elif kind is BlockKind.MUL:
+            out.append(self._make("multiplier", sfg, cone, root))
+        elif kind is BlockKind.DIV:
+            out.append(self._make("divider", sfg, cone, root))
+        elif kind is BlockKind.INTEGRATE:
+            out.append(
+                self._make(
+                    "integrator",
+                    sfg,
+                    cone,
+                    root,
+                    params={
+                        "gain": root.gain,
+                        "initial": root.params.get("initial", 0.0),
+                    },
+                )
+            )
+        elif kind is BlockKind.DIFFERENTIATE:
+            out.append(self._make("differentiator", sfg, cone, root))
+        elif kind is BlockKind.LOG:
+            out.append(self._make("log_amplifier", sfg, cone, root))
+        elif kind is BlockKind.EXP:
+            out.append(self._make("antilog_amplifier", sfg, cone, root))
+        elif kind is BlockKind.ABS:
+            out.append(self._make("rectifier", sfg, cone, root))
+        elif kind is BlockKind.LIMIT:
+            component = (
+                "output_stage"
+                if root.params.get("role") == "output_stage"
+                else "limiter"
+            )
+            out.append(
+                self._make(
+                    component,
+                    sfg,
+                    cone,
+                    root,
+                    params={
+                        "low": root.params.get("low", -1.0),
+                        "high": root.params.get("high", 1.0),
+                        "load_ohms": root.params.get("load_ohms"),
+                    },
+                )
+            )
+        elif kind is BlockKind.BUFFER:
+            component = (
+                "output_stage"
+                if root.params.get("role") == "output_stage"
+                else "voltage_follower"
+            )
+            out.append(self._make(component, sfg, cone, root))
+        elif kind is BlockKind.SAMPLE_HOLD:
+            out.append(
+                self._make(
+                    "sample_hold",
+                    sfg,
+                    cone,
+                    root,
+                    control=self._control_of(sfg, root),
+                )
+            )
+        elif kind is BlockKind.SWITCH:
+            out.append(
+                self._make(
+                    "analog_switch",
+                    sfg,
+                    cone,
+                    root,
+                    control=self._control_of(sfg, root),
+                )
+            )
+        elif kind is BlockKind.MUX:
+            out.append(
+                self._make(
+                    "analog_mux",
+                    sfg,
+                    cone,
+                    root,
+                    params={"ways": root.n_inputs},
+                    control=self._control_of(sfg, root),
+                )
+            )
+        elif kind is BlockKind.COMPARATOR:
+            hysteresis = float(root.params.get("hysteresis", 0.0))
+            component = (
+                "schmitt_trigger" if hysteresis > 0.0 else "zero_cross_detector"
+            )
+            out.append(
+                self._make(
+                    component,
+                    sfg,
+                    cone,
+                    root,
+                    params={
+                        "threshold": root.params.get("threshold", 0.0),
+                        "hysteresis": hysteresis,
+                        "invert": bool(root.params.get("invert", False)),
+                    },
+                )
+            )
+        elif kind is BlockKind.ADC:
+            out.append(
+                self._make(
+                    "adc",
+                    sfg,
+                    cone,
+                    root,
+                    params={"bits": root.params.get("bits", 8)},
+                    control=self._control_of(sfg, root),
+                )
+            )
+        return [m for m in out if m is not None]
+
+    def _weighted_sum_component(self, has_scales: bool) -> str:
+        """Pick the summing component; a library may provide a distinct
+        circuit for the scale-and-add structure (Figure 6's comp1)."""
+        if has_scales and "weighted_summing_amplifier" in self.library:
+            return "weighted_summing_amplifier"
+        return "summing_amplifier"
+
+    # -- multi-block patterns --------------------------------------------------------
+
+    def _match_weighted_sum(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        if root.kind is not BlockKind.ADD:
+            return []
+        members = cone - {root.block_id}
+        if not members:
+            return []
+        weights: List[float] = []
+        inputs: List[int] = []
+        scale_count = 0
+        for port in range(root.n_inputs):
+            driver = sfg.driver_of(root, port)
+            if driver is None:
+                return []
+            if driver.block_id in members:
+                if driver.kind is BlockKind.SCALE:
+                    weight = driver.gain
+                elif driver.kind is BlockKind.NEG:
+                    weight = -1.0
+                else:
+                    return []  # only scale/neg stages fold into the summer
+                scale_count += 1
+                inner = sfg.driver_of(driver, 0)
+                if inner is None:
+                    return []
+                weights.append(weight)
+                inputs.append(inner.block_id)
+            else:
+                weights.append(1.0)
+                inputs.append(driver.block_id)
+        # Every cone member must be one of the folded stages.
+        folded = {
+            sfg.driver_of(root, p).block_id
+            for p in range(root.n_inputs)
+            if sfg.driver_of(root, p).block_id in members
+        }
+        if folded != members:
+            return []
+        if (
+            self.max_weighted_scales is not None
+            and scale_count > self.max_weighted_scales
+        ):
+            return []
+        if len(weights) > self.max_sum_inputs:
+            return []
+        match = self._make(
+            self._weighted_sum_component(has_scales=scale_count > 0),
+            sfg,
+            cone,
+            root,
+            params={"weights": weights},
+            inputs=inputs,
+        )
+        return [match] if match else []
+
+    def _match_integrator(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        if root.kind is not BlockKind.INTEGRATE:
+            return []
+        members = cone - {root.block_id}
+        if not members:
+            return []
+        front = sfg.driver_of(root, 0)
+        if front is None or front.block_id not in cone:
+            return []
+        initial = root.params.get("initial", 0.0)
+        if front.kind is BlockKind.SCALE and members == {front.block_id}:
+            inner = sfg.driver_of(front, 0)
+            if inner is None:
+                return []
+            match = self._make(
+                "integrator",
+                sfg,
+                cone,
+                root,
+                params={"gain": root.gain * front.gain, "initial": initial},
+                inputs=[inner.block_id],
+            )
+            return [match] if match else []
+        if front.kind is BlockKind.NEG and members == {front.block_id}:
+            inner = sfg.driver_of(front, 0)
+            if inner is None:
+                return []
+            match = self._make(
+                "integrator",
+                sfg,
+                cone,
+                root,
+                params={"gain": -root.gain, "initial": initial},
+                inputs=[inner.block_id],
+            )
+            return [match] if match else []
+        if front.kind is BlockKind.ADD:
+            # INTEGRATE(ADD(scale...)) -> summing integrator.
+            sum_cone = cone - {root.block_id}
+            sum_matches = self._match_weighted_sum(sfg, frozenset(sum_cone), front)
+            if not sum_matches and sum_cone == {front.block_id}:
+                sum_matches = [
+                    m
+                    for m in self._match_single(
+                        sfg, frozenset(sum_cone), front
+                    )
+                    if "weights" in m.params
+                ]
+            results: List[PatternMatch] = []
+            for sum_match in sum_matches:
+                weights = [
+                    root.gain * float(w)
+                    for w in sum_match.params["weights"]  # type: ignore[index]
+                ]
+                match = self._make(
+                    "summing_integrator",
+                    sfg,
+                    cone,
+                    root,
+                    params={"weights": weights, "initial": initial},
+                    inputs=sum_match.inputs,
+                )
+                if match:
+                    results.append(match)
+            return results
+        return []
+
+    def _match_log_antilog(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        """EXP(LOG(a) + LOG(b)) -> multiplier, EXP(LOG(a) - LOG(b)) -> divider."""
+        if root.kind is not BlockKind.EXP or len(cone) != 4:
+            return []
+        middle = sfg.driver_of(root, 0)
+        if middle is None or middle.block_id not in cone:
+            return []
+        if middle.kind is BlockKind.ADD and middle.n_inputs == 2:
+            component = "multiplier"
+        elif middle.kind is BlockKind.SUB:
+            component = "divider"
+        else:
+            return []
+        logs = [sfg.driver_of(middle, p) for p in range(2)]
+        if any(
+            log is None or log.kind is not BlockKind.LOG or log.block_id not in cone
+            for log in logs
+        ):
+            return []
+        expected = {root.block_id, middle.block_id} | {
+            log.block_id for log in logs  # type: ignore[union-attr]
+        }
+        if frozenset(expected) != cone:
+            return []
+        inputs = []
+        for log in logs:
+            inner = sfg.driver_of(log, 0)  # type: ignore[arg-type]
+            if inner is None:
+                return []
+            inputs.append(inner.block_id)
+        match = self._make(component, sfg, cone, root, inputs=inputs)
+        return [match] if match else []
+
+    def _match_switched_gain(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        """MUL(x, MUX(const...)) -> amplifier with a switched gain network.
+
+        This is how the receiver's compensation works in the paper's
+        Figure 7b: the variable resistance ``rvar`` becomes a switched
+        feedback resistor of one amplifier.
+        """
+        if root.kind is not BlockKind.MUL or len(cone) != 2:
+            return []
+        members = cone - {root.block_id}
+        (mux_id,) = members
+        mux = sfg.block(mux_id)
+        if mux.kind is not BlockKind.MUX:
+            return []
+        gains: List[float] = []
+        for port in range(mux.n_inputs):
+            driver = sfg.driver_of(mux, port)
+            if driver is None or driver.kind is not BlockKind.CONST:
+                return []
+            gains.append(float(driver.params["value"]))
+        signal_input = None
+        for port in range(2):
+            driver = sfg.driver_of(root, port)
+            if driver is not None and driver.block_id != mux_id:
+                signal_input = driver.block_id
+        if signal_input is None:
+            return []
+        match = self._make(
+            "switched_gain_amplifier",
+            sfg,
+            cone,
+            root,
+            params={"gains": gains},
+            inputs=[signal_input],
+            control=self._control_of(sfg, mux),
+        )
+        return [match] if match else []
+
+    # -- entry point --------------------------------------------------------------------
+
+    def match_cone(
+        self, sfg: SignalFlowGraph, cone: FrozenSet[int], root: Block
+    ) -> List[PatternMatch]:
+        """All component implementations of ``cone`` (may be empty)."""
+        if len(cone) == 1:
+            return self._match_single(sfg, cone, root)
+        matches: List[PatternMatch] = []
+        matches.extend(self._match_weighted_sum(sfg, cone, root))
+        matches.extend(self._match_integrator(sfg, cone, root))
+        matches.extend(self._match_log_antilog(sfg, cone, root))
+        matches.extend(self._match_switched_gain(sfg, cone, root))
+        return matches
+
+    def candidates(
+        self, sfg: SignalFlowGraph, root: Block, max_size: int = 4
+    ) -> List[PatternMatch]:
+        """Matches for every cone rooted at ``root``, largest first.
+
+        This ordering implements the paper's *sequencing rule*: branching
+        alternatives that map a higher number of blocks to one library
+        component are visited first.
+        """
+        out: List[PatternMatch] = []
+        for cone in sfg.iter_cones(root, max_size=max_size):
+            out.extend(self.match_cone(sfg, cone, root))
+        out.sort(key=lambda m: (-m.size, m.opamps, m.component))
+        return out

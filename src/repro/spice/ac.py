@@ -1,0 +1,270 @@
+"""Small-signal AC analysis for the MNA substrate.
+
+Complements the transient engine with frequency-domain analysis: the
+circuit is linearized about its DC operating point and solved with
+complex phasors over a frequency sweep — SPICE's ``.AC`` analysis.
+Used to verify filter responses and op-amp macromodel bandwidth.
+
+Nonlinear elements are linearized at the operating point:
+
+* :class:`~repro.spice.mna.SaturatingVcvs` becomes a VCVS with the
+  tanh's local slope;
+* :class:`~repro.spice.mna.FunctionSource` becomes a linear combination
+  of its inputs with the numeric partial derivatives;
+* switches take their operating-point state (on/off resistance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.diagnostics import SimulationError
+from repro.spice.mna import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    FunctionSource,
+    MnaSolver,
+    Resistor,
+    SaturatingVcvs,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+
+
+@dataclass
+class AcResult:
+    """Complex node voltages over the swept frequencies."""
+
+    frequencies: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.voltages[node])
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(self.magnitude(node), 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.voltages[node]))
+
+    def cutoff_frequency(self, node: str, drop_db: float = 3.0) -> float:
+        """Frequency where the response falls ``drop_db`` below its
+        low-frequency value (log-interpolated between sweep points)."""
+        mags = self.magnitude_db(node)
+        reference = mags[0]
+        target = reference - drop_db
+        below = np.nonzero(mags <= target)[0]
+        if len(below) == 0:
+            return float("inf")
+        index = int(below[0])
+        if index == 0:
+            return float(self.frequencies[0])
+        f0, f1 = self.frequencies[index - 1], self.frequencies[index]
+        m0, m1 = mags[index - 1], mags[index]
+        if m1 == m0:
+            return float(f1)
+        fraction = (target - m0) / (m1 - m0)
+        return float(10 ** (
+            math.log10(f0) + fraction * (math.log10(f1) - math.log10(f0))
+        ))
+
+    def peak_frequency(self, node: str) -> float:
+        """Frequency of the magnitude peak (resonance detection)."""
+        mags = self.magnitude(node)
+        return float(self.frequencies[int(np.argmax(mags))])
+
+
+class AcSolver:
+    """Linearized frequency-domain solver over one :class:`Circuit`."""
+
+    def __init__(self, circuit: Circuit, ac_source: Optional[str] = None):
+        """``ac_source`` names the voltage source carrying the 1 V AC
+        stimulus; by default the first voltage source is used."""
+        self.circuit = circuit
+        self._mna = MnaSolver(circuit)
+        self._size = self._mna._size
+        self._operating_point = None
+        sources = [
+            e for e in circuit.elements if isinstance(e, VoltageSource)
+        ]
+        if not sources:
+            raise SimulationError("AC analysis needs a voltage source")
+        if ac_source is None:
+            self.ac_source = sources[0].name
+        else:
+            if not any(s.name == ac_source for s in sources):
+                raise SimulationError(
+                    f"no voltage source named {ac_source!r}"
+                )
+            self.ac_source = ac_source
+
+    # -- operating point -----------------------------------------------------
+
+    def _bias(self) -> np.ndarray:
+        if self._operating_point is None:
+            op = self._mna._newton(
+                np.zeros(self._size), 0.0, None, None, None
+            )
+            self._operating_point = op
+        return self._operating_point
+
+    def _voltage_at(self, x: np.ndarray, node: str) -> float:
+        index = self._mna._index(node)
+        return 0.0 if index < 0 else float(x[index])
+
+    # -- stamping -------------------------------------------------------------
+
+    def _assemble(self, omega: float, bias: np.ndarray) -> tuple:
+        size = self._size
+        A = np.zeros((size, size), dtype=complex)
+        b = np.zeros(size, dtype=complex)
+        for i in range(self._mna._n):
+            A[i, i] += self._mna.gmin
+
+        idx = self._mna._index
+
+        def stamp(i, j, value):
+            if i >= 0 and j >= 0:
+                A[i, j] += value
+
+        for element in self.circuit.elements:
+            if isinstance(element, Resistor):
+                g = 1.0 / element.resistance
+                i, j = idx(element.n1), idx(element.n2)
+                stamp(i, i, g)
+                stamp(j, j, g)
+                stamp(i, j, -g)
+                stamp(j, i, -g)
+            elif isinstance(element, Switch):
+                vc = self._voltage_at(bias, element.control)
+                on = vc > element.threshold
+                if element.invert:
+                    on = not on
+                g = 1.0 / (element.ron if on else element.roff)
+                i, j = idx(element.n1), idx(element.n2)
+                stamp(i, i, g)
+                stamp(j, j, g)
+                stamp(i, j, -g)
+                stamp(j, i, -g)
+            elif isinstance(element, Capacitor):
+                y = 1j * omega * element.capacitance
+                i, j = idx(element.n1), idx(element.n2)
+                stamp(i, i, y)
+                stamp(j, j, y)
+                stamp(i, j, -y)
+                stamp(j, i, -y)
+            elif isinstance(element, CurrentSource):
+                continue  # independent sources are quiet in AC
+            elif isinstance(element, VoltageSource):
+                i, j = idx(element.npos), idx(element.nneg)
+                k = element.branch_index
+                stamp(i, k, 1.0)
+                stamp(j, k, -1.0)
+                stamp(k, i, 1.0)
+                stamp(k, j, -1.0)
+                if element.name == self.ac_source:
+                    b[k] += 1.0  # 1 V AC stimulus
+            elif isinstance(element, Vcvs):
+                i, j = idx(element.npos), idx(element.nneg)
+                ci, cj = idx(element.cpos), idx(element.cneg)
+                k = element.branch_index
+                stamp(i, k, 1.0)
+                stamp(j, k, -1.0)
+                stamp(k, i, 1.0)
+                stamp(k, j, -1.0)
+                stamp(k, ci, -element.gain)
+                stamp(k, cj, element.gain)
+            elif isinstance(element, Vccs):
+                i, j = idx(element.npos), idx(element.nneg)
+                ci, cj = idx(element.cpos), idx(element.cneg)
+                stamp(i, ci, element.gm)
+                stamp(i, cj, -element.gm)
+                stamp(j, ci, -element.gm)
+                stamp(j, cj, element.gm)
+            elif isinstance(element, SaturatingVcvs):
+                i, j = idx(element.npos), idx(element.nneg)
+                ci, cj = idx(element.cpos), idx(element.cneg)
+                k = element.branch_index
+                vc = self._voltage_at(bias, element.cpos) - self._voltage_at(
+                    bias, element.cneg
+                )
+                slope = element.derivative(vc)
+                stamp(i, k, 1.0)
+                stamp(j, k, -1.0)
+                stamp(k, i, 1.0)
+                stamp(k, j, -1.0)
+                stamp(k, ci, -slope)
+                stamp(k, cj, slope)
+            elif isinstance(element, FunctionSource):
+                out = idx(element.nout)
+                k = element.branch_index
+                values = [
+                    self._voltage_at(bias, n) for n in element.inputs
+                ]
+                grads = element.partials(values)
+                stamp(out, k, 1.0)
+                stamp(k, out, 1.0)
+                for node, grad in zip(element.inputs, grads):
+                    stamp(k, idx(node), -grad)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"AC analysis cannot stamp {type(element).__name__}"
+                )
+        return A, b
+
+    # -- sweep ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        f_start: float,
+        f_stop: float,
+        points_per_decade: int = 20,
+        probes: Optional[Sequence[str]] = None,
+    ) -> AcResult:
+        """Logarithmic frequency sweep (SPICE ``.AC DEC``)."""
+        if f_start <= 0 or f_stop <= f_start:
+            raise SimulationError("need 0 < f_start < f_stop")
+        names = probes if probes is not None else self.circuit.node_names
+        for name in names:
+            if name not in self.circuit._nodes:
+                raise SimulationError(f"unknown probe node {name!r}")
+        decades = math.log10(f_stop / f_start)
+        n_points = max(2, int(round(decades * points_per_decade)) + 1)
+        frequencies = np.logspace(
+            math.log10(f_start), math.log10(f_stop), n_points
+        )
+        bias = self._bias()
+        records: Dict[str, List[complex]] = {name: [] for name in names}
+        for f in frequencies:
+            A, b = self._assemble(2.0 * math.pi * f, bias)
+            try:
+                x = np.linalg.solve(A, b)
+            except np.linalg.LinAlgError as err:
+                raise SimulationError(f"singular AC matrix at {f} Hz: {err}")
+            for name in names:
+                records[name].append(complex(x[self._mna._index(name)]))
+        return AcResult(
+            frequencies=frequencies,
+            voltages={k: np.asarray(v) for k, v in records.items()},
+        )
+
+
+def ac_sweep(
+    circuit: Circuit,
+    f_start: float,
+    f_stop: float,
+    points_per_decade: int = 20,
+    probes: Optional[Sequence[str]] = None,
+    ac_source: Optional[str] = None,
+) -> AcResult:
+    """One-call AC analysis."""
+    return AcSolver(circuit, ac_source=ac_source).sweep(
+        f_start, f_stop, points_per_decade=points_per_decade, probes=probes
+    )

@@ -1,0 +1,84 @@
+"""Op-amp and stage macromodels for the MNA simulator.
+
+The paper's Section 6 experiment selects 2-stage op amps in the MOSIS
+SCN-2.0um technology, netlists the design in SPICE and simulates it.
+We substitute sized-transistor decks with behavioral macromodels that
+keep the externally visible figures (DC gain, output saturation, single
+dominant pole, output resistance) — exactly what the Figure-8 waveforms
+demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.spice.mna import Circuit
+
+
+@dataclass(frozen=True)
+class OpAmpMacro:
+    """Behavioral parameters of one op amp."""
+
+    dc_gain: float = 2.0e4
+    vsat: float = 4.0  # output saturation, volts
+    rout: float = 100.0
+    rin: float = 1.0e6
+    pole_hz: Optional[float] = None  # dominant pole; None = ideal-speed
+
+
+def add_opamp(
+    circuit: Circuit,
+    name: str,
+    inp: str,
+    inn: str,
+    out: str,
+    macro: OpAmpMacro = OpAmpMacro(),
+) -> None:
+    """Instantiate an op-amp macromodel between ``inp``/``inn`` and ``out``.
+
+    Structure: differential input resistance, saturating gain stage into
+    an internal node, optional dominant-pole RC, series output
+    resistance.
+    """
+    internal = f"{name}_int"
+    circuit.resistor(f"{name}_rin", inp, inn, macro.rin)
+    circuit.saturating_vcvs(
+        f"{name}_gain", internal, "0", inp, inn, macro.dc_gain, macro.vsat
+    )
+    if macro.pole_hz is not None:
+        import math
+
+        pole_node = f"{name}_pole"
+        r_pole = 10.0e3
+        c_pole = 1.0 / (2.0 * math.pi * macro.pole_hz * r_pole)
+        circuit.resistor(f"{name}_rp", internal, pole_node, r_pole)
+        circuit.capacitor(f"{name}_cp", pole_node, "0", c_pole)
+        circuit.resistor(f"{name}_rout", pole_node, out, macro.rout)
+    else:
+        circuit.resistor(f"{name}_rout", internal, out, macro.rout)
+
+
+def add_limiter_stage(
+    circuit: Circuit,
+    name: str,
+    inp: str,
+    out: str,
+    level: float,
+    rout: float = 1.0,
+) -> None:
+    """Output stage hard-clipping at ±level (the receiver's block 4).
+
+    A precision limiter follows its input exactly inside the window and
+    clamps outside it (diode feedback around the op amp); the macromodel
+    uses a clamp function source plus the stage's output resistance.
+    """
+    level = max(level, 1e-3)
+    internal = f"{name}_drv"
+    circuit.function_source(
+        f"{name}_clip",
+        internal,
+        [inp],
+        lambda v: min(max(v, -level), level),
+    )
+    circuit.resistor(f"{name}_rout", internal, out, rout)

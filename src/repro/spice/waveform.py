@@ -1,0 +1,120 @@
+"""Waveform measurements on simulation results.
+
+Small measurement toolkit over :class:`numpy.ndarray` traces: peaks,
+clipping detection, settling, RMS, fundamental frequency — the figures
+one reads off plots like the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def peak(values: np.ndarray) -> float:
+    """Largest absolute excursion."""
+    return float(np.max(np.abs(values)))
+
+
+def peak_to_peak(values: np.ndarray) -> float:
+    return float(np.max(values) - np.min(values))
+
+
+def rms(values: np.ndarray) -> float:
+    return float(np.sqrt(np.mean(np.square(values))))
+
+
+def final_value(values: np.ndarray, fraction: float = 0.05) -> float:
+    """Mean of the last ``fraction`` of the trace (steady-state value)."""
+    n = max(1, int(len(values) * fraction))
+    return float(np.mean(values[-n:]))
+
+
+@dataclass
+class ClipReport:
+    """Result of clipping detection."""
+
+    clipped: bool
+    level: float
+    dwell_fraction: float  # fraction of samples sitting at the rail
+
+
+def detect_clipping(
+    values: np.ndarray,
+    tolerance: float = 0.02,
+    min_dwell: float = 0.12,
+) -> ClipReport:
+    """Detect output clipping (possibly on one rail only).
+
+    A trace clips when a significant fraction of samples dwell within
+    ``tolerance`` (relative) of the extreme value on a rail: a sine
+    through a limiter flattens there (dwell ~1/3 of a period), while a
+    clean sine spends only ~6 % of its period within 2 % of a peak.
+    """
+    top = float(np.max(values))
+    bottom = float(np.min(values))
+    level = max(abs(top), abs(bottom))
+    if level <= 0:
+        return ClipReport(clipped=False, level=0.0, dwell_fraction=0.0)
+    band = tolerance * level
+    at_top = np.sum(values >= top - band)
+    at_bottom = np.sum(values <= bottom + band)
+    dwell = float(max(at_top, at_bottom)) / len(values)
+    clipped_level = abs(bottom) if at_bottom >= at_top else abs(top)
+    return ClipReport(
+        clipped=dwell >= min_dwell,
+        level=clipped_level if dwell >= min_dwell else level,
+        dwell_fraction=dwell,
+    )
+
+
+def settling_time(
+    time: np.ndarray,
+    values: np.ndarray,
+    target: Optional[float] = None,
+    tolerance: float = 0.02,
+) -> float:
+    """Time after which the trace stays within ``tolerance`` of target."""
+    if target is None:
+        target = final_value(values)
+    band = tolerance * max(abs(target), 1e-12)
+    outside = np.abs(values - target) > band
+    if not np.any(outside):
+        return float(time[0])
+    last_outside = int(np.max(np.nonzero(outside)))
+    if last_outside + 1 >= len(time):
+        return float("inf")
+    return float(time[last_outside + 1])
+
+
+def fundamental_frequency(time: np.ndarray, values: np.ndarray) -> float:
+    """Dominant nonzero frequency via the FFT of the trace."""
+    if len(time) < 4:
+        return 0.0
+    dt = float(time[1] - time[0])
+    spectrum = np.abs(np.fft.rfft(values - np.mean(values)))
+    freqs = np.fft.rfftfreq(len(values), dt)
+    if len(spectrum) < 2:
+        return 0.0
+    index = int(np.argmax(spectrum[1:]) + 1)
+    return float(freqs[index])
+
+
+def crossing_count(
+    values: np.ndarray, threshold: float = 0.0
+) -> int:
+    """Number of threshold crossings (both directions)."""
+    above = values > threshold
+    return int(np.sum(above[1:] != above[:-1]))
+
+
+def gain_between(
+    input_values: np.ndarray, output_values: np.ndarray
+) -> float:
+    """Amplitude ratio between two (steady-state) sinusoidal traces."""
+    denominator = peak(input_values)
+    if denominator == 0:
+        return 0.0
+    return peak(output_values) / denominator

@@ -1,0 +1,29 @@
+"""Architecture generation: branch-and-bound mapping (paper Section 5)."""
+
+from repro.synth.greedy import map_sfg_greedy
+from repro.synth.mapper import (
+    ArchitectureMapper,
+    DecisionNode,
+    MapperOptions,
+    MappingResult,
+    MappingStatistics,
+    map_design,
+    map_sfg,
+)
+from repro.synth.netlist import ComponentInstance, Netlist
+from repro.synth.transforms import InterfacingOptions, apply_interfacing
+
+__all__ = [
+    "ArchitectureMapper",
+    "ComponentInstance",
+    "DecisionNode",
+    "InterfacingOptions",
+    "MapperOptions",
+    "MappingResult",
+    "MappingStatistics",
+    "Netlist",
+    "apply_interfacing",
+    "map_design",
+    "map_sfg",
+    "map_sfg_greedy",
+]

@@ -1,0 +1,513 @@
+"""Branch-and-bound architecture generation (paper Section 5, Figure 5).
+
+Maps the signal-flow graphs of a VHIF representation onto a net-list of
+library components so that all performance constraints are satisfied
+and the total ASIC area is minimized.  The three problem-specific rules
+of the paper are implemented explicitly and individually switchable for
+the ablation benchmarks:
+
+* **branching rule** (◇): all library-mappable sub-graphs (cones) with
+  the current block as output, produced by the pattern matcher —
+  including functional-transformation alternatives (amplifier cascades);
+  the *sharing* branch (reuse an existing identical component) is tried
+  before the *allocation* branch;
+* **bounding rule** (□): a partial mapping is abandoned when
+  ``(opamp_nr + cone_opamps) * MinArea`` is already no better than the
+  best complete solution, with ``MinArea`` the area of a minimum-size
+  op amp;
+* **sequencing rule**: branching alternatives that map more blocks onto
+  one component are visited first, so a good solution is found early
+  and the bounding rule becomes effective.
+
+Complete mappings are ranked by the analog performance estimation tools
+(•): the estimator sizes every op amp and rolls up area and power; the
+feasible minimum-area mapping wins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.diagnostics import SynthesisError
+from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
+from repro.estimation.estimator import Estimator
+from repro.library.components import ComponentLibrary, default_library
+from repro.library.patterns import PatternMatch, PatternMatcher
+from repro.synth.netlist import ComponentInstance, Netlist
+from repro.vhif.design import VhifDesign
+from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT, SignalFlowGraph
+
+
+@dataclass
+class MapperOptions:
+    """Search-strategy knobs (ablation points of DESIGN.md §5)."""
+
+    enable_bounding: bool = True
+    #: which lower bound prunes partial mappings (the paper's Section 7
+    #: hopes for "more effective bounding rules"):
+    #: "minarea"  — the paper's rule: op-amp count x MinArea;
+    #: "exact"    — accumulated exact area of allocated instances;
+    #: "combined" — the tighter of the two (default).
+    bounding_mode: str = "combined"
+    enable_sharing: bool = True
+    enable_transforms: bool = True
+    #: "largest_first" (the paper's rule), "smallest_first", "arbitrary"
+    sequencing: str = "largest_first"
+    #: try the sharing branch before allocating new hardware
+    share_first: bool = True
+    max_cone_size: int = 4
+    #: safety cap on visited decision nodes
+    max_nodes: int = 500_000
+    #: record the decision tree (Figure 6) — costs memory
+    collect_tree: bool = False
+    #: stop at the first feasible complete mapping (greedy-ish mode)
+    first_solution_only: bool = False
+
+
+@dataclass
+class DecisionNode:
+    """One node of the Figure-6 decision tree."""
+
+    node_id: int
+    parent: Optional[int]
+    decision: str
+    opamps: int
+    status: str = "open"  # open / pruned / complete / infeasible / dead-end
+
+    def __str__(self) -> str:
+        return f"[{self.node_id}] {self.decision} ({self.opamps} op amps, {self.status})"
+
+
+@dataclass
+class MappingStatistics:
+    """Search effort counters."""
+
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    complete_mappings: int = 0
+    feasible_mappings: int = 0
+    shared_branches: int = 0
+    runtime_s: float = 0.0
+
+
+@dataclass
+class MappingResult:
+    """Outcome of architecture generation for one SFG."""
+
+    netlist: Netlist
+    estimate: PerformanceEstimate
+    statistics: MappingStatistics
+    tree: List[DecisionNode] = field(default_factory=list)
+    #: op-amp counts of every complete mapping, in discovery order
+    solution_opamps: List[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.netlist.summary()} | {self.estimate.describe()} | "
+            f"{self.statistics.nodes_visited} nodes, "
+            f"{self.statistics.nodes_pruned} pruned"
+        )
+
+
+class ArchitectureMapper:
+    """The Figure-5 algorithm over one signal-flow graph."""
+
+    def __init__(
+        self,
+        sfg: SignalFlowGraph,
+        library: Optional[ComponentLibrary] = None,
+        estimator: Optional[Estimator] = None,
+        options: Optional[MapperOptions] = None,
+        matcher: Optional[PatternMatcher] = None,
+    ):
+        self.sfg = sfg
+        self.library = library or default_library()
+        self.estimator = estimator or Estimator()
+        self.options = options or MapperOptions()
+        self.matcher = matcher or PatternMatcher(
+            self.library, enable_transforms=self.options.enable_transforms
+        )
+        self.min_area = self.estimator.min_area_per_opamp(self.library)
+
+        # Search state.
+        self._instances: List[ComponentInstance] = []
+        self._area_stack: List[float] = []  # per-instance estimated areas
+        self._area_so_far = 0.0
+        self._covered: Set[int] = set()
+        self._alias: Dict[int, int] = {}  # net id -> canonical net id
+        self._best_netlist: Optional[Netlist] = None
+        self._best_estimate: Optional[PerformanceEstimate] = None
+        self._stats = MappingStatistics()
+        self._area_cache: Dict[Tuple[str, str], float] = {}
+        self._tree: List[DecisionNode] = []
+        self._solutions: List[int] = []
+        self._abort = False
+
+    # -- net aliasing (hardware sharing) ----------------------------------------
+
+    def _resolve(self, net: int) -> int:
+        seen = set()
+        while net in self._alias and net not in seen:
+            seen.add(net)
+            net = self._alias[net]
+        return net
+
+    # -- roots and frontier -------------------------------------------------------
+
+    def _initial_pending(self) -> FrozenSet[int]:
+        """Blocks that anchor the mapping: sinks of the data flow."""
+        pending: Set[int] = set()
+        for block in self.sfg.processing_blocks():
+            successors = self.sfg.successors(block)
+            data_sinks = [
+                (sink, port)
+                for sink, port in successors
+                if port != CONTROL_PORT and sink.kind is not BlockKind.OUTPUT
+            ]
+            if not data_sinks:
+                pending.add(block.block_id)
+        if not pending and self.sfg.processing_blocks():
+            # Cyclic graph with no pure sink: anchor at integrators.
+            for block in self.sfg.blocks_of_kind(BlockKind.INTEGRATE):
+                pending.add(block.block_id)
+        return frozenset(pending)
+
+    def _frontier_after(
+        self, pending: FrozenSet[int], match: PatternMatch
+    ) -> FrozenSet[int]:
+        """Update the worklist after covering ``match.cone``."""
+        new_pending = set(pending)
+        new_pending -= match.cone
+        for net in match.inputs:
+            block = self.sfg.block(net)
+            if block.kind.is_source():
+                continue
+            if block.block_id not in self._covered:
+                new_pending.add(block.block_id)
+        if isinstance(match.control, int):
+            control_block = self.sfg.block(match.control)
+            if (
+                not control_block.kind.is_source()
+                and control_block.block_id not in self._covered
+            ):
+                new_pending.add(control_block.block_id)
+        return frozenset(new_pending)
+
+    # -- candidate ordering -------------------------------------------------------------
+
+    def _ordered_candidates(self, root: Block) -> List[PatternMatch]:
+        candidates = self.matcher.candidates(
+            self.sfg, root, max_size=self.options.max_cone_size
+        )
+        if not self.options.enable_transforms:
+            candidates = [c for c in candidates if c.transform is None]
+        # Cones may not include already-covered blocks.
+        candidates = [
+            c for c in candidates if not (c.cone & self._covered)
+        ]
+        if self.options.sequencing == "largest_first":
+            candidates.sort(key=lambda m: (-m.size, m.opamps, m.component))
+        elif self.options.sequencing == "smallest_first":
+            candidates.sort(key=lambda m: (m.size, m.opamps, m.component))
+        # "arbitrary": keep the matcher's order.
+        return candidates
+
+    # -- tree bookkeeping ------------------------------------------------------------------
+
+    def _instance_area(self, match: PatternMatch) -> float:
+        """Estimated area of one candidate instance (cached by key)."""
+        key = (match.component, repr(sorted(match.params.items())))
+        cached = self._area_cache.get(key)
+        if cached is None:
+            dummy = ComponentInstance(
+                name="_bound",
+                spec=self.library.get(match.component),
+                params=dict(match.params),
+            )
+            cached = self.estimator.estimate_instance(dummy).area
+            self._area_cache[key] = cached
+        return cached
+
+    def _trace(
+        self, parent: Optional[int], decision: str, opamps: int
+    ) -> Optional[int]:
+        if not self.options.collect_tree:
+            return None
+        node = DecisionNode(
+            node_id=len(self._tree), parent=parent, decision=decision,
+            opamps=opamps,
+        )
+        self._tree.append(node)
+        return node.node_id
+
+    def _set_status(self, node_id: Optional[int], status: str) -> None:
+        if node_id is not None:
+            self._tree[node_id].status = status
+
+    # -- completion ----------------------------------------------------------------------------
+
+    def _current_netlist(self) -> Netlist:
+        netlist = Netlist(name=self.sfg.name, library=self.library)
+        for inst in self._instances:
+            netlist.instances.append(
+                ComponentInstance(
+                    name=inst.name,
+                    spec=inst.spec,
+                    params=dict(inst.params),
+                    inputs=[self._resolve(n) for n in inst.inputs],
+                    output=self._resolve(inst.output),  # type: ignore[arg-type]
+                    control=(
+                        self._resolve(inst.control)
+                        if isinstance(inst.control, int)
+                        else inst.control
+                    ),
+                    covers=list(inst.covers),
+                    transform=inst.transform,
+                )
+            )
+        for block in self.sfg.inputs:
+            netlist.inputs[block.name] = block.block_id
+        for block in self.sfg.outputs:
+            driver = self.sfg.driver_of(block, 0)
+            if driver is not None:
+                netlist.outputs[block.name] = self._resolve(driver.block_id)
+        for block in self.sfg.blocks_of_kind(BlockKind.CONST):
+            netlist.const_nets[block.block_id] = float(block.params["value"])
+        return netlist
+
+    def _complete(self, node_id: Optional[int], opamp_nr: int) -> None:
+        """A complete mapping: call the estimation tools (• in Fig. 5)."""
+        uncovered = {
+            b.block_id for b in self.sfg.processing_blocks()
+        } - self._covered
+        if uncovered:
+            # A disconnected fragment escaped the frontier walk.
+            self._set_status(node_id, "dead-end")
+            return
+        self._stats.complete_mappings += 1
+        self._solutions.append(opamp_nr)
+        netlist = self._current_netlist()
+        estimate = self.estimator.estimate(netlist)
+        violations = self.estimator.constraints.check(estimate)
+        if violations:
+            self._set_status(node_id, "infeasible")
+            return
+        self._stats.feasible_mappings += 1
+        self._set_status(node_id, "complete")
+        if self._best_estimate is None or estimate.area < self._best_estimate.area:
+            self._best_estimate = estimate
+            self._best_netlist = netlist
+        if self.options.first_solution_only:
+            self._abort = True
+
+    # -- the Figure-5 recursion -----------------------------------------------------------------
+
+    def _map(
+        self,
+        pending: FrozenSet[int],
+        opamp_nr: int,
+        parent_node: Optional[int],
+    ) -> None:
+        if self._abort:
+            return
+        if self._stats.nodes_visited >= self.options.max_nodes:
+            self._abort = True
+            return
+        if not pending:
+            self._complete(parent_node, opamp_nr)
+            return
+        # "select an input signal of sub-graph; mapping(block with output
+        # signal...)": depth-first on a deterministic representative.
+        cur_block = self.sfg.block(max(pending))
+        candidates = self._ordered_candidates(cur_block)
+        if not candidates:
+            self._set_status(parent_node, "dead-end")
+            return
+
+        for match in candidates:
+            # ---- sharing branch (tried first per the sequencing rule).
+            if self.options.enable_sharing and self.options.share_first:
+                self._try_share(match, pending, opamp_nr, parent_node)
+                if self._abort:
+                    return
+            # ---- allocation branch with the bounding rule (□).
+            # Two admissible lower bounds on any completion of this
+            # partial mapping: the paper's op-amp-count * MinArea, and
+            # the exact area of everything allocated so far (areas only
+            # accumulate).  Prune on the tighter of the two.
+            self._stats.nodes_visited += 1
+            instance_area = self._instance_area(match)
+            minarea_bound = (opamp_nr + match.opamps) * self.min_area
+            exact_bound = self._area_so_far + instance_area
+            if self.options.bounding_mode == "minarea":
+                lower_bound = minarea_bound
+            elif self.options.bounding_mode == "exact":
+                lower_bound = exact_bound
+            else:  # combined
+                lower_bound = max(minarea_bound, exact_bound)
+            if (
+                self.options.enable_bounding
+                and self._best_estimate is not None
+                and lower_bound >= self._best_estimate.area
+            ):
+                self._stats.nodes_pruned += 1
+                node = self._trace(
+                    parent_node,
+                    f"alloc {match.component} for {sorted(match.cone)}",
+                    opamp_nr + match.opamps,
+                )
+                self._set_status(node, "pruned")
+                continue
+            node = self._trace(
+                parent_node,
+                f"alloc {match.component} for {sorted(match.cone)}",
+                opamp_nr + match.opamps,
+            )
+            instance = ComponentInstance(
+                name=f"U{len(self._instances) + 1}",
+                spec=self.library.get(match.component),
+                params=dict(match.params),
+                inputs=list(match.inputs),
+                output=match.root_id,
+                control=match.control,
+                covers=sorted(match.cone),
+                transform=match.transform,
+            )
+            self._instances.append(instance)
+            self._area_stack.append(instance_area)
+            self._area_so_far += instance_area
+            self._covered |= match.cone
+            self._map(
+                self._frontier_after(pending, match),
+                opamp_nr + match.opamps,
+                node,
+            )
+            self._covered -= match.cone
+            self._instances.pop()
+            self._area_so_far -= self._area_stack.pop()
+            if self._abort:
+                return
+            if not self.options.enable_sharing or self.options.share_first:
+                continue
+            self._try_share(match, pending, opamp_nr, parent_node)
+            if self._abort:
+                return
+
+    def _try_share(
+        self,
+        match: PatternMatch,
+        pending: FrozenSet[int],
+        opamp_nr: int,
+        parent_node: Optional[int],
+    ) -> None:
+        """Sharing branch: reuse an existing identical component.
+
+        Blocks in distinct signal paths can share one component when
+        they have identical inputs and perform similar operations —
+        i.e. same component, same parameters, same (resolved) sources.
+        """
+        resolved_inputs = tuple(self._resolve(n) for n in match.inputs)
+        for instance in self._instances:
+            if instance.spec.name != match.component:
+                continue
+            if repr(sorted(instance.params.items())) != repr(
+                sorted(match.params.items())
+            ):
+                continue
+            if tuple(self._resolve(n) for n in instance.inputs) != resolved_inputs:
+                continue
+            control_a = (
+                self._resolve(instance.control)
+                if isinstance(instance.control, int)
+                else instance.control
+            )
+            control_b = (
+                self._resolve(match.control)
+                if isinstance(match.control, int)
+                else match.control
+            )
+            if control_a != control_b:
+                continue
+            # Reuse: alias this cone's output onto the instance's output.
+            self._stats.nodes_visited += 1
+            self._stats.shared_branches += 1
+            node = self._trace(
+                parent_node,
+                f"share {instance.name} for {sorted(match.cone)}",
+                opamp_nr,
+            )
+            self._alias[match.root_id] = instance.output  # type: ignore[assignment]
+            instance.covers.extend(sorted(match.cone))
+            self._covered |= match.cone
+            self._map(self._frontier_after(pending, match), opamp_nr, node)
+            self._covered -= match.cone
+            del instance.covers[-len(match.cone):]
+            del self._alias[match.root_id]
+            if self._abort:
+                return
+            break  # at most one identical instance can exist
+
+    # -- public API -----------------------------------------------------------------------
+
+    def run(self) -> MappingResult:
+        """Search for the minimum-area feasible mapping."""
+        start = time.perf_counter()
+        root_node = self._trace(None, "root", 0)
+        self._map(self._initial_pending(), 0, root_node)
+        self._stats.runtime_s = time.perf_counter() - start
+        if self._best_netlist is None or self._best_estimate is None:
+            reason = (
+                "node budget exhausted"
+                if self._stats.nodes_visited >= self.options.max_nodes
+                else "no feasible complete mapping"
+            )
+            raise SynthesisError(
+                f"architecture synthesis failed for {self.sfg.name!r}: "
+                f"{reason} ({self._stats.complete_mappings} complete, "
+                f"{self._stats.nodes_visited} nodes)"
+            )
+        self._best_netlist.validate()
+        return MappingResult(
+            netlist=self._best_netlist,
+            estimate=self._best_estimate,
+            statistics=self._stats,
+            tree=self._tree,
+            solution_opamps=self._solutions,
+        )
+
+
+def map_sfg(
+    sfg: SignalFlowGraph,
+    library: Optional[ComponentLibrary] = None,
+    estimator: Optional[Estimator] = None,
+    options: Optional[MapperOptions] = None,
+    matcher: Optional[PatternMatcher] = None,
+) -> MappingResult:
+    """Map one signal-flow graph (convenience wrapper)."""
+    return ArchitectureMapper(
+        sfg, library=library, estimator=estimator, options=options,
+        matcher=matcher,
+    ).run()
+
+
+def map_design(
+    design: VhifDesign,
+    library: Optional[ComponentLibrary] = None,
+    constraints: Optional[ConstraintSet] = None,
+    options: Optional[MapperOptions] = None,
+    matcher: Optional[PatternMatcher] = None,
+) -> Dict[str, MappingResult]:
+    """Map every SFG of a VHIF design; returns results by SFG name."""
+    estimator = Estimator(constraints=constraints or ConstraintSet())
+    results: Dict[str, MappingResult] = {}
+    for sfg in design.sfgs:
+        results[sfg.name] = map_sfg(
+            sfg,
+            library=library,
+            estimator=estimator,
+            options=options,
+            matcher=matcher,
+        )
+    return results

@@ -1,0 +1,178 @@
+"""Op-amp-level netlists: the output of architecture synthesis.
+
+A :class:`Netlist` holds :class:`ComponentInstance` objects (one per
+allocated library circuit) and the connections between them.  Nets are
+identified by the SFG block whose output they carry, which keeps the
+mapping between the VHIF representation and the structural result
+explicit (the paper annotates corresponding blocks and circuits with
+similar names, Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.diagnostics import SynthesisError
+from repro.library.components import ComponentLibrary, ComponentSpec
+
+ControlSource = Union[str, int, None]
+
+
+@dataclass
+class ComponentInstance:
+    """One allocated library circuit."""
+
+    name: str
+    spec: ComponentSpec
+    params: Dict[str, object] = field(default_factory=dict)
+    #: source net ids (SFG block ids or port names), one per input
+    inputs: List[object] = field(default_factory=list)
+    #: net id this instance drives (usually the covered cone's root id)
+    output: Optional[object] = None
+    control: ControlSource = None
+    #: SFG block ids this instance implements (its covered cone);
+    #: grows when hardware sharing maps further blocks onto it.
+    covers: List[int] = field(default_factory=list)
+    #: applied functional transformation, if any
+    transform: Optional[str] = None
+
+    @property
+    def opamps(self) -> int:
+        return self.spec.opamps
+
+    def describe(self) -> str:
+        ins = ", ".join(str(i) for i in self.inputs)
+        ctrl = f" ctrl={self.control}" if self.control is not None else ""
+        return (
+            f"{self.name}: {self.spec.name}({ins}) -> {self.output}"
+            f"{ctrl} covers={sorted(self.covers)}"
+        )
+
+
+@dataclass
+class Netlist:
+    """A structural net-list of library components."""
+
+    name: str
+    library: ComponentLibrary
+    instances: List[ComponentInstance] = field(default_factory=list)
+    #: system ports: port name -> net id
+    inputs: Dict[str, object] = field(default_factory=dict)
+    outputs: Dict[str, object] = field(default_factory=dict)
+    #: net ids driven by constant references: net id -> value
+    const_nets: Dict[object, float] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def add_instance(
+        self,
+        spec_name: str,
+        params: Optional[Dict[str, object]] = None,
+        inputs: Optional[Sequence[object]] = None,
+        output: Optional[object] = None,
+        control: ControlSource = None,
+        covers: Optional[Sequence[int]] = None,
+        transform: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> ComponentInstance:
+        spec = self.library.get(spec_name)
+        instance = ComponentInstance(
+            name=name or f"U{len(self.instances) + 1}",
+            spec=spec,
+            params=dict(params or {}),
+            inputs=list(inputs or []),
+            output=output,
+            control=control,
+            covers=list(covers or []),
+            transform=transform,
+        )
+        self.instances.append(instance)
+        return instance
+
+    def copy(self) -> "Netlist":
+        clone = Netlist(name=self.name, library=self.library)
+        clone.inputs = dict(self.inputs)
+        clone.outputs = dict(self.outputs)
+        clone.const_nets = dict(self.const_nets)
+        for inst in self.instances:
+            clone.instances.append(
+                ComponentInstance(
+                    name=inst.name,
+                    spec=inst.spec,
+                    params=dict(inst.params),
+                    inputs=list(inst.inputs),
+                    output=inst.output,
+                    control=inst.control,
+                    covers=list(inst.covers),
+                    transform=inst.transform,
+                )
+            )
+        return clone
+
+    # -- queries --------------------------------------------------------------
+
+    def total_opamps(self) -> int:
+        return sum(inst.opamps for inst in self.instances)
+
+    def driver_of(self, net: object) -> Optional[ComponentInstance]:
+        for inst in self.instances:
+            if inst.output == net:
+                return inst
+        return None
+
+    def instance(self, name: str) -> ComponentInstance:
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise SynthesisError(f"no instance named {name!r}")
+
+    def by_component(self, spec_name: str) -> List[ComponentInstance]:
+        return [i for i in self.instances if i.spec.name == spec_name]
+
+    def category_counts(self) -> Counter:
+        """Component counts by Table-1 display category."""
+        return Counter(inst.spec.category for inst in self.instances)
+
+    def summary(self) -> str:
+        """Table-1 style summary, e.g. ``2 amplif., 1 zero-cross det.``"""
+        counts = self.category_counts()
+        parts = [f"{n} {category}" for category, n in sorted(counts.items())]
+        return ", ".join(parts)
+
+    def covered_blocks(self) -> set:
+        covered: set = set()
+        for inst in self.instances:
+            covered.update(inst.covers)
+        return covered
+
+    def validate(self) -> None:
+        """Structural sanity: every input net must have a driver."""
+        driven = {inst.output for inst in self.instances}
+        driven |= set(self.inputs.values())
+        driven |= set(self.const_nets)
+        problems: List[str] = []
+        for inst in self.instances:
+            for net in inst.inputs:
+                if net not in driven:
+                    problems.append(
+                        f"{inst.name} input net {net!r} has no driver"
+                    )
+        for port, net in self.outputs.items():
+            if net not in driven:
+                problems.append(f"output port {port!r} net {net!r} undriven")
+        if problems:
+            raise SynthesisError(
+                "netlist validation failed:\n  " + "\n  ".join(problems)
+            )
+
+    def describe(self) -> str:
+        lines = [f"netlist {self.name!r} ({self.total_opamps()} op amps):"]
+        for inst in self.instances:
+            lines.append(f"  {inst.describe()}")
+        for port, net in self.inputs.items():
+            lines.append(f"  input {port} -> net {net}")
+        for port, net in self.outputs.items():
+            lines.append(f"  output {port} <- net {net}")
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Interfacing transformations (paper Section 5, branching rule).
+
+"Transformations pertaining to circuit interfacing introduce additional
+circuits, i.e. follower circuits, or various input/output stages, for
+diminishing loading/coupling effects among interconnected components."
+
+The functional transformations (cascade splitting, inverting /
+non-inverting substitution) live in the pattern matcher where they
+produce branching alternatives; the interfacing transformations are a
+deterministic post-pass on the chosen net-list:
+
+* an instance whose output drives more than ``max_fanout`` component
+  inputs gets a voltage follower buffering the extra load;
+* an input port with a declared source impedance above
+  ``buffer_input_above_ohms`` is buffered before it fans into the
+  signal path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.synth.netlist import ComponentInstance, Netlist
+from repro.vhif.design import VhifDesign
+
+
+@dataclass
+class InterfacingOptions:
+    """Loading rules that trigger follower insertion."""
+
+    max_fanout: int = 3
+    buffer_input_above_ohms: float = 50.0e3
+
+
+def _fanout_counts(netlist: Netlist) -> Dict[object, int]:
+    counts: Dict[object, int] = {}
+    for inst in netlist.instances:
+        for net in inst.inputs:
+            counts[net] = counts.get(net, 0) + 1
+        if isinstance(inst.control, int):
+            counts[inst.control] = counts.get(inst.control, 0) + 1
+    return counts
+
+
+def apply_interfacing(
+    netlist: Netlist,
+    design: Optional[VhifDesign] = None,
+    options: Optional[InterfacingOptions] = None,
+) -> List[ComponentInstance]:
+    """Insert followers per the loading rules; returns the new instances.
+
+    The netlist is modified in place: heavy-fanout nets are split so
+    that at most ``max_fanout`` loads hang on the original driver and
+    the rest move to a follower's output net.
+    """
+    options = options or InterfacingOptions()
+    added: List[ComponentInstance] = []
+
+    # -- rule 1: fan-out limiting ------------------------------------------
+    counts = _fanout_counts(netlist)
+    for inst in list(netlist.instances):
+        net = inst.output
+        if net is None:
+            continue
+        load = counts.get(net, 0)
+        if load <= options.max_fanout:
+            continue
+        follower = netlist.add_instance(
+            "voltage_follower",
+            inputs=[net],
+            output=f"{net}_buf",
+            covers=[],
+            name=f"BUF{len(added) + 1}",
+        )
+        added.append(follower)
+        # Move the excess loads to the buffered net.
+        moved = 0
+        to_move = load - options.max_fanout
+        for consumer in netlist.instances:
+            if consumer is follower or moved >= to_move:
+                continue
+            for index, source in enumerate(consumer.inputs):
+                if source == net and moved < to_move:
+                    consumer.inputs[index] = follower.output
+                    moved += 1
+
+    # -- rule 2: high-impedance input buffering ------------------------------
+    if design is not None:
+        for port_name, net in list(netlist.inputs.items()):
+            info = design.ports.get(port_name)
+            if info is None or info.impedance_ohms is None:
+                continue
+            if info.direction != "in":
+                continue
+            if info.impedance_ohms <= options.buffer_input_above_ohms:
+                continue
+            follower = netlist.add_instance(
+                "voltage_follower",
+                inputs=[net],
+                output=f"{net}_inbuf",
+                covers=[],
+                name=f"INBUF_{port_name}",
+            )
+            added.append(follower)
+            for consumer in netlist.instances:
+                if consumer is follower:
+                    continue
+                consumer.inputs = [
+                    follower.output if source == net else source
+                    for source in consumer.inputs
+                ]
+    return added

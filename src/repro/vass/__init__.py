@@ -1,0 +1,35 @@
+"""VASS: the VHDL-AMS subset for behavioral synthesis (paper Section 3)."""
+
+from repro.vass.lexer import Lexer, Token, TokenKind, tokenize
+from repro.vass.parser import Parser, parse_expression, parse_source
+from repro.vass.printer import print_expression, print_source
+from repro.vass.semantics import (
+    AnalyzedDesign,
+    Scope,
+    Symbol,
+    ValueType,
+    analyze,
+    analyze_source,
+    eval_static,
+    is_static,
+)
+
+__all__ = [
+    "AnalyzedDesign",
+    "Lexer",
+    "Parser",
+    "Scope",
+    "Symbol",
+    "Token",
+    "TokenKind",
+    "ValueType",
+    "analyze",
+    "analyze_source",
+    "eval_static",
+    "is_static",
+    "parse_expression",
+    "print_expression",
+    "print_source",
+    "parse_source",
+    "tokenize",
+]

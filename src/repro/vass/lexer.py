@@ -1,0 +1,396 @@
+"""Hand-written lexer for VASS, the VHDL-AMS subset for synthesis.
+
+The lexer follows VHDL lexical rules: identifiers and reserved words are
+case-insensitive, comments run from ``--`` to end of line, character
+literals are single characters between apostrophes, and the apostrophe
+also introduces attribute names (``line'ABOVE``).  Disambiguation between
+the two uses of ``'`` follows the VHDL rule: an apostrophe directly after
+an identifier, right parenthesis or literal starts an attribute, otherwise
+it starts a character literal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.diagnostics import LexerError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Categories of VASS tokens."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    CHARACTER = "character"
+    BIT_STRING = "bit_string"
+
+    # Compound delimiters.
+    ARROW = "=>"
+    ASSIGN = ":="
+    SIGNAL_ASSIGN = "<="
+    EQ_EQ = "=="
+    GE = ">="
+    NE = "/="
+    BOX = "<>"
+    DOUBLE_STAR = "**"
+
+    # Simple delimiters.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    AMPERSAND = "&"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LT = "<"
+    GT = ">"
+    EQ = "="
+    BAR = "|"
+    APOSTROPHE = "'"
+
+    EOF = "<eof>"
+
+
+#: Reserved words of the VASS subset (a superset of what the paper's
+#: examples use; all are VHDL-AMS reserved words or VASS annotations).
+KEYWORDS = frozenset(
+    {
+        "abs",
+        "above",
+        "across",
+        "after",
+        "all",
+        "and",
+        "architecture",
+        "array",
+        "at",
+        "begin",
+        "bit",
+        "body",
+        "break",
+        "case",
+        "constant",
+        "downto",
+        "drives",
+        "else",
+        "elsif",
+        "end",
+        "entity",
+        "exit",
+        "for",
+        "frequency",
+        "function",
+        "generic",
+        "if",
+        "impedance",
+        "in",
+        "inout",
+        "is",
+        "kind",
+        "library",
+        "limited",
+        "loop",
+        "mod",
+        "nand",
+        "nature",
+        "nor",
+        "not",
+        "null",
+        "of",
+        "or",
+        "others",
+        "out",
+        "package",
+        "peak",
+        "port",
+        "procedural",
+        "procedure",
+        "process",
+        "quantity",
+        "range",
+        "rem",
+        "report",
+        "return",
+        "severity",
+        "signal",
+        "subtype",
+        "terminal",
+        "then",
+        "through",
+        "to",
+        "type",
+        "units",
+        "until",
+        "use",
+        "variable",
+        "wait",
+        "when",
+        "while",
+        "with",
+        "xnor",
+        "xor",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the normalized text: lower-case for identifiers and
+    keywords (VHDL is case-insensitive), verbatim for literals.
+    """
+
+    kind: TokenKind
+    value: str
+    location: SourceLocation
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.value!r})@{self.location}"
+
+
+_SIMPLE_DELIMITERS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    "&": TokenKind.AMPERSAND,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "|": TokenKind.BAR,
+}
+
+
+class Lexer:
+    """Converts VASS source text into a list of tokens."""
+
+    def __init__(self, text: str, filename: str = "<string>"):
+        self._text = text
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+        # Tracks whether a following apostrophe means "attribute", i.e.
+        # the previous token can be an attribute prefix.
+        self._prev_allows_attribute = False
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self._text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # -- token scanners ----------------------------------------------------
+
+    def _scan_identifier(self) -> Token:
+        loc = self._location()
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        raw = self._text[start : self._pos]
+        if raw.endswith("_") or "__" in raw:
+            raise LexerError(f"malformed identifier {raw!r}", loc)
+        lowered = raw.lower()
+        kind = TokenKind.KEYWORD if lowered in KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, lowered, loc)
+
+    def _scan_number(self) -> Token:
+        loc = self._location()
+        start = self._pos
+        is_real = False
+
+        def scan_digits() -> None:
+            if not self._peek().isdigit():
+                raise LexerError("digit expected in numeric literal", self._location())
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+
+        scan_digits()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_real = True
+            self._advance()
+            scan_digits()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            scan_digits()
+        raw = self._text[start : self._pos].replace("_", "")
+        kind = TokenKind.REAL if is_real else TokenKind.INTEGER
+        return Token(kind, raw, loc)
+
+    def _scan_string(self) -> Token:
+        loc = self._location()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexerError("unterminated string literal", loc)
+            if ch == '"':
+                if self._peek(1) == '"':  # doubled quote escapes itself
+                    chars.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            chars.append(ch)
+            self._advance()
+        return Token(TokenKind.STRING, "".join(chars), loc)
+
+    def _scan_character(self) -> Token:
+        loc = self._location()
+        self._advance()  # opening apostrophe
+        ch = self._peek()
+        if not ch or ch == "\n":
+            raise LexerError("unterminated character literal", loc)
+        self._advance()
+        if self._peek() != "'":
+            raise LexerError("character literal must be a single character", loc)
+        self._advance()
+        return Token(TokenKind.CHARACTER, ch, loc)
+
+    # -- main loop ----------------------------------------------------------
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF token at end of input)."""
+        self._skip_whitespace_and_comments()
+        loc = self._location()
+        ch = self._peek()
+
+        if not ch:
+            token = Token(TokenKind.EOF, "", loc)
+        elif ch.isalpha():
+            token = self._scan_identifier()
+        elif ch.isdigit():
+            token = self._scan_number()
+        elif ch == '"':
+            token = self._scan_string()
+        elif ch == "'":
+            if self._prev_allows_attribute:
+                self._advance()
+                token = Token(TokenKind.APOSTROPHE, "'", loc)
+            else:
+                token = self._scan_character()
+        elif ch == "=" and self._peek(1) == "=":
+            self._advance(2)
+            token = Token(TokenKind.EQ_EQ, "==", loc)
+        elif ch == "=" and self._peek(1) == ">":
+            self._advance(2)
+            token = Token(TokenKind.ARROW, "=>", loc)
+        elif ch == ":" and self._peek(1) == "=":
+            self._advance(2)
+            token = Token(TokenKind.ASSIGN, ":=", loc)
+        elif ch == "<" and self._peek(1) == "=":
+            self._advance(2)
+            token = Token(TokenKind.SIGNAL_ASSIGN, "<=", loc)
+        elif ch == "<" and self._peek(1) == ">":
+            self._advance(2)
+            token = Token(TokenKind.BOX, "<>", loc)
+        elif ch == ">" and self._peek(1) == "=":
+            self._advance(2)
+            token = Token(TokenKind.GE, ">=", loc)
+        elif ch == "/" and self._peek(1) == "=":
+            self._advance(2)
+            token = Token(TokenKind.NE, "/=", loc)
+        elif ch == "*" and self._peek(1) == "*":
+            self._advance(2)
+            token = Token(TokenKind.DOUBLE_STAR, "**", loc)
+        elif ch in _SIMPLE_DELIMITERS:
+            self._advance()
+            token = Token(_SIMPLE_DELIMITERS[ch], ch, loc)
+        elif ch == ":":
+            self._advance()
+            token = Token(TokenKind.COLON, ":", loc)
+        elif ch == ".":
+            self._advance()
+            token = Token(TokenKind.DOT, ".", loc)
+        elif ch == "*":
+            self._advance()
+            token = Token(TokenKind.STAR, "*", loc)
+        elif ch == "/":
+            self._advance()
+            token = Token(TokenKind.SLASH, "/", loc)
+        elif ch == "<":
+            self._advance()
+            token = Token(TokenKind.LT, "<", loc)
+        elif ch == ">":
+            self._advance()
+            token = Token(TokenKind.GT, ">", loc)
+        elif ch == "=":
+            self._advance()
+            token = Token(TokenKind.EQ, "=", loc)
+        else:
+            raise LexerError(f"unexpected character {ch!r}", loc)
+
+        self._prev_allows_attribute = token.kind in (
+            TokenKind.IDENTIFIER,
+            TokenKind.RPAREN,
+            TokenKind.RBRACKET,
+            TokenKind.STRING,
+            TokenKind.CHARACTER,
+            TokenKind.INTEGER,
+            TokenKind.REAL,
+        ) or (token.kind is TokenKind.KEYWORD and token.value == "all")
+        return token
+
+    def tokenize(self) -> List[Token]:
+        """Return all tokens of the input, ending with an EOF token."""
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(text: str, filename: str = "<string>") -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` into a token list."""
+    return Lexer(text, filename).tokenize()

@@ -1,0 +1,321 @@
+"""Pretty-printer for VASS ASTs.
+
+Renders any AST produced by :mod:`repro.vass.parser` back into VASS
+source text that parses to a structurally identical AST (the round-trip
+property tested in ``tests/test_printer.py``).  Useful for emitting
+transformed specifications, golden files and error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vass import ast_nodes as ast
+
+_INDENT = "  "
+
+#: operator precedence, mirroring the parser's grammar levels
+_PRECEDENCE = {
+    "or": 1, "and": 1, "nand": 1, "nor": 1, "xor": 1, "xnor": 1,
+    "=": 2, "/=": 2, "<": 2, "<=": 2, ">": 2, ">=": 2,
+    "+": 3, "-": 3, "&": 3,
+    "*": 4, "/": 4, "mod": 4, "rem": 4,
+    "**": 5,
+}
+
+
+def print_expression(expr: ast.Expression, parent_level: int = 0) -> str:
+    """Render an expression with minimal (but safe) parenthesization."""
+    if isinstance(expr, ast.Name):
+        return expr.identifier
+    if isinstance(expr, ast.IntegerLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, ast.CharacterLiteral):
+        return f"'{expr.value}'"
+    if isinstance(expr, ast.StringLiteral):
+        return '"' + expr.value.replace('"', '""') + '"'
+    if isinstance(expr, ast.BooleanLiteral):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.operator in ("abs", "not"):
+            return f"{expr.operator} ({print_expression(expr.operand)})"
+        inner = print_expression(expr.operand, 6)
+        text = f"{expr.operator}{inner}"
+        # A sign is only legal at the head of a simple expression;
+        # parenthesize to stay safe in any context.
+        return f"({text})" if parent_level > 3 else text
+    if isinstance(expr, ast.BinaryOp):
+        level = _PRECEDENCE.get(expr.operator, 3)
+        # Relational operators are non-associative in VHDL: both
+        # children of the same level need parentheses.  Other levels are
+        # left-associative: only the right child needs them.
+        left_level = level + 1 if level == 2 else level
+        left = print_expression(expr.left, left_level)
+        right = print_expression(expr.right, level + 1)
+        text = f"{left} {expr.operator} {right}"
+        if level < parent_level:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(print_expression(a) for a in expr.arguments)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.AttributeExpr):
+        prefix = print_expression(expr.prefix, 6)
+        if not isinstance(
+            expr.prefix, (ast.Name, ast.AttributeExpr, ast.IndexedName)
+        ):
+            prefix = f"({prefix})"
+        if expr.arguments:
+            args = ", ".join(print_expression(a) for a in expr.arguments)
+            return f"{prefix}'{expr.attribute}({args})"
+        return f"{prefix}'{expr.attribute}"
+    if isinstance(expr, ast.IndexedName):
+        return (
+            f"{print_expression(expr.prefix, 6)}"
+            f"({print_expression(expr.index)})"
+        )
+    if isinstance(expr, ast.Aggregate):
+        inner = ", ".join(print_expression(e) for e in expr.elements)
+        return f"({inner})"
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _print_type(mark: ast.TypeMark) -> str:
+    if mark.bounds is not None:
+        low, high = mark.bounds
+        return f"{mark.name}({low} TO {high})"
+    return mark.name
+
+
+def _print_annotations(annotations: List[ast.Annotation]) -> str:
+    parts: List[str] = []
+    for ann in annotations:
+        if isinstance(ann, ast.KindAnnotation):
+            parts.append(f"IS {ann.kind.value}")
+        elif isinstance(ann, ast.LimitAnnotation):
+            if ann.level is None:
+                parts.append("LIMITED")
+            else:
+                parts.append(f"LIMITED AT {ann.level!r}")
+        elif isinstance(ann, ast.DriveAnnotation):
+            parts.append(
+                f"DRIVES {ann.load_ohms!r} ohm AT {ann.amplitude!r} PEAK"
+            )
+        elif isinstance(ann, ast.RangeAnnotation):
+            parts.append(f"RANGE {ann.low!r} TO {ann.high!r}")
+        elif isinstance(ann, ast.FrequencyAnnotation):
+            parts.append(f"FREQUENCY {ann.low!r} TO {ann.high!r}")
+        elif isinstance(ann, ast.ImpedanceAnnotation):
+            parts.append(f"IMPEDANCE {ann.ohms!r}")
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def _print_port(port: ast.PortDecl) -> str:
+    mode = port.mode.value.upper()
+    facet = f" {port.facet.upper()}" if port.facet else ""
+    return (
+        f"{port.object_class.value.upper()} {port.name} : {mode} "
+        f"{_print_type(port.type_mark)}{facet}"
+        f"{_print_annotations(port.annotations)}"
+    )
+
+
+def _print_object(decl: ast.ObjectDecl, indent: str) -> str:
+    initial = (
+        f" := {print_expression(decl.initial)}"
+        if decl.initial is not None
+        else ""
+    )
+    return (
+        f"{indent}{decl.object_class.value.upper()} {decl.name} : "
+        f"{_print_type(decl.type_mark)}{initial}"
+        f"{_print_annotations(decl.annotations)};"
+    )
+
+
+def _print_sequential(
+    stmts: List[ast.SequentialStmt], indent: str
+) -> List[str]:
+    lines: List[str] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.SignalAssignment):
+            lines.append(
+                f"{indent}{stmt.target} <= {print_expression(stmt.value)};"
+            )
+        elif isinstance(stmt, ast.VariableAssignment):
+            target = stmt.target
+            if stmt.index is not None:
+                target += f"({print_expression(stmt.index)})"
+            lines.append(
+                f"{indent}{target} := {print_expression(stmt.value)};"
+            )
+        elif isinstance(stmt, ast.IfStmt):
+            keyword = "IF"
+            for condition, body in stmt.branches:
+                lines.append(
+                    f"{indent}{keyword} ({print_expression(condition)}) THEN"
+                )
+                lines.extend(_print_sequential(body, indent + _INDENT))
+                keyword = "ELSIF"
+            if stmt.else_body:
+                lines.append(f"{indent}ELSE")
+                lines.extend(
+                    _print_sequential(stmt.else_body, indent + _INDENT)
+                )
+            lines.append(f"{indent}END IF;")
+        elif isinstance(stmt, ast.CaseStmt):
+            lines.append(
+                f"{indent}CASE {print_expression(stmt.selector)} IS"
+            )
+            for choices, body in stmt.alternatives:
+                text = " | ".join(print_expression(c) for c in choices)
+                lines.append(f"{indent}{_INDENT}WHEN {text} =>")
+                lines.extend(_print_sequential(body, indent + 2 * _INDENT))
+            if stmt.others is not None:
+                lines.append(f"{indent}{_INDENT}WHEN OTHERS =>")
+                lines.extend(
+                    _print_sequential(stmt.others, indent + 2 * _INDENT)
+                )
+            lines.append(f"{indent}END CASE;")
+        elif isinstance(stmt, ast.WhileStmt):
+            lines.append(
+                f"{indent}WHILE ({print_expression(stmt.condition)}) LOOP"
+            )
+            lines.extend(_print_sequential(stmt.body, indent + _INDENT))
+            lines.append(f"{indent}END LOOP;")
+        elif isinstance(stmt, ast.ForStmt):
+            lines.append(
+                f"{indent}FOR {stmt.variable} IN "
+                f"{print_expression(stmt.low)} TO "
+                f"{print_expression(stmt.high)} LOOP"
+            )
+            lines.extend(_print_sequential(stmt.body, indent + _INDENT))
+            lines.append(f"{indent}END LOOP;")
+        elif isinstance(stmt, ast.NullStmt):
+            lines.append(f"{indent}NULL;")
+        elif isinstance(stmt, ast.BreakStmt):
+            if stmt.elements:
+                parts = ", ".join(
+                    f"{name} => {print_expression(value)}"
+                    for name, value in stmt.elements
+                )
+                lines.append(f"{indent}BREAK {parts};")
+            else:
+                lines.append(f"{indent}BREAK;")
+        elif isinstance(stmt, ast.WaitStmt):
+            detail = f" {stmt.detail}" if stmt.detail else ""
+            lines.append(f"{indent}WAIT{detail};")
+        else:
+            raise TypeError(f"cannot print {type(stmt).__name__}")
+    return lines
+
+
+def _print_concurrent(
+    stmts: List[ast.ConcurrentStmt], indent: str
+) -> List[str]:
+    lines: List[str] = []
+    for stmt in stmts:
+        label = f"{stmt.label}: " if stmt.label else ""
+        if isinstance(stmt, ast.SimpleSimultaneous):
+            lines.append(
+                f"{indent}{label}{print_expression(stmt.lhs)} == "
+                f"{print_expression(stmt.rhs)};"
+            )
+        elif isinstance(stmt, ast.SimultaneousIf):
+            keyword = "IF"
+            for condition, body in stmt.branches:
+                lines.append(
+                    f"{indent}{label if keyword == 'IF' else ''}{keyword} "
+                    f"({print_expression(condition)}) USE"
+                )
+                lines.extend(_print_concurrent(body, indent + _INDENT))
+                keyword = "ELSIF"
+            if stmt.else_body:
+                lines.append(f"{indent}ELSE")
+                lines.extend(
+                    _print_concurrent(stmt.else_body, indent + _INDENT)
+                )
+            lines.append(f"{indent}END USE;")
+        elif isinstance(stmt, ast.SimultaneousCase):
+            lines.append(
+                f"{indent}{label}CASE {print_expression(stmt.selector)} USE"
+            )
+            for choices, body in stmt.alternatives:
+                text = " | ".join(print_expression(c) for c in choices)
+                lines.append(f"{indent}{_INDENT}WHEN {text} =>")
+                lines.extend(_print_concurrent(body, indent + 2 * _INDENT))
+            if stmt.others is not None:
+                lines.append(f"{indent}{_INDENT}WHEN OTHERS =>")
+                lines.extend(
+                    _print_concurrent(stmt.others, indent + 2 * _INDENT)
+                )
+            lines.append(f"{indent}END CASE;")
+        elif isinstance(stmt, ast.ProcessStmt):
+            sensitivity = ", ".join(
+                print_expression(e) for e in stmt.sensitivity
+            )
+            head = f"{indent}{label}PROCESS"
+            if sensitivity:
+                head += f" ({sensitivity})"
+            lines.append(head + " IS")
+            for decl in stmt.declarations:
+                lines.append(_print_object(decl, indent + _INDENT))
+            lines.append(f"{indent}BEGIN")
+            lines.extend(_print_sequential(stmt.body, indent + _INDENT))
+            lines.append(f"{indent}END PROCESS;")
+        elif isinstance(stmt, ast.ProceduralStmt):
+            lines.append(f"{indent}{label}PROCEDURAL IS")
+            for decl in stmt.declarations:
+                lines.append(_print_object(decl, indent + _INDENT))
+            lines.append(f"{indent}BEGIN")
+            lines.extend(_print_sequential(stmt.body, indent + _INDENT))
+            lines.append(f"{indent}END PROCEDURAL;")
+        else:
+            raise TypeError(f"cannot print {type(stmt).__name__}")
+    return lines
+
+
+def print_source(source: ast.SourceFile) -> str:
+    """Render a whole source file back into VASS text."""
+    lines: List[str] = []
+    for unit in source.units:
+        if isinstance(unit, ast.EntityDecl):
+            lines.append(f"ENTITY {unit.name} IS")
+            if unit.generics:
+                lines.append("GENERIC (")
+                decls = [
+                    f"{_INDENT}{g.name} : {_print_type(g.type_mark)}"
+                    + (
+                        f" := {print_expression(g.initial)}"
+                        if g.initial is not None
+                        else ""
+                    )
+                    for g in unit.generics
+                ]
+                lines.append(";\n".join(decls))
+                lines.append(");")
+            if unit.ports:
+                lines.append("PORT (")
+                ports = [_INDENT + _print_port(p) for p in unit.ports]
+                lines.append(";\n".join(ports))
+                lines.append(");")
+            lines.append(f"END ENTITY {unit.name};")
+        elif isinstance(unit, ast.ArchitectureBody):
+            lines.append(
+                f"ARCHITECTURE {unit.name} OF {unit.entity_name} IS"
+            )
+            for decl in unit.declarations:
+                lines.append(_print_object(decl, _INDENT))
+            lines.append("BEGIN")
+            lines.extend(_print_concurrent(unit.statements, _INDENT))
+            lines.append("END ARCHITECTURE;")
+        elif isinstance(unit, ast.PackageDecl):
+            lines.append(f"PACKAGE {unit.name} IS")
+            for decl in unit.declarations:
+                lines.append(_print_object(decl, _INDENT))
+            lines.append(f"END PACKAGE;")
+        lines.append("")
+    return "\n".join(lines)

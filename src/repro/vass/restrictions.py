@@ -1,0 +1,299 @@
+"""VASS subset restriction checks (Section 3 of the paper).
+
+The paper adapts VHDL-AMS for synthesis by *restricting* constructs whose
+simulation semantics cannot be realized in a continuous signal-flow
+structure and by *requiring* annotations where structure cannot be
+inferred.  This module implements those checks:
+
+* terminal ports use only one of their through/across facets;
+* quantities are of nature type (enforced in semantics) and signals of
+  nature or bit/bit-vector type;
+* ``for`` loops have statically known bounds (so they can be unrolled);
+* ``while`` loops denote a sampling functionality: names read in the loop
+  but produced outside must be quantities/ports/constants (held stable
+  during execution), and the loop body must feed its own condition;
+* processes have a sensitivity list, contain no ``wait`` statements, and
+  never *read* a signal after assigning it (so each signal costs exactly
+  one memory block);
+* process sensitivity lists contain only events legal in VASS: events on
+  ``'above`` of a quantity, or events on ports/signals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.diagnostics import DiagnosticSink
+from repro.vass import ast_nodes as ast
+from repro.vass.semantics import AnalyzedDesign, Scope, is_static
+
+
+def _assigned_names(stmts: Sequence[ast.SequentialStmt]) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in ast.walk_sequential(stmts):
+        if isinstance(stmt, ast.SignalAssignment):
+            names.add(stmt.target)
+        elif isinstance(stmt, ast.VariableAssignment):
+            names.add(stmt.target)
+    return names
+
+
+def _read_names(stmts: Sequence[ast.SequentialStmt]) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in ast.walk_sequential(stmts):
+        if isinstance(stmt, (ast.SignalAssignment, ast.VariableAssignment)):
+            names.update(ast.referenced_names(stmt.value))
+            if isinstance(stmt, ast.VariableAssignment) and stmt.index is not None:
+                names.update(ast.referenced_names(stmt.index))
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, _ in stmt.branches:
+                names.update(ast.referenced_names(cond))
+        elif isinstance(stmt, ast.CaseStmt):
+            names.update(ast.referenced_names(stmt.selector))
+        elif isinstance(stmt, ast.WhileStmt):
+            names.update(ast.referenced_names(stmt.condition))
+        elif isinstance(stmt, ast.ForStmt):
+            names.update(ast.referenced_names(stmt.low))
+            names.update(ast.referenced_names(stmt.high))
+    return names
+
+
+def _check_terminal_facets(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    """Each terminal port may use only one of across/through in the body."""
+    terminal_ports = [
+        p
+        for p in design.entity.ports
+        if p.object_class is ast.ObjectClass.TERMINAL
+    ]
+    if not terminal_ports:
+        return
+    # In VASS the facet is declared in the port itself; check it is unique
+    # and present.
+    for port in terminal_ports:
+        if port.facet is None:
+            sink.error(
+                f"terminal port {port.name!r} must declare its facet "
+                "(ACROSS or THROUGH) for synthesis",
+                port.location,
+            )
+
+
+def _check_for_loops(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    """Every for-loop must have statically evaluable bounds."""
+
+    def visit(stmts: Sequence[ast.SequentialStmt], scope: Scope) -> None:
+        for stmt in ast.walk_sequential(stmts):
+            if isinstance(stmt, ast.ForStmt):
+                if not is_static(stmt.low, scope) or not is_static(stmt.high, scope):
+                    sink.error(
+                        "for-loop bounds must be statically known so the "
+                        "loop body can be unrolled",
+                        stmt.location,
+                    )
+
+    for stmt in design.architecture.statements:
+        if isinstance(stmt, (ast.ProcessStmt, ast.ProceduralStmt)):
+            visit(stmt.body, design.scope)
+
+
+def _check_while_loops(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    """While loops must denote sampling functionality (Section 3)."""
+
+    def visit(stmts: Sequence[ast.SequentialStmt]) -> None:
+        for stmt in ast.walk_sequential(stmts):
+            if not isinstance(stmt, ast.WhileStmt):
+                continue
+            assigned = _assigned_names(stmt.body)
+            condition_reads = set(ast.referenced_names(stmt.condition))
+            if not condition_reads & assigned:
+                sink.warn(
+                    "while-loop condition does not depend on any value "
+                    "computed by the loop body; the loop will never "
+                    "terminate or never iterate",
+                    stmt.location,
+                )
+            # Names read inside the loop but produced outside must be held
+            # stable while the loop executes: quantities, ports, constants.
+            reads = _read_names(stmt.body) | condition_reads
+            for name in sorted(reads - assigned):
+                symbol = design.scope.lookup(name)
+                if symbol is None:
+                    continue  # local variable of the enclosing procedural
+                if symbol.object_class is ast.ObjectClass.SIGNAL:
+                    sink.error(
+                        f"signal {name!r} read inside a while-loop must be "
+                        "constant while the loop executes; VASS only allows "
+                        "quantities, ports and constants as loop inputs",
+                        stmt.location,
+                    )
+
+    for stmt in design.architecture.statements:
+        if isinstance(stmt, (ast.ProcessStmt, ast.ProceduralStmt)):
+            visit(stmt.body)
+
+
+def _check_processes(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    for stmt in design.architecture.statements:
+        if not isinstance(stmt, ast.ProcessStmt):
+            continue
+        if not stmt.sensitivity:
+            sink.error(
+                "VASS processes must have a sensitivity list (they react "
+                "to events, execute their body and suspend)",
+                stmt.location,
+            )
+        for inner in ast.walk_sequential(stmt.body):
+            if isinstance(inner, ast.WaitStmt):
+                sink.error(
+                    "wait statements are not allowed in VASS processes",
+                    inner.location,
+                )
+        _check_signal_write_then_read(design, stmt, sink)
+        _check_sensitivity_events(design, stmt, sink)
+
+
+def _check_signal_write_then_read(
+    design: AnalyzedDesign, process: ast.ProcessStmt, sink: DiagnosticSink
+) -> None:
+    """A signal cannot be referenced after being assigned in a process.
+
+    This is the paper's rule that makes each *signal* realizable as a
+    single memory block (no separate driver cell).  The check is a linear
+    scan with branch-sensitive recursion: an assignment in any branch
+    "poisons" the signal for all following statements.
+    """
+
+    def scan(stmts: Sequence[ast.SequentialStmt], written: Set[str]) -> Set[str]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.SignalAssignment, ast.VariableAssignment)):
+                for name in ast.referenced_names(stmt.value):
+                    symbol = design.scope.lookup(name)
+                    if (
+                        name in written
+                        and symbol is not None
+                        and symbol.object_class is ast.ObjectClass.SIGNAL
+                    ):
+                        sink.error(
+                            f"signal {name!r} is referenced after being "
+                            "assigned in the same process; VASS forbids "
+                            "this so each signal needs only one memory "
+                            "block",
+                            stmt.location,
+                        )
+                if isinstance(stmt, ast.SignalAssignment):
+                    written = written | {stmt.target}
+            elif isinstance(stmt, ast.IfStmt):
+                merged = set(written)
+                for cond, body in stmt.branches:
+                    for name in ast.referenced_names(cond):
+                        symbol = design.scope.lookup(name)
+                        if (
+                            name in written
+                            and symbol is not None
+                            and symbol.object_class is ast.ObjectClass.SIGNAL
+                        ):
+                            sink.error(
+                                f"signal {name!r} is referenced after being "
+                                "assigned in the same process",
+                                stmt.location,
+                            )
+                    merged |= scan(body, set(written))
+                merged |= scan(stmt.else_body, set(written))
+                written = merged
+            elif isinstance(stmt, ast.CaseStmt):
+                merged = set(written)
+                for _, body in stmt.alternatives:
+                    merged |= scan(body, set(written))
+                if stmt.others is not None:
+                    merged |= scan(stmt.others, set(written))
+                written = merged
+            elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+                written = written | scan(stmt.body, set(written))
+        return written
+
+    scan(process.body, set())
+
+
+def _check_sensitivity_events(
+    design: AnalyzedDesign, process: ast.ProcessStmt, sink: DiagnosticSink
+) -> None:
+    """Events must originate in the continuous-time part ('above) or the
+    external environment (ports/signals)."""
+    for event in process.sensitivity:
+        if isinstance(event, ast.AttributeExpr) and event.attribute == "above":
+            continue
+        if isinstance(event, ast.Name):
+            symbol = design.scope.lookup(event.identifier)
+            if symbol is None:
+                sink.error(
+                    f"undeclared name {event.identifier!r} in sensitivity list",
+                    event.location,
+                )
+            elif symbol.object_class is ast.ObjectClass.QUANTITY:
+                sink.error(
+                    f"quantity {event.identifier!r} cannot appear directly "
+                    "in a sensitivity list; use 'above(threshold) events",
+                    event.location,
+                )
+            continue
+        sink.error(
+            "sensitivity list entries must be signals, ports or "
+            "quantity'above(threshold) expressions",
+            event.location,
+        )
+
+
+def _check_procedurals(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    """Procedurals are stateless: every variable must be assigned before
+    it is read (no information survives between invocations)."""
+    for stmt in design.architecture.statements:
+        if not isinstance(stmt, ast.ProceduralStmt):
+            continue
+        local_names = {d.name for d in stmt.declarations}
+        assigned: Set[str] = set()
+
+        def scan(stmts: Sequence[ast.SequentialStmt], assigned: Set[str]) -> Set[str]:
+            for inner in stmts:
+                if isinstance(inner, ast.VariableAssignment):
+                    reads = set(ast.referenced_names(inner.value))
+                    for name in reads & local_names - assigned:
+                        # Reading an unassigned local would require memory
+                        # across invocations, which procedurals do not have.
+                        if isinstance(inner, ast.VariableAssignment):
+                            sink.error(
+                                f"variable {name!r} is read before being "
+                                "assigned in a procedural; procedurals are "
+                                "stateless between invocations",
+                                inner.location,
+                            )
+                    assigned = assigned | {inner.target}
+                elif isinstance(inner, ast.IfStmt):
+                    merged: Set[str] = set(assigned)
+                    branch_sets = []
+                    for _, body in inner.branches:
+                        branch_sets.append(scan(body, set(assigned)))
+                    branch_sets.append(scan(inner.else_body, set(assigned)))
+                    # A name counts as assigned after the if only when every
+                    # branch assigns it (and an else exists).
+                    if inner.else_body and branch_sets:
+                        always = set.intersection(*branch_sets)
+                        merged |= always
+                    assigned = merged
+                elif isinstance(inner, ast.WhileStmt):
+                    # Loop-carried values are sampled (S/H), not memory;
+                    # the while checker validates them separately.
+                    assigned = assigned | _assigned_names(inner.body)
+                elif isinstance(inner, ast.ForStmt):
+                    assigned = scan(inner.body, assigned | {inner.variable})
+            return assigned
+
+        scan(stmt.body, assigned)
+
+
+def check_subset_restrictions(design: AnalyzedDesign, sink: DiagnosticSink) -> None:
+    """Run every VASS restriction check, reporting into ``sink``."""
+    _check_terminal_facets(design, sink)
+    _check_for_loops(design, sink)
+    _check_while_loops(design, sink)
+    _check_processes(design, sink)
+    _check_procedurals(design, sink)

@@ -1,0 +1,695 @@
+"""Semantic analysis for VASS programs.
+
+The analyzer builds symbol tables for an (entity, architecture) pair,
+type-checks all expressions, folds static constant expressions, and runs
+the VASS subset restriction checks (see :mod:`repro.vass.restrictions`).
+Its output, :class:`AnalyzedDesign`, is the compiler's input.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.diagnostics import (
+    DiagnosticSink,
+    NO_LOCATION,
+    SemanticError,
+    SourceLocation,
+)
+from repro.vass import ast_nodes as ast
+
+
+class ValueType(enum.Enum):
+    """The VASS type universe."""
+
+    REAL = "real"
+    INTEGER = "integer"
+    BIT = "bit"
+    BIT_VECTOR = "bit_vector"
+    BOOLEAN = "boolean"
+    REAL_VECTOR = "real_vector"
+
+    def is_analog(self) -> bool:
+        return self in (ValueType.REAL, ValueType.REAL_VECTOR)
+
+    def is_discrete(self) -> bool:
+        return not self.is_analog()
+
+
+_TYPE_BY_NAME = {
+    "real": ValueType.REAL,
+    "voltage": ValueType.REAL,
+    "current": ValueType.REAL,
+    "integer": ValueType.INTEGER,
+    "bit": ValueType.BIT,
+    "bit_vector": ValueType.BIT_VECTOR,
+    "boolean": ValueType.BOOLEAN,
+    "real_vector": ValueType.REAL_VECTOR,
+    "electrical": ValueType.REAL,  # terminal nature
+}
+
+
+def value_type_of(mark: ast.TypeMark) -> ValueType:
+    """Map a type mark onto the VASS type universe."""
+    vtype = _TYPE_BY_NAME.get(mark.name)
+    if vtype is None:
+        raise SemanticError(f"unknown type {mark.name!r}")
+    return vtype
+
+
+@dataclass
+class Symbol:
+    """One declared name visible in the architecture."""
+
+    name: str
+    object_class: ast.ObjectClass
+    value_type: ValueType
+    mode: Optional[ast.PortMode] = None  # None for non-port objects
+    is_port: bool = False
+    annotations: List[ast.Annotation] = field(default_factory=list)
+    initial: Optional[ast.Expression] = None
+    static_value: Optional[float] = None  # folded value for constants
+    bounds: Optional[tuple] = None  # for vectors
+    location: SourceLocation = NO_LOCATION
+
+    def annotation(self, cls: type) -> Optional[ast.Annotation]:
+        for ann in self.annotations:
+            if isinstance(ann, cls):
+                return ann
+        return None
+
+
+class Scope:
+    """A flat, single-level symbol table with an optional parent."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self._symbols: Dict[str, Symbol] = {}
+        self.parent = parent
+
+    def declare(self, symbol: Symbol) -> None:
+        if symbol.name in self._symbols:
+            raise SemanticError(
+                f"duplicate declaration of {symbol.name!r}", symbol.location
+            )
+        self._symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._symbols:
+                return scope._symbols[name]
+            scope = scope.parent
+        return None
+
+    def require(self, name: str, location: SourceLocation = NO_LOCATION) -> Symbol:
+        symbol = self.lookup(name)
+        if symbol is None:
+            raise SemanticError(f"undeclared name {name!r}", location)
+        return symbol
+
+    def symbols(self) -> List[Symbol]:
+        return list(self._symbols.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Static expression evaluation (constant folding)
+# ---------------------------------------------------------------------------
+
+_STATIC_FUNCTIONS = {
+    "log": math.log,
+    "ln": math.log,
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "arctan": math.atan,
+    "sign": lambda x: math.copysign(1.0, x) if x != 0 else 0.0,
+}
+
+
+def eval_static(
+    expr: ast.Expression, scope: Optional[Scope] = None
+) -> Union[float, bool, str]:
+    """Evaluate a static (compile-time constant) expression.
+
+    Raises :class:`SemanticError` when the expression references
+    anything that is not a constant.
+    """
+    if isinstance(expr, ast.IntegerLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        return expr.value
+    if isinstance(expr, ast.BooleanLiteral):
+        return expr.value
+    if isinstance(expr, ast.CharacterLiteral):
+        return expr.value
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if scope is not None:
+            symbol = scope.lookup(expr.identifier)
+            if (
+                symbol is not None
+                and symbol.object_class is ast.ObjectClass.CONSTANT
+                and symbol.static_value is not None
+            ):
+                return symbol.static_value
+        raise SemanticError(
+            f"{expr.identifier!r} is not a static constant", expr.location
+        )
+    if isinstance(expr, ast.UnaryOp):
+        value = eval_static(expr.operand, scope)
+        if expr.operator == "-":
+            return -float(value)
+        if expr.operator == "+":
+            return float(value)
+        if expr.operator == "abs":
+            return abs(float(value))
+        if expr.operator == "not":
+            return not bool(value)
+        raise SemanticError(f"unknown unary operator {expr.operator!r}", expr.location)
+    if isinstance(expr, ast.BinaryOp):
+        left = eval_static(expr.left, scope)
+        right = eval_static(expr.right, scope)
+        op = expr.operator
+        if op == "+":
+            return float(left) + float(right)
+        if op == "-":
+            return float(left) - float(right)
+        if op == "*":
+            return float(left) * float(right)
+        if op == "/":
+            if float(right) == 0.0:
+                raise SemanticError("division by zero in static expression",
+                                    expr.location)
+            return float(left) / float(right)
+        if op == "**":
+            return float(left) ** float(right)
+        if op == "mod":
+            return float(left) % float(right)
+        if op == "=":
+            return left == right
+        if op == "/=":
+            return left != right
+        if op == "<":
+            return float(left) < float(right)
+        if op == "<=":
+            return float(left) <= float(right)
+        if op == ">":
+            return float(left) > float(right)
+        if op == ">=":
+            return float(left) >= float(right)
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+        raise SemanticError(f"operator {op!r} is not static", expr.location)
+    if isinstance(expr, ast.FunctionCall) and expr.name in _STATIC_FUNCTIONS:
+        args = [float(eval_static(a, scope)) for a in expr.arguments]
+        return _STATIC_FUNCTIONS[expr.name](*args)
+    raise SemanticError("expression is not static", expr.location)
+
+
+def is_static(expr: ast.Expression, scope: Optional[Scope] = None) -> bool:
+    """True when :func:`eval_static` would succeed on ``expr``."""
+    try:
+        eval_static(expr, scope)
+        return True
+    except SemanticError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Expression type inference
+# ---------------------------------------------------------------------------
+
+_BOOLEAN_OPERATORS = frozenset({"=", "/=", "<", "<=", ">", ">="})
+_LOGICAL_OPERATORS = frozenset({"and", "or", "nand", "nor", "xor", "xnor"})
+_ARITHMETIC_OPERATORS = frozenset({"+", "-", "*", "/", "**", "mod", "rem"})
+
+
+class TypeChecker:
+    """Infers and checks expression types against a scope."""
+
+    def __init__(self, scope: Scope, sink: DiagnosticSink):
+        self._scope = scope
+        self._sink = sink
+
+    def infer(self, expr: ast.Expression) -> ValueType:
+        """Infer the type of ``expr``, reporting errors to the sink."""
+        if isinstance(expr, (ast.IntegerLiteral,)):
+            return ValueType.INTEGER
+        if isinstance(expr, ast.RealLiteral):
+            return ValueType.REAL
+        if isinstance(expr, ast.CharacterLiteral):
+            return ValueType.BIT
+        if isinstance(expr, ast.StringLiteral):
+            return ValueType.BIT_VECTOR
+        if isinstance(expr, ast.BooleanLiteral):
+            return ValueType.BOOLEAN
+        if isinstance(expr, ast.Name):
+            symbol = self._scope.lookup(expr.identifier)
+            if symbol is None:
+                self._sink.error(
+                    f"undeclared name {expr.identifier!r}", expr.location
+                )
+                return ValueType.REAL
+            return symbol.value_type
+        if isinstance(expr, ast.IndexedName):
+            base = self.infer(expr.prefix)
+            self.infer(expr.index)
+            if base is ValueType.REAL_VECTOR:
+                return ValueType.REAL
+            if base is ValueType.BIT_VECTOR:
+                return ValueType.BIT
+            self._sink.error("indexing a non-composite value", expr.location)
+            return ValueType.REAL
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.infer(expr.operand)
+            if expr.operator == "not":
+                if operand not in (ValueType.BOOLEAN, ValueType.BIT):
+                    self._sink.error("'not' requires boolean or bit", expr.location)
+                return operand
+            if operand not in (ValueType.REAL, ValueType.INTEGER):
+                self._sink.error(
+                    f"unary {expr.operator!r} requires a numeric operand",
+                    expr.location,
+                )
+            return operand
+        if isinstance(expr, ast.BinaryOp):
+            return self._infer_binary(expr)
+        if isinstance(expr, ast.FunctionCall):
+            for arg in expr.arguments:
+                self.infer(arg)
+            return ValueType.REAL
+        if isinstance(expr, ast.AttributeExpr):
+            return self._infer_attribute(expr)
+        if isinstance(expr, ast.Aggregate):
+            for element in expr.elements:
+                etype = self.infer(element)
+                if etype not in (ValueType.REAL, ValueType.INTEGER):
+                    self._sink.error(
+                        "aggregate elements must be numeric", expr.location
+                    )
+            return ValueType.REAL_VECTOR
+        self._sink.error("unsupported expression form", expr.location)
+        return ValueType.REAL
+
+    def _infer_binary(self, expr: ast.BinaryOp) -> ValueType:
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        op = expr.operator
+        if op in _LOGICAL_OPERATORS:
+            for side, vtype in (("left", left), ("right", right)):
+                if vtype not in (ValueType.BOOLEAN, ValueType.BIT):
+                    self._sink.error(
+                        f"{side} operand of {op!r} must be boolean or bit",
+                        expr.location,
+                    )
+            return ValueType.BOOLEAN
+        if op in _BOOLEAN_OPERATORS:
+            if left.is_analog() != right.is_analog() and not (
+                {left, right} <= {ValueType.REAL, ValueType.INTEGER}
+            ):
+                if {left, right} != {ValueType.BIT, ValueType.BIT} and not (
+                    left == right
+                ):
+                    self._sink.error(
+                        f"comparison {op!r} between incompatible types "
+                        f"{left.value} and {right.value}",
+                        expr.location,
+                    )
+            return ValueType.BOOLEAN
+        if op in _ARITHMETIC_OPERATORS:
+            for side, vtype in (("left", left), ("right", right)):
+                if vtype not in (ValueType.REAL, ValueType.INTEGER):
+                    self._sink.error(
+                        f"{side} operand of {op!r} must be numeric, got "
+                        f"{vtype.value}",
+                        expr.location,
+                    )
+            if ValueType.REAL in (left, right):
+                return ValueType.REAL
+            return ValueType.INTEGER
+        if op == "&":
+            return ValueType.BIT_VECTOR
+        self._sink.error(f"unknown operator {op!r}", expr.location)
+        return ValueType.REAL
+
+    def _infer_attribute(self, expr: ast.AttributeExpr) -> ValueType:
+        attribute = expr.attribute
+        prefix_type = self.infer(expr.prefix)
+        for arg in expr.arguments:
+            self.infer(arg)
+        if attribute == "above":
+            if not prefix_type.is_analog():
+                self._sink.error("'above requires a quantity prefix", expr.location)
+            if len(expr.arguments) != 1:
+                self._sink.error("'above takes exactly one argument", expr.location)
+            return ValueType.BOOLEAN
+        if attribute == "ltf":
+            if not prefix_type.is_analog():
+                self._sink.error("'ltf requires a quantity prefix",
+                                 expr.location)
+            if len(expr.arguments) != 2:
+                self._sink.error(
+                    "'ltf takes numerator and denominator coefficient "
+                    "vectors",
+                    expr.location,
+                )
+            return ValueType.REAL
+        if attribute in ("dot", "integ", "delayed", "zoh"):
+            if not prefix_type.is_analog():
+                self._sink.error(
+                    f"'{attribute} requires a quantity prefix", expr.location
+                )
+            return ValueType.REAL
+        if attribute in ("event", "active"):
+            return ValueType.BOOLEAN
+        if attribute == "last_value":
+            return prefix_type
+        self._sink.error(f"unsupported attribute '{attribute}", expr.location)
+        return ValueType.REAL
+
+
+# ---------------------------------------------------------------------------
+# Analyzed design
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalyzedDesign:
+    """Semantic analysis result: the compiler's input."""
+
+    entity: ast.EntityDecl
+    architecture: ast.ArchitectureBody
+    scope: Scope
+    sink: DiagnosticSink
+
+    @property
+    def name(self) -> str:
+        return self.entity.name
+
+    def symbol(self, name: str) -> Symbol:
+        return self.scope.require(name)
+
+    def ports(self) -> List[Symbol]:
+        return [s for s in self.scope.symbols() if s.is_port]
+
+    def quantities(self) -> List[Symbol]:
+        return [
+            s
+            for s in self.scope.symbols()
+            if s.object_class is ast.ObjectClass.QUANTITY
+        ]
+
+    def signals(self) -> List[Symbol]:
+        return [
+            s for s in self.scope.symbols() if s.object_class is ast.ObjectClass.SIGNAL
+        ]
+
+    def input_quantities(self) -> List[Symbol]:
+        return [
+            s
+            for s in self.ports()
+            if s.object_class is ast.ObjectClass.QUANTITY
+            and s.mode in (ast.PortMode.IN, ast.PortMode.INOUT)
+        ]
+
+    def output_quantities(self) -> List[Symbol]:
+        return [
+            s
+            for s in self.ports()
+            if s.object_class is ast.ObjectClass.QUANTITY
+            and s.mode in (ast.PortMode.OUT, ast.PortMode.INOUT)
+        ]
+
+
+def _declare_port(scope: Scope, port: ast.PortDecl, sink: DiagnosticSink) -> None:
+    try:
+        vtype = value_type_of(port.type_mark)
+    except SemanticError as err:
+        sink.error(err.bare_message, port.location)
+        vtype = ValueType.REAL
+    if port.object_class is ast.ObjectClass.QUANTITY and not vtype.is_analog():
+        sink.error(
+            f"quantity port {port.name!r} must have a nature type", port.location
+        )
+    if port.object_class is ast.ObjectClass.SIGNAL and vtype is ValueType.REAL_VECTOR:
+        sink.error(
+            f"signal port {port.name!r} cannot be a real vector", port.location
+        )
+    scope.declare(
+        Symbol(
+            name=port.name,
+            object_class=port.object_class,
+            value_type=vtype,
+            mode=port.mode,
+            is_port=True,
+            annotations=list(port.annotations),
+            bounds=port.type_mark.bounds,
+            location=port.location,
+        )
+    )
+
+
+def _declare_object(scope: Scope, decl: ast.ObjectDecl, sink: DiagnosticSink) -> None:
+    try:
+        vtype = value_type_of(decl.type_mark)
+    except SemanticError as err:
+        sink.error(err.bare_message, decl.location)
+        vtype = ValueType.REAL
+    if decl.object_class is ast.ObjectClass.QUANTITY and not vtype.is_analog():
+        sink.error(
+            f"quantity {decl.name!r} must have a nature type "
+            "(real or composite of reals)",
+            decl.location,
+        )
+    symbol = Symbol(
+        name=decl.name,
+        object_class=decl.object_class,
+        value_type=vtype,
+        annotations=list(decl.annotations),
+        initial=decl.initial,
+        bounds=decl.type_mark.bounds,
+        location=decl.location,
+    )
+    if decl.object_class is ast.ObjectClass.CONSTANT:
+        if decl.initial is None:
+            sink.error(f"constant {decl.name!r} needs a value", decl.location)
+        else:
+            try:
+                value = eval_static(decl.initial, scope)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    symbol.static_value = float(value)
+            except SemanticError as err:
+                sink.error(err.bare_message, decl.location)
+    try:
+        scope.declare(symbol)
+    except SemanticError as err:
+        sink.error(err.bare_message, decl.location)
+
+
+def _check_statement_expressions(
+    design: AnalyzedDesign, checker: TypeChecker, sink: DiagnosticSink
+) -> None:
+    """Type-check every expression reachable from the architecture body."""
+
+    def check_sequential(stmts: List[ast.SequentialStmt], scope: Scope) -> None:
+        local = TypeChecker(scope, sink)
+        for stmt in stmts:
+            if isinstance(stmt, ast.SignalAssignment):
+                target = scope.lookup(stmt.target)
+                if target is None:
+                    sink.error(f"undeclared signal {stmt.target!r}", stmt.location)
+                elif target.object_class not in (
+                    ast.ObjectClass.SIGNAL,
+                ):
+                    sink.error(
+                        f"'<=' target {stmt.target!r} must be a signal", stmt.location
+                    )
+                local.infer(stmt.value)
+            elif isinstance(stmt, ast.VariableAssignment):
+                target = scope.lookup(stmt.target)
+                if target is None:
+                    sink.error(f"undeclared name {stmt.target!r}", stmt.location)
+                elif target.object_class not in (
+                    ast.ObjectClass.VARIABLE,
+                    ast.ObjectClass.QUANTITY,
+                ):
+                    sink.error(
+                        f"':=' target {stmt.target!r} must be a variable or "
+                        "quantity",
+                        stmt.location,
+                    )
+                if stmt.index is not None:
+                    local.infer(stmt.index)
+                local.infer(stmt.value)
+            elif isinstance(stmt, ast.IfStmt):
+                for cond, body in stmt.branches:
+                    ctype = local.infer(cond)
+                    if ctype not in (ValueType.BOOLEAN, ValueType.BIT):
+                        sink.error("if condition must be boolean", stmt.location)
+                    check_sequential(body, scope)
+                check_sequential(stmt.else_body, scope)
+            elif isinstance(stmt, ast.CaseStmt):
+                local.infer(stmt.selector)
+                for choices, body in stmt.alternatives:
+                    for choice in choices:
+                        local.infer(choice)
+                    check_sequential(body, scope)
+                if stmt.others is not None:
+                    check_sequential(stmt.others, scope)
+            elif isinstance(stmt, ast.WhileStmt):
+                ctype = local.infer(stmt.condition)
+                if ctype not in (ValueType.BOOLEAN, ValueType.BIT):
+                    sink.error("while condition must be boolean", stmt.location)
+                check_sequential(stmt.body, scope)
+            elif isinstance(stmt, ast.ForStmt):
+                local.infer(stmt.low)
+                local.infer(stmt.high)
+                loop_scope = Scope(parent=scope)
+                loop_scope.declare(
+                    Symbol(
+                        name=stmt.variable,
+                        object_class=ast.ObjectClass.CONSTANT,
+                        value_type=ValueType.INTEGER,
+                        location=stmt.location,
+                    )
+                )
+                check_sequential(stmt.body, loop_scope)
+
+    def check_concurrent(stmts: List[ast.ConcurrentStmt], scope: Scope) -> None:
+        local = TypeChecker(scope, sink)
+        for stmt in stmts:
+            if isinstance(stmt, ast.SimpleSimultaneous):
+                lt = local.infer(stmt.lhs)
+                rt = local.infer(stmt.rhs)
+                if not lt.is_analog() and lt is not ValueType.INTEGER:
+                    sink.error(
+                        "simultaneous statement sides must be analog expressions",
+                        stmt.location,
+                    )
+                if not rt.is_analog() and rt is not ValueType.INTEGER:
+                    sink.error(
+                        "simultaneous statement sides must be analog expressions",
+                        stmt.location,
+                    )
+            elif isinstance(stmt, ast.SimultaneousIf):
+                for cond, body in stmt.branches:
+                    ctype = local.infer(cond)
+                    if ctype not in (ValueType.BOOLEAN, ValueType.BIT):
+                        sink.error(
+                            "simultaneous if condition must be boolean",
+                            stmt.location,
+                        )
+                    check_concurrent(body, scope)
+                check_concurrent(stmt.else_body, scope)
+            elif isinstance(stmt, ast.SimultaneousCase):
+                local.infer(stmt.selector)
+                for choices, body in stmt.alternatives:
+                    for choice in choices:
+                        local.infer(choice)
+                    check_concurrent(body, scope)
+                if stmt.others is not None:
+                    check_concurrent(stmt.others, scope)
+            elif isinstance(stmt, ast.ProcessStmt):
+                process_scope = Scope(parent=scope)
+                for decl in stmt.declarations:
+                    _declare_object(process_scope, decl, sink)
+                proc_checker = TypeChecker(process_scope, sink)
+                for event in stmt.sensitivity:
+                    proc_checker.infer(event)
+                check_sequential(stmt.body, process_scope)
+            elif isinstance(stmt, ast.ProceduralStmt):
+                procedural_scope = Scope(parent=scope)
+                for decl in stmt.declarations:
+                    _declare_object(procedural_scope, decl, sink)
+                check_sequential(stmt.body, procedural_scope)
+
+    check_concurrent(design.architecture.statements, design.scope)
+
+
+def analyze(
+    source: ast.SourceFile,
+    entity_name: Optional[str] = None,
+    check_restrictions: bool = True,
+    architecture_name: Optional[str] = None,
+) -> AnalyzedDesign:
+    """Analyze one (entity, architecture) pair of ``source``.
+
+    ``entity_name`` selects the entity (default: the file's single
+    entity); ``architecture_name`` selects among several architectures
+    of that entity (default: the last analyzed, VHDL's binding rule).
+    Raises :class:`SemanticError` on any violation.
+    """
+    from repro.vass.restrictions import check_subset_restrictions
+
+    sink = DiagnosticSink()
+    entities = source.entities
+    if entity_name is None:
+        if len(entities) != 1:
+            raise SemanticError(
+                f"source has {len(entities)} entities; pass entity_name"
+            )
+        entity = entities[0]
+    else:
+        found = source.entity(entity_name)
+        if found is None:
+            raise SemanticError(f"entity {entity_name!r} not found")
+        entity = found
+
+    architecture = source.architecture_of(entity.name, architecture_name)
+    if architecture is None:
+        if architecture_name is not None:
+            raise SemanticError(
+                f"entity {entity.name!r} has no architecture "
+                f"{architecture_name!r}"
+            )
+        raise SemanticError(f"no architecture for entity {entity.name!r}")
+
+    scope = Scope()
+    for package in source.packages:
+        for decl in package.declarations:
+            _declare_object(scope, decl, sink)
+    for generic in entity.generics:
+        _declare_object(scope, generic, sink)
+    for port in entity.ports:
+        _declare_port(scope, port, sink)
+    for decl in architecture.declarations:
+        _declare_object(scope, decl, sink)
+
+    design = AnalyzedDesign(
+        entity=entity, architecture=architecture, scope=scope, sink=sink
+    )
+    checker = TypeChecker(scope, sink)
+    _check_statement_expressions(design, checker, sink)
+    if check_restrictions:
+        check_subset_restrictions(design, sink)
+    sink.check("semantic analysis", SemanticError)
+    return design
+
+
+def analyze_source(
+    text: str,
+    entity_name: Optional[str] = None,
+    filename: str = "<string>",
+    check_restrictions: bool = True,
+    architecture_name: Optional[str] = None,
+) -> AnalyzedDesign:
+    """Parse and analyze VASS source text in one call."""
+    from repro.vass.parser import parse_source
+
+    return analyze(
+        parse_source(text, filename),
+        entity_name=entity_name,
+        check_restrictions=check_restrictions,
+        architecture_name=architecture_name,
+    )

@@ -1,0 +1,68 @@
+"""Graphviz DOT export for VHIF designs (documentation / debugging)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vhif.design import VhifDesign
+from repro.vhif.fsm import Fsm, START_STATE
+from repro.vhif.sfg import SignalFlowGraph
+
+
+def sfg_to_dot(sfg: SignalFlowGraph) -> str:
+    """Render one signal-flow graph as a DOT digraph."""
+    lines: List[str] = [f'digraph "{sfg.name}" {{', "  rankdir=LR;"]
+    for block in sorted(sfg.blocks, key=lambda b: b.block_id):
+        shape = "box"
+        if block.kind.is_io():
+            shape = "ellipse"
+        elif block.kind.has_control():
+            shape = "diamond"
+        label = block.kind.value
+        if "gain" in block.params:
+            label += f"\\ngain={block.params['gain']}"
+        if "value" in block.params:
+            label += f"\\n{block.params['value']}"
+        if "threshold" in block.params:
+            label += f"\\nth={block.params['threshold']}"
+        lines.append(
+            f'  b{block.block_id} [label="{block.name}\\n{label}", shape={shape}];'
+        )
+    for net in sfg.nets:
+        for sink in net.sinks:
+            style = ' [style=dashed, label="ctrl"]' if sink.is_control else ""
+            lines.append(f"  b{net.driver} -> b{sink.block_id}{style};")
+    for signal, endpoints in sfg.control_bindings.items():
+        node = f'ctrl_{signal.replace("-", "_")}'
+        lines.append(f'  {node} [label="{signal}", shape=cds];')
+        for endpoint in endpoints:
+            lines.append(f"  {node} -> b{endpoint.block_id} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fsm_to_dot(fsm: Fsm) -> str:
+    """Render one FSM as a DOT digraph."""
+    lines: List[str] = [f'digraph "{fsm.name}" {{']
+    for state in fsm.states:
+        shape = "doublecircle" if state.name == START_STATE else "circle"
+        ops = "\\n".join(str(op) for op in state.operations)
+        label = state.name if not ops else f"{state.name}\\n{ops}"
+        lines.append(f'  "{state.name}" [label="{label}", shape={shape}];')
+    for transition in fsm.transitions:
+        label = str(transition.condition)
+        lines.append(
+            f'  "{transition.source}" -> "{transition.target}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def design_to_dot(design: VhifDesign) -> str:
+    """Render a whole design as one DOT document with subgraph clusters."""
+    parts = [f"// VHIF design {design.name}"]
+    for sfg in design.sfgs:
+        parts.append(sfg_to_dot(sfg))
+    for fsm in design.fsms:
+        parts.append(fsm_to_dot(fsm))
+    return "\n\n".join(parts)

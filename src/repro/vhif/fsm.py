@@ -1,0 +1,409 @@
+"""Finite state machines: the event-driven half of VHIF.
+
+Event-driven behavior (including event-driven *analog* functionality
+such as comparators and Schmitt triggers) is represented by an FSM whose
+states each denote a set of concurrent data-path operations, with arcs
+optionally controlled by conditions (paper Section 4, Figure 3b).
+
+Conditions form a small boolean algebra over *event terms*:
+
+* :class:`AboveEvent` — an event on ``quantity'above(threshold)``
+  (originates in the continuous-time part);
+* :class:`PortEvent` — an event on an external port or a *signal*;
+* :class:`SignalEquals` — a level test on a *signal*'s current value
+  (used on conditional arcs, e.g. ``c1 = '1'``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.diagnostics import VaseError
+from repro.vass import ast_nodes as ast
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Base class of transition conditions."""
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        raise NotImplementedError
+
+    def event_names(self) -> FrozenSet[str]:
+        """Names of events/signals this condition depends on."""
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class AboveEvent(Condition):
+    """Event on ``quantity'above(threshold)`` — true on either crossing."""
+
+    quantity: str
+    threshold: float = 0.0
+    threshold_name: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        """Canonical event name linking the FSM to its comparator block."""
+        return f"{self.quantity}'above({self.threshold:g})"
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return bool(env.get(f"event:{self.key}", False))
+
+    def event_names(self) -> FrozenSet[str]:
+        return frozenset({self.key})
+
+    def __str__(self) -> str:
+        thr = self.threshold_name or repr(self.threshold)
+        return f"event {self.quantity}'above({thr})"
+
+
+@dataclass(frozen=True)
+class PortEvent(Condition):
+    """Event (any value change) on a signal or external port."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return bool(env.get(f"event:{self.name}", False))
+
+    def event_names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"event {self.name}"
+
+
+@dataclass(frozen=True)
+class SignalEquals(Condition):
+    """Level test ``signal = value`` on a transition arc."""
+
+    name: str
+    value: object
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return env.get(self.name) == self.value
+
+    def event_names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class BoolTest(Condition):
+    """Truth test of an arbitrary boolean-valued environment entry."""
+
+    name: str
+    negate: bool = False
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        value = bool(env.get(self.name, False))
+        return (not value) if self.negate else value
+
+    def event_names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"{'not ' if self.negate else ''}{self.name}"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition = field(default_factory=Condition)
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return not self.operand.evaluate(env)
+
+    def event_names(self) -> FrozenSet[str]:
+        return self.operand.event_names()
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AnyOf(Condition):
+    """Logical OR of conditions (e.g. the OR of sensitivity events)."""
+
+    operands: tuple = ()
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return any(op.evaluate(env) for op in self.operands)
+
+    def event_names(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for op in self.operands:
+            names |= op.event_names()
+        return frozenset(names)
+
+    def __str__(self) -> str:
+        return " or ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class AllOf(Condition):
+    """Logical AND of conditions."""
+
+    operands: tuple = ()
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return all(op.evaluate(env) for op in self.operands)
+
+    def event_names(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for op in self.operands:
+            names |= op.event_names()
+        return frozenset(names)
+
+    def __str__(self) -> str:
+        return " and ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class ExprCondition(Condition):
+    """A condition given as a VASS expression over the environment.
+
+    Evaluated with :func:`repro.vhif.interp.eval_discrete`; architecture
+    synthesis lowers it onto comparator/level-detector circuits.  The
+    canonical string of the expression serves as identity.
+    """
+
+    expr: object = None  # ast.Expression; object keeps the dataclass frozen
+    text: str = ""
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        from repro.vhif.interp import eval_discrete
+
+        value = eval_discrete(self.expr, env)  # type: ignore[arg-type]
+        if isinstance(value, str):
+            return value == "1"
+        return bool(value)
+
+    def event_names(self) -> FrozenSet[str]:
+        names = {
+            n.identifier
+            for n in ast.walk_expression(self.expr)  # type: ignore[arg-type]
+            if isinstance(n, ast.Name)
+        }
+        return frozenset(names)
+
+    def __str__(self) -> str:
+        return self.text or str(self.expr)
+
+
+ALWAYS = AllOf(operands=())
+ALWAYS_DOC = "unconditional transition"
+
+
+# ---------------------------------------------------------------------------
+# Data-path operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DataOp:
+    """One operation of a state's data-path: ``target <- expr``.
+
+    ``is_signal`` distinguishes *signal* assignments (which allocate a
+    memory block in hardware) from process-local variable updates.
+    Expressions are kept as VASS AST nodes and evaluated by the VHIF
+    interpreter; architecture synthesis maps them onto data-path
+    elements.
+    """
+
+    target: str
+    expr: ast.Expression
+    is_signal: bool = False
+
+    def reads(self) -> List[str]:
+        return ast.referenced_names(self.expr)
+
+    def __str__(self) -> str:
+        arrow = "<=" if self.is_signal else ":="
+        return f"{self.target} {arrow} {self.expr}"
+
+
+@dataclass
+class State:
+    """A set of concurrent data-path operations."""
+
+    name: str
+    operations: List[DataOp] = field(default_factory=list)
+
+    def writes(self) -> Set[str]:
+        return {op.target for op in self.operations}
+
+    def reads(self) -> Set[str]:
+        names: Set[str] = set()
+        for op in self.operations:
+            names.update(op.reads())
+        return names
+
+    def __str__(self) -> str:
+        ops = "; ".join(str(op) for op in self.operations) or "(no ops)"
+        return f"state {self.name}: {ops}"
+
+
+@dataclass
+class Transition:
+    """An arc of the FSM, optionally controlled by a condition."""
+
+    source: str
+    target: str
+    condition: Condition = ALWAYS
+
+    def __str__(self) -> str:
+        cond = str(self.condition) if self.condition is not ALWAYS else "always"
+        return f"{self.source} -> {self.target} [{cond}]"
+
+
+START_STATE = "start"
+
+
+class Fsm:
+    """The event-driven part of a VHIF design.
+
+    Every FSM has a ``start`` state denoting the *suspended* status of
+    the process; resuming by an event is the transition from ``start``
+    controlled by the OR of sensitivity-list events.  After the last
+    state the process suspends again (implicit return to ``start``).
+    """
+
+    def __init__(self, name: str = "fsm"):
+        self.name = name
+        self._states: Dict[str, State] = {START_STATE: State(name=START_STATE)}
+        self._transitions: List[Transition] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_state(self, name: str) -> State:
+        if name in self._states:
+            raise VaseError(f"duplicate FSM state {name!r}")
+        state = State(name=name)
+        self._states[name] = state
+        return state
+
+    def add_transition(
+        self, source: str, target: str, condition: Condition = ALWAYS
+    ) -> Transition:
+        for endpoint in (source, target):
+            if endpoint not in self._states:
+                raise VaseError(f"unknown FSM state {endpoint!r}")
+        transition = Transition(source=source, target=target, condition=condition)
+        self._transitions.append(transition)
+        return transition
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def start(self) -> State:
+        return self._states[START_STATE]
+
+    @property
+    def states(self) -> List[State]:
+        return list(self._states.values())
+
+    @property
+    def transitions(self) -> List[Transition]:
+        return list(self._transitions)
+
+    def state(self, name: str) -> State:
+        return self._states[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def transitions_from(self, name: str) -> List[Transition]:
+        return [t for t in self._transitions if t.source == name]
+
+    def n_states(self) -> int:
+        """Number of operational states (Table-1 count, excludes start)."""
+        return len(self._states) - 1
+
+    def datapath_elements(self) -> int:
+        """Distinct data-path element count across states (Table 1).
+
+        A data-path element is a hardware resource: one memory block per
+        distinct assigned target (VASS guarantees one memory block per
+        signal) plus one operator element per distinct non-trivial
+        expression (an expression that is not a plain literal or name).
+        """
+        targets: Set[str] = set()
+        operator_exprs: Set[str] = set()
+        for state in self._states.values():
+            for op in state.operations:
+                targets.add(op.target)
+                if not isinstance(
+                    op.expr,
+                    (
+                        ast.CharacterLiteral,
+                        ast.IntegerLiteral,
+                        ast.RealLiteral,
+                        ast.BooleanLiteral,
+                        ast.StringLiteral,
+                        ast.Name,
+                    ),
+                ):
+                    operator_exprs.add(str(op.expr))
+        return len(targets) + len(operator_exprs)
+
+    def output_signals(self) -> Set[str]:
+        """Signals assigned by any state's data-path (control outputs)."""
+        out: Set[str] = set()
+        for state in self._states.values():
+            for op in state.operations:
+                if op.is_signal:
+                    out.add(op.target)
+        return out
+
+    def event_names(self) -> Set[str]:
+        names: Set[str] = set()
+        for transition in self._transitions:
+            names |= set(transition.condition.event_names())
+        return names
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`VaseError` on defects."""
+        if not self.transitions_from(START_STATE) and self.n_states() > 0:
+            raise VaseError(f"FSM {self.name!r}: start state has no resume arc")
+        reachable: Set[str] = set()
+        stack = [START_STATE]
+        while stack:
+            current = stack.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            for transition in self.transitions_from(current):
+                stack.append(transition.target)
+        unreachable = set(self._states) - reachable
+        if unreachable:
+            raise VaseError(
+                f"FSM {self.name!r}: unreachable states "
+                + ", ".join(sorted(unreachable))
+            )
+
+    def describe(self) -> str:
+        lines = [f"fsm {self.name!r}:"]
+        for state in self._states.values():
+            lines.append(f"  {state}")
+        for transition in self._transitions:
+            lines.append(f"  {transition}")
+        return "\n".join(lines)
+
+
+def sensitivity_condition(events: Sequence[Condition]) -> Condition:
+    """OR of sensitivity-list events (paper: no arbitration needed since
+    only one event occurs at a time)."""
+    if not events:
+        raise VaseError("process must have at least one sensitivity event")
+    if len(events) == 1:
+        return events[0]
+    return AnyOf(operands=tuple(events))

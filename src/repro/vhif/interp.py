@@ -1,0 +1,495 @@
+"""Behavioral interpreter for VHIF designs.
+
+Simulates the technology-independent representation directly: the
+signal-flow graphs are evaluated block by block in dataflow order with a
+fixed time step, integrators carry state, and the FSMs react to events
+exactly as the paper's process model prescribes (resume on event,
+execute the entire state chain, suspend).
+
+The interpreter serves two purposes:
+
+* it lets the compiler's output be *executed*, so integration tests can
+  check that a compiled design computes what its VASS source specifies;
+* it provides the reference behavior that the synthesized op-amp netlist
+  (simulated by :mod:`repro.spice`) must track.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diagnostics import SimulationError
+from repro.vass import ast_nodes as ast
+from repro.vhif.design import VhifDesign
+from repro.vhif.fsm import Fsm, START_STATE, State
+from repro.vhif.sfg import Block, BlockKind, SignalFlowGraph
+
+InputFunction = Callable[[float], float]
+
+_MATH_FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "log": math.log,
+    "ln": math.log,
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "arctan": math.atan,
+    "sign": lambda x: math.copysign(1.0, x) if x != 0 else 0.0,
+}
+
+
+def eval_discrete(expr: ast.Expression, env: Mapping[str, object]) -> object:
+    """Evaluate a data-path expression against the discrete environment."""
+    if isinstance(expr, ast.IntegerLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        return expr.value
+    if isinstance(expr, ast.CharacterLiteral):
+        return expr.value
+    if isinstance(expr, ast.BooleanLiteral):
+        return expr.value
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.identifier not in env:
+            raise SimulationError(
+                f"name {expr.identifier!r} is not defined in the data-path "
+                "environment"
+            )
+        return env[expr.identifier]
+    if isinstance(expr, ast.UnaryOp):
+        value = eval_discrete(expr.operand, env)
+        if expr.operator == "-":
+            return -float(value)  # type: ignore[arg-type]
+        if expr.operator == "+":
+            return float(value)  # type: ignore[arg-type]
+        if expr.operator == "abs":
+            return abs(float(value))  # type: ignore[arg-type]
+        if expr.operator == "not":
+            return not _truthy(value)
+        raise SimulationError(f"unknown unary operator {expr.operator!r}")
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.operator
+        left = eval_discrete(expr.left, env)
+        right = eval_discrete(expr.right, env)
+        if op in ("and", "or", "xor", "nand", "nor", "xnor"):
+            lb, rb = _truthy(left), _truthy(right)
+            if op == "and":
+                return lb and rb
+            if op == "or":
+                return lb or rb
+            if op == "xor":
+                return lb != rb
+            if op == "nand":
+                return not (lb and rb)
+            if op == "nor":
+                return not (lb or rb)
+            return lb == rb
+        if op == "=":
+            return _values_equal(left, right)
+        if op == "/=":
+            return not _values_equal(left, right)
+        lf, rf = float(left), float(right)  # type: ignore[arg-type]
+        if op == "+":
+            return lf + rf
+        if op == "-":
+            return lf - rf
+        if op == "*":
+            return lf * rf
+        if op == "/":
+            return lf / rf
+        if op == "**":
+            return lf ** rf
+        if op == "mod":
+            return lf % rf
+        if op == "<":
+            return lf < rf
+        if op == "<=":
+            return lf <= rf
+        if op == ">":
+            return lf > rf
+        if op == ">=":
+            return lf >= rf
+        raise SimulationError(f"unknown operator {op!r}")
+    if isinstance(expr, ast.FunctionCall):
+        fn = _MATH_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise SimulationError(f"unknown function {expr.name!r}")
+        args = [float(eval_discrete(a, env)) for a in expr.arguments]  # type: ignore[arg-type]
+        return fn(*args)
+    if isinstance(expr, ast.AttributeExpr):
+        if expr.attribute == "above":
+            prefix = eval_discrete(expr.prefix, env)
+            threshold = float(eval_discrete(expr.arguments[0], env))  # type: ignore[arg-type]
+            return float(prefix) > threshold  # type: ignore[arg-type]
+        raise SimulationError(f"attribute '{expr.attribute} not supported here")
+    raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _truthy(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return value == "1"
+    return bool(value)
+
+
+def _values_equal(left: object, right: object) -> bool:
+    if isinstance(left, str) or isinstance(right, str):
+        return str(left) == str(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _truthy(left) == _truthy(right)
+    return float(left) == float(right)  # type: ignore[arg-type]
+
+
+@dataclass
+class TraceSet:
+    """Recorded simulation traces, keyed by probe name."""
+
+    time: np.ndarray
+    values: Dict[str, np.ndarray]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.values[name]
+
+    def final(self, name: str) -> float:
+        return float(self.values[name][-1])
+
+    def names(self) -> List[str]:
+        return sorted(self.values)
+
+
+class Interpreter:
+    """Fixed-step behavioral simulator for a :class:`VhifDesign`."""
+
+    def __init__(
+        self,
+        design: VhifDesign,
+        dt: float = 1e-5,
+        inputs: Optional[Mapping[str, InputFunction]] = None,
+    ):
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        self.design = design
+        self.dt = dt
+        self.inputs: Dict[str, InputFunction] = dict(inputs or {})
+        self.time = 0.0
+
+        # Per-SFG precomputed evaluation order.
+        self._orders: Dict[str, List[Block]] = {
+            sfg.name: sfg.topological_order() for sfg in design.sfgs
+        }
+        # Block outputs: (sfg name, block id) -> float or bool.
+        self._values: Dict[Tuple[str, int], object] = {}
+        # Integrator state / S&H held values / switch held values.
+        self._state: Dict[Tuple[str, int], float] = {}
+        self._prev_input: Dict[Tuple[str, int], float] = {}
+        # Discrete environment: signals, process variables, constants.
+        self.env: Dict[str, object] = dict(design.constants)
+        # Previous values used for event (edge) detection.
+        self._prev_event_values: Dict[str, object] = {}
+        # FSM bookkeeping: all processes start suspended.
+        self._fsm_state: Dict[str, str] = {
+            fsm.name: START_STATE for fsm in design.fsms
+        }
+        self._initialize()
+
+    # -- initialization -----------------------------------------------------
+
+    def _initialize(self) -> None:
+        for sfg in self.design.sfgs:
+            for block in sfg.blocks:
+                key = (sfg.name, block.block_id)
+                if block.kind is BlockKind.INTEGRATE:
+                    self._state[key] = float(block.params.get("initial", 0.0))
+                elif block.kind in (BlockKind.SAMPLE_HOLD, BlockKind.SWITCH):
+                    self._state[key] = float(block.params.get("initial", 0.0))
+                elif block.kind is BlockKind.COMPARATOR:
+                    self._state[key] = 0.0  # hysteresis memory (0/1)
+                self._values[key] = 0.0
+        # Signals default to '0' (bit) — the compiler records declared
+        # signals in design.constants only when they are real constants.
+        for fsm in self.design.fsms:
+            for signal in fsm.output_signals():
+                self.env.setdefault(signal, "0")
+        for signal in self.design.external_signals:
+            self.env.setdefault(signal, "0")
+        self._input_block_names = {
+            block.name
+            for sfg in self.design.sfgs
+            for block in sfg.inputs
+        }
+
+    # -- block evaluation -------------------------------------------------------
+
+    def _control_value(self, sfg: SignalFlowGraph, block: Block) -> object:
+        driver = sfg.control_driver_of(block)
+        if driver is not None:
+            return self._values[(sfg.name, driver.block_id)]
+        signal = sfg.control_signal_of(block)
+        if signal is not None:
+            return self.env.get(signal, "0")
+        return "1"  # uncontrolled blocks behave transparently
+
+    def _eval_block(self, sfg: SignalFlowGraph, block: Block) -> object:
+        key = (sfg.name, block.block_id)
+        kind = block.kind
+
+        def input_value(port: int) -> float:
+            pred = sfg.driver_of(block, port)
+            if pred is None:
+                raise SimulationError(
+                    f"{sfg.name}: input {port} of {block.describe()} undriven"
+                )
+            return float(self._values[(sfg.name, pred.block_id)])  # type: ignore[arg-type]
+
+        if kind is BlockKind.INPUT:
+            fn = self.inputs.get(block.name)
+            if fn is None:
+                return 0.0
+            return float(fn(self.time))
+        if kind is BlockKind.CONST:
+            return float(block.params["value"])  # type: ignore[arg-type]
+        if kind is BlockKind.OUTPUT:
+            return input_value(0)
+        if kind is BlockKind.ADD:
+            return sum(input_value(p) for p in range(block.n_inputs))
+        if kind is BlockKind.SUB:
+            return input_value(0) - input_value(1)
+        if kind is BlockKind.MUL:
+            return input_value(0) * input_value(1)
+        if kind is BlockKind.DIV:
+            denominator = input_value(1)
+            if abs(denominator) < 1e-12:
+                denominator = math.copysign(1e-12, denominator or 1.0)
+            return input_value(0) / denominator
+        if kind is BlockKind.SCALE:
+            return block.gain * input_value(0)
+        if kind is BlockKind.NEG:
+            return -input_value(0)
+        if kind is BlockKind.INTEGRATE:
+            return self._state[key]
+        if kind is BlockKind.DIFFERENTIATE:
+            previous = self._prev_input.get(key, input_value(0))
+            current = input_value(0)
+            return (current - previous) / self.dt
+        if kind is BlockKind.LOG:
+            argument = input_value(0)
+            return math.log(max(argument, 1e-30))
+        if kind is BlockKind.EXP:
+            return math.exp(min(input_value(0), 700.0))
+        if kind is BlockKind.ABS:
+            return abs(input_value(0))
+        if kind is BlockKind.LIMIT:
+            low = float(block.params.get("low", -1.0))
+            high = float(block.params.get("high", 1.0))
+            return min(max(input_value(0), low), high)
+        if kind is BlockKind.SAMPLE_HOLD:
+            if _truthy(self._control_value(sfg, block)):
+                self._state[key] = input_value(0)
+            return self._state[key]
+        if kind is BlockKind.SWITCH:
+            if _truthy(self._control_value(sfg, block)):
+                self._state[key] = input_value(0)
+            return self._state[key]
+        if kind is BlockKind.MUX:
+            select = self._control_value(sfg, block)
+            if isinstance(select, bool) or isinstance(select, str):
+                index = 0 if _truthy(select) else 1
+            else:
+                index = int(select)
+            index = min(max(index, 0), block.n_inputs - 1)
+            return input_value(index)
+        if kind is BlockKind.COMPARATOR:
+            threshold = float(block.params.get("threshold", 0.0))
+            hysteresis = float(block.params.get("hysteresis", 0.0))
+            value = input_value(0)
+            was_high = self._state[key] > 0.5
+            if was_high:
+                high = value > threshold - hysteresis
+            else:
+                high = value > threshold + hysteresis
+            self._state[key] = 1.0 if high else 0.0
+            if block.params.get("invert"):
+                return not high
+            return high
+        if kind is BlockKind.ADC:
+            bits = int(block.params.get("bits", 8))
+            full_scale = float(block.params.get("full_scale", 5.0))
+            if not _truthy(self._control_value(sfg, block)):
+                return self._values[key]
+            value = input_value(0)
+            levels = (1 << bits) - 1
+            code = round(min(max(value / full_scale, 0.0), 1.0) * levels)
+            return code * full_scale / levels
+        if kind is BlockKind.DAC:
+            return input_value(0)
+        if kind is BlockKind.BUFFER:
+            return input_value(0)
+        raise SimulationError(f"cannot evaluate block kind {kind.value!r}")
+
+    def _integrate_states(self, sfg: SignalFlowGraph) -> None:
+        """Advance integrator states with the current block outputs."""
+        for block in sfg.blocks_of_kind(BlockKind.INTEGRATE):
+            key = (sfg.name, block.block_id)
+            pred = sfg.driver_of(block, 0)
+            if pred is None:
+                continue
+            rate = float(self._values[(sfg.name, pred.block_id)])  # type: ignore[arg-type]
+            self._state[key] += block.gain * rate * self.dt
+        for block in sfg.blocks_of_kind(BlockKind.DIFFERENTIATE):
+            key = (sfg.name, block.block_id)
+            pred = sfg.driver_of(block, 0)
+            if pred is not None:
+                self._prev_input[key] = float(
+                    self._values[(sfg.name, pred.block_id)]  # type: ignore[arg-type]
+                )
+
+    # -- event detection -----------------------------------------------------------
+
+    def _detect_events(self) -> None:
+        """Populate ``event:*`` entries of the environment for this step."""
+        current: Dict[str, object] = {}
+        # 'above events from comparator blocks registered as event sources.
+        for event_name, (sfg_name, block_id) in self.design.event_sources.items():
+            current[event_name] = self._values[(sfg_name, block_id)]
+            # The FSM data-path may test the level of the 'above expression.
+            self.env[event_name] = self._values[(sfg_name, block_id)]
+        # Signal events: value changes of FSM-visible signals.
+        for fsm in self.design.fsms:
+            for name in fsm.event_names():
+                if name in current or name.endswith("'above"):
+                    continue
+                if name in self.env:
+                    current[name] = self.env[name]
+        for name, value in current.items():
+            if name not in self._prev_event_values:
+                # VHDL semantics: every process executes once at time
+                # zero, so the first observation counts as an event.
+                self.env[f"event:{name}"] = True
+            else:
+                previous = self._prev_event_values[name]
+                self.env[f"event:{name}"] = previous != value
+            self._prev_event_values[name] = value
+        # Quantity taps: make continuous values visible to data-paths.
+        for qname, (sfg_name, block_id) in self.design.quantity_taps.items():
+            self.env[qname] = self._values[(sfg_name, block_id)]
+
+    # -- FSM execution -----------------------------------------------------------------
+
+    def _run_fsm(self, fsm: Fsm) -> None:
+        """Resume the process if an event fires; run to suspension."""
+        current = self._fsm_state[fsm.name]
+        if current != START_STATE:
+            # A previous step left the FSM mid-chain (should not happen in
+            # the paper's model, but be safe): continue from there.
+            pass
+        steps = 0
+        while True:
+            steps += 1
+            if steps > 1000:
+                raise SimulationError(
+                    f"FSM {fsm.name!r} did not suspend after 1000 transitions"
+                )
+            moved = False
+            for transition in fsm.transitions_from(current):
+                if transition.condition.evaluate(self.env):
+                    current = transition.target
+                    if current != START_STATE:
+                        self._execute_state(fsm.state(current))
+                    moved = True
+                    break
+            if not moved:
+                # No enabled outgoing arc: the process suspends.
+                current = START_STATE
+                break
+            if current == START_STATE:
+                break
+        self._fsm_state[fsm.name] = current
+
+    def _execute_state(self, state: State) -> None:
+        # Operations of a state are concurrent: read all, then write all.
+        updates: List[Tuple[str, object]] = []
+        for op in state.operations:
+            updates.append((op.target, eval_discrete(op.expr, self.env)))
+        for target, value in updates:
+            self.env[target] = value
+
+    # -- stepping -------------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one time step."""
+        # External *signal* ports: sample their stimulus functions into
+        # the discrete environment (bit values as '0'/'1' characters).
+        for name, fn in self.inputs.items():
+            if name in self._input_block_names:
+                continue  # analog input, handled at its INPUT block
+            value = fn(self.time)
+            if isinstance(value, str):
+                self.env[name] = value
+            elif isinstance(value, bool):
+                self.env[name] = "1" if value else "0"
+            else:
+                self.env[name] = "1" if float(value) > 0.5 else "0"
+        for sfg in self.design.sfgs:
+            for block in self._orders[sfg.name]:
+                self._values[(sfg.name, block.block_id)] = self._eval_block(
+                    sfg, block
+                )
+        self._detect_events()
+        for fsm in self.design.fsms:
+            self._run_fsm(fsm)
+        for sfg in self.design.sfgs:
+            self._integrate_states(sfg)
+        self.time += self.dt
+
+    def probe(self, name: str) -> object:
+        """Current value of a named block output, port or signal."""
+        for sfg in self.design.sfgs:
+            for block in sfg.blocks:
+                if block.name == name:
+                    return self._values[(sfg.name, block.block_id)]
+        if name in self.env:
+            return self.env[name]
+        raise SimulationError(f"no probe target named {name!r}")
+
+    def run(
+        self,
+        t_end: float,
+        probes: Sequence[str] = (),
+    ) -> TraceSet:
+        """Simulate until ``t_end`` and record the named probes."""
+        n_steps = max(1, int(round(t_end / self.dt)))
+        times = np.empty(n_steps)
+        records: Dict[str, List[float]] = {name: [] for name in probes}
+        for i in range(n_steps):
+            self.step()
+            times[i] = self.time
+            for name in probes:
+                value = self.probe(name)
+                if isinstance(value, bool):
+                    records[name].append(1.0 if value else 0.0)
+                elif isinstance(value, str):
+                    records[name].append(1.0 if value == "1" else 0.0)
+                else:
+                    records[name].append(float(value))  # type: ignore[arg-type]
+        return TraceSet(
+            time=times,
+            values={name: np.asarray(vals) for name, vals in records.items()},
+        )
+
+
+def simulate(
+    design: VhifDesign,
+    t_end: float,
+    dt: float = 1e-5,
+    inputs: Optional[Mapping[str, InputFunction]] = None,
+    probes: Sequence[str] = (),
+) -> TraceSet:
+    """One-call simulation of a VHIF design."""
+    return Interpreter(design, dt=dt, inputs=inputs).run(t_end, probes=probes)

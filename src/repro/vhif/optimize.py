@@ -1,0 +1,183 @@
+"""Technology-independent optimization passes over signal-flow graphs.
+
+The compile step's structural output sometimes carries redundant
+arithmetic (gain chains from algebraic rearrangement, double
+inversions).  These peephole passes clean it up while provably
+preserving the graph's input/output function (the property suite
+simulates before/after on random graphs):
+
+* **scale fusion** — ``SCALE(g1) -> SCALE(g2)`` with private fan-out
+  collapses to ``SCALE(g1*g2)``;
+* **negation absorption** — ``NEG`` next to a ``SCALE`` folds into the
+  gain's sign; ``NEG -> NEG`` cancels;
+* **identity elimination** — ``SCALE(gain=1)`` disappears;
+* **integrator gain absorption** — a private ``SCALE`` in front of an
+  ``INTEGRATE`` multiplies into the integrator gain.
+
+Blocks registered as quantity taps or event sources are pinned: their
+identity is externally visible, so passes never remove them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.vhif.design import VhifDesign
+from repro.vhif.sfg import Block, BlockKind, SignalFlowGraph
+
+
+@dataclass
+class OptimizeReport:
+    """What the optimizer did."""
+
+    fused_scales: int = 0
+    cancelled_negations: int = 0
+    absorbed_negations: int = 0
+    removed_identities: int = 0
+    absorbed_into_integrators: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.fused_scales
+            + self.cancelled_negations
+            + self.absorbed_negations
+            + self.removed_identities
+            + self.absorbed_into_integrators
+        )
+
+    def describe(self) -> str:
+        if not self.total:
+            return "no rewrites applied"
+        parts = []
+        if self.fused_scales:
+            parts.append(f"{self.fused_scales} scale fusions")
+        if self.cancelled_negations:
+            parts.append(f"{self.cancelled_negations} NEG pairs cancelled")
+        if self.absorbed_negations:
+            parts.append(f"{self.absorbed_negations} NEGs absorbed")
+        if self.removed_identities:
+            parts.append(f"{self.removed_identities} unity gains removed")
+        if self.absorbed_into_integrators:
+            parts.append(
+                f"{self.absorbed_into_integrators} gains into integrators"
+            )
+        return ", ".join(parts)
+
+
+def _private_successor(
+    sfg: SignalFlowGraph, block: Block
+) -> Optional[Block]:
+    """The unique data sink of ``block``, or None."""
+    successors = sfg.successors(block)
+    if len(successors) != 1:
+        return None
+    sink, port = successors[0]
+    if port < 0:
+        return None
+    return sink
+
+
+def _single_pass(
+    sfg: SignalFlowGraph, pinned: Set[int], report: OptimizeReport
+) -> bool:
+    """One sweep of all rewrites; returns True when something changed."""
+    for block in list(sfg.blocks):
+        if block not in sfg or block.block_id in pinned:
+            continue
+        kind = block.kind
+
+        # SCALE(1.0) -> wire.
+        if kind is BlockKind.SCALE and block.gain == 1.0:
+            if sfg.driver_of(block, 0) is not None and sfg.fanout(block):
+                sfg.bypass(block)
+                report.removed_identities += 1
+                return True
+
+        # SCALE -> SCALE fusion (downstream must be private and unpinned).
+        if kind is BlockKind.SCALE:
+            sink = _private_successor(sfg, block)
+            if (
+                sink is not None
+                and sink.kind is BlockKind.SCALE
+                and sink.block_id not in pinned
+            ):
+                sink.params["gain"] = block.gain * sink.gain
+                sfg.bypass(block)
+                report.fused_scales += 1
+                return True
+            if (
+                sink is not None
+                and sink.kind is BlockKind.INTEGRATE
+                and sink.block_id not in pinned
+            ):
+                sink.params["gain"] = sink.gain * block.gain
+                sfg.bypass(block)
+                report.absorbed_into_integrators += 1
+                return True
+
+        if kind is BlockKind.NEG:
+            sink = _private_successor(sfg, block)
+            if sink is not None and sink.block_id not in pinned:
+                if sink.kind is BlockKind.NEG:
+                    # NEG -> NEG cancels to a wire.
+                    driver = sfg.driver_of(block, 0)
+                    if driver is not None:
+                        sfg.bypass(block)
+                        sfg.bypass(sink)
+                        report.cancelled_negations += 1
+                        return True
+                if sink.kind is BlockKind.SCALE:
+                    sink.params["gain"] = -sink.gain
+                    sfg.bypass(block)
+                    report.absorbed_negations += 1
+                    return True
+                if sink.kind is BlockKind.INTEGRATE:
+                    sink.params["gain"] = -sink.gain
+                    sfg.bypass(block)
+                    report.absorbed_negations += 1
+                    return True
+            # SCALE -> NEG: pull the sign into the scale.
+            driver = sfg.driver_of(block, 0)
+            if (
+                driver is not None
+                and driver.kind is BlockKind.SCALE
+                and driver.block_id not in pinned
+                and sfg.fanout(driver) == 1
+            ):
+                driver.params["gain"] = -driver.gain
+                sfg.bypass(block)
+                report.absorbed_negations += 1
+                return True
+    return False
+
+
+def optimize_sfg(
+    sfg: SignalFlowGraph, pinned: Optional[Set[int]] = None
+) -> OptimizeReport:
+    """Run all rewrites on one graph to a fixed point."""
+    report = OptimizeReport()
+    pinned = set(pinned or ())
+    for _ in range(10 * max(len(sfg), 1)):
+        if not _single_pass(sfg, pinned, report):
+            break
+    return report
+
+
+def optimize_design(design: VhifDesign) -> OptimizeReport:
+    """Optimize every SFG of a design, pinning externally visible blocks."""
+    total = OptimizeReport()
+    pinned_by_sfg: dict = {}
+    for _name, (sfg_name, block_id) in design.quantity_taps.items():
+        pinned_by_sfg.setdefault(sfg_name, set()).add(block_id)
+    for _key, (sfg_name, block_id) in design.event_sources.items():
+        pinned_by_sfg.setdefault(sfg_name, set()).add(block_id)
+    for sfg in design.sfgs:
+        report = optimize_sfg(sfg, pinned=pinned_by_sfg.get(sfg.name))
+        total.fused_scales += report.fused_scales
+        total.cancelled_negations += report.cancelled_negations
+        total.absorbed_negations += report.absorbed_negations
+        total.removed_identities += report.removed_identities
+        total.absorbed_into_integrators += report.absorbed_into_integrators
+    return total

@@ -1,0 +1,310 @@
+"""JSON serialization of VHIF designs.
+
+VHIF is "a representation for structural description of analog
+systems" [2] — a persistent interchange format.  This module round-trips
+a :class:`~repro.vhif.design.VhifDesign` through plain JSON so designs
+can be stored, diffed, and reloaded without recompiling the VASS source.
+
+FSM data-path expressions and transition conditions are serialized as
+VASS expression text (via the pretty-printer) and re-parsed on load;
+condition trees rebuild from a small tagged encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.diagnostics import VaseError
+from repro.vass.parser import parse_expression
+from repro.vass.printer import print_expression
+from repro.vhif.design import PortInfo, VhifDesign
+from repro.vhif.fsm import (
+    ALWAYS,
+    AboveEvent,
+    AllOf,
+    AnyOf,
+    BoolTest,
+    Condition,
+    DataOp,
+    ExprCondition,
+    Fsm,
+    Not,
+    PortEvent,
+    SignalEquals,
+    START_STATE,
+)
+from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT, SignalFlowGraph
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+def _condition_to_json(condition: Condition) -> dict:
+    if isinstance(condition, AboveEvent):
+        return {
+            "kind": "above",
+            "quantity": condition.quantity,
+            "threshold": condition.threshold,
+            "threshold_name": condition.threshold_name,
+        }
+    if isinstance(condition, PortEvent):
+        return {"kind": "port_event", "name": condition.name}
+    if isinstance(condition, SignalEquals):
+        return {
+            "kind": "signal_equals",
+            "name": condition.name,
+            "value": condition.value,
+        }
+    if isinstance(condition, BoolTest):
+        return {
+            "kind": "bool_test",
+            "name": condition.name,
+            "negate": condition.negate,
+        }
+    if isinstance(condition, Not):
+        return {"kind": "not", "operand": _condition_to_json(condition.operand)}
+    if isinstance(condition, AnyOf):
+        return {
+            "kind": "any_of",
+            "operands": [_condition_to_json(c) for c in condition.operands],
+        }
+    if isinstance(condition, AllOf):
+        return {
+            "kind": "all_of",
+            "operands": [_condition_to_json(c) for c in condition.operands],
+        }
+    if isinstance(condition, ExprCondition):
+        return {
+            "kind": "expr",
+            "text": print_expression(condition.expr),  # type: ignore[arg-type]
+        }
+    raise VaseError(f"cannot serialize condition {type(condition).__name__}")
+
+
+def _condition_from_json(data: dict) -> Condition:
+    kind = data["kind"]
+    if kind == "above":
+        return AboveEvent(
+            quantity=data["quantity"],
+            threshold=data["threshold"],
+            threshold_name=data.get("threshold_name"),
+        )
+    if kind == "port_event":
+        return PortEvent(name=data["name"])
+    if kind == "signal_equals":
+        return SignalEquals(name=data["name"], value=data["value"])
+    if kind == "bool_test":
+        return BoolTest(name=data["name"], negate=data["negate"])
+    if kind == "not":
+        return Not(operand=_condition_from_json(data["operand"]))
+    if kind == "any_of":
+        return AnyOf(
+            operands=tuple(
+                _condition_from_json(c) for c in data["operands"]
+            )
+        )
+    if kind == "all_of":
+        return AllOf(
+            operands=tuple(
+                _condition_from_json(c) for c in data["operands"]
+            )
+        )
+    if kind == "expr":
+        text = data["text"]
+        return ExprCondition(expr=parse_expression(text), text=text)
+    raise VaseError(f"unknown condition kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Signal-flow graphs
+# ---------------------------------------------------------------------------
+
+
+def _sfg_to_json(sfg: SignalFlowGraph) -> dict:
+    blocks = []
+    for block in sorted(sfg.blocks, key=lambda b: b.block_id):
+        blocks.append(
+            {
+                "id": block.block_id,
+                "kind": block.kind.value,
+                "name": block.name,
+                "n_inputs": block.n_inputs,
+                "params": dict(block.params),
+            }
+        )
+    edges = []
+    for net in sfg.nets:
+        for sink in net.sinks:
+            edges.append(
+                {"from": net.driver, "to": sink.block_id, "port": sink.port}
+            )
+    controls = {
+        signal: [e.block_id for e in endpoints]
+        for signal, endpoints in sfg.control_bindings.items()
+    }
+    return {
+        "name": sfg.name,
+        "blocks": blocks,
+        "edges": edges,
+        "control_bindings": controls,
+    }
+
+
+def _sfg_from_json(data: dict) -> SignalFlowGraph:
+    sfg = SignalFlowGraph(data["name"])
+    id_map: Dict[int, Block] = {}
+    for entry in data["blocks"]:
+        block = sfg.add(
+            BlockKind(entry["kind"]),
+            name=entry["name"],
+            n_inputs=entry["n_inputs"],
+            **entry["params"],
+        )
+        if block.block_id != entry["id"]:
+            # Preserve original ids: adjust internal maps directly.
+            sfg._blocks.pop(block.block_id)
+            block.block_id = entry["id"]
+            sfg._blocks[block.block_id] = block
+            sfg._next_block = max(sfg._next_block, entry["id"] + 1)
+        id_map[entry["id"]] = block
+    for edge in data["edges"]:
+        sfg.connect(
+            id_map[edge["from"]], id_map[edge["to"]], port=edge["port"]
+        )
+    for signal, block_ids in data.get("control_bindings", {}).items():
+        for block_id in block_ids:
+            sfg.bind_control(signal, id_map[block_id])
+    return sfg
+
+
+# ---------------------------------------------------------------------------
+# FSMs
+# ---------------------------------------------------------------------------
+
+
+def _fsm_to_json(fsm: Fsm) -> dict:
+    states = []
+    for state in fsm.states:
+        states.append(
+            {
+                "name": state.name,
+                "operations": [
+                    {
+                        "target": op.target,
+                        "expr": print_expression(op.expr),
+                        "is_signal": op.is_signal,
+                    }
+                    for op in state.operations
+                ],
+            }
+        )
+    transitions = [
+        {
+            "source": t.source,
+            "target": t.target,
+            "condition": (
+                _condition_to_json(t.condition)
+                if t.condition is not ALWAYS
+                else None
+            ),
+        }
+        for t in fsm.transitions
+    ]
+    return {"name": fsm.name, "states": states, "transitions": transitions}
+
+
+def _fsm_from_json(data: dict) -> Fsm:
+    fsm = Fsm(name=data["name"])
+    for entry in data["states"]:
+        state = (
+            fsm.start if entry["name"] == START_STATE
+            else fsm.add_state(entry["name"])
+        )
+        for op in entry["operations"]:
+            state.operations.append(
+                DataOp(
+                    target=op["target"],
+                    expr=parse_expression(op["expr"]),
+                    is_signal=op["is_signal"],
+                )
+            )
+    for entry in data["transitions"]:
+        condition = (
+            _condition_from_json(entry["condition"])
+            if entry["condition"] is not None
+            else ALWAYS
+        )
+        fsm.add_transition(entry["source"], entry["target"], condition)
+    return fsm
+
+
+# ---------------------------------------------------------------------------
+# Designs
+# ---------------------------------------------------------------------------
+
+
+def design_to_json(design: VhifDesign) -> dict:
+    """Serialize a design to a JSON-compatible dictionary."""
+    return {
+        "format": "vhif",
+        "version": FORMAT_VERSION,
+        "name": design.name,
+        "sfgs": [_sfg_to_json(sfg) for sfg in design.sfgs],
+        "fsms": [_fsm_to_json(fsm) for fsm in design.fsms],
+        "ports": {name: vars(info) for name, info in design.ports.items()},
+        "event_sources": {
+            key: list(value) for key, value in design.event_sources.items()
+        },
+        "quantity_taps": {
+            key: list(value) for key, value in design.quantity_taps.items()
+        },
+        "constants": dict(design.constants),
+        "external_signals": sorted(design.external_signals),
+    }
+
+
+def design_from_json(data: dict) -> VhifDesign:
+    """Rebuild a design from :func:`design_to_json` output."""
+    if data.get("format") != "vhif":
+        raise VaseError("not a VHIF document")
+    if data.get("version") != FORMAT_VERSION:
+        raise VaseError(
+            f"unsupported VHIF format version {data.get('version')!r}"
+        )
+    design = VhifDesign(data["name"])
+    for sfg_data in data["sfgs"]:
+        design.add_sfg(_sfg_from_json(sfg_data))
+    for fsm_data in data["fsms"]:
+        design.add_fsm(_fsm_from_json(fsm_data))
+    for name, info in data.get("ports", {}).items():
+        fields = dict(info)
+        for key in ("value_range", "frequency_range"):
+            if fields.get(key) is not None:
+                fields[key] = tuple(fields[key])
+        design.add_port(PortInfo(**fields))
+    design.event_sources = {
+        key: tuple(value)
+        for key, value in data.get("event_sources", {}).items()
+    }
+    design.quantity_taps = {
+        key: tuple(value)
+        for key, value in data.get("quantity_taps", {}).items()
+    }
+    design.constants = dict(data.get("constants", {}))
+    design.external_signals = set(data.get("external_signals", []))
+    return design
+
+
+def dumps(design: VhifDesign, indent: int = 2) -> str:
+    """Serialize a design to a JSON string."""
+    return json.dumps(design_to_json(design), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> VhifDesign:
+    """Deserialize a design from a JSON string."""
+    return design_from_json(json.loads(text))

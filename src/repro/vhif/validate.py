@@ -1,0 +1,98 @@
+"""Structural validation of VHIF designs.
+
+Checks that a design is *implementable*: every data input is driven,
+every control-requiring block has a control source, the FSM control
+signals referenced by SFGs are actually produced, and no delay-free
+algebraic loop exists.  Used by tests and as a post-condition of the
+compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.diagnostics import VaseError
+from repro.vhif.sfg import BlockKind, SignalFlowGraph
+
+
+def validate_sfg(sfg: SignalFlowGraph, allowed_orphans=()) -> List[str]:
+    """Return a list of structural problems of one SFG (empty if clean).
+
+    ``allowed_orphans`` lists block ids that legitimately drive no SFG
+    sink (event sources and quantity taps read by the event-driven
+    part).
+    """
+    problems: List[str] = []
+    allowed = set(allowed_orphans)
+    for block in sfg.blocks:
+        for port in range(block.n_inputs):
+            if sfg.driver_of(block, port) is None:
+                problems.append(
+                    f"{sfg.name}: input {port} of {block.describe()} is undriven"
+                )
+        if block.kind.has_control():
+            has_net_control = sfg.control_driver_of(block) is not None
+            has_signal_control = sfg.control_signal_of(block) is not None
+            if not has_net_control and not has_signal_control:
+                problems.append(
+                    f"{sfg.name}: {block.describe()} needs a control input"
+                )
+        if block.kind is BlockKind.OUTPUT and sfg.fanout(block):
+            problems.append(
+                f"{sfg.name}: output block {block.describe()} must not fan out"
+            )
+        if block.kind is BlockKind.SCALE and "gain" not in block.params:
+            problems.append(
+                f"{sfg.name}: {block.describe()} is missing its gain parameter"
+            )
+        if block.kind is BlockKind.CONST and "value" not in block.params:
+            problems.append(
+                f"{sfg.name}: {block.describe()} is missing its value parameter"
+            )
+    orphans = [
+        b
+        for b in sfg.blocks
+        if not b.kind.is_io()
+        and sfg.fanout(b) == 0
+        and b.kind is not BlockKind.COMPARATOR  # may drive FSM events only
+        and b.block_id not in allowed
+    ]
+    for block in orphans:
+        problems.append(f"{sfg.name}: {block.describe()} drives nothing")
+    if sfg.has_algebraic_loop():
+        problems.append(f"{sfg.name}: delay-free algebraic loop")
+    return problems
+
+
+def validate_design(design) -> None:
+    """Validate a whole :class:`~repro.vhif.design.VhifDesign`.
+
+    Raises :class:`VaseError` listing every problem found.
+    """
+    problems: List[str] = []
+    tapped: dict = {}
+    for name, (sfg_name, block_id) in design.quantity_taps.items():
+        tapped.setdefault(sfg_name, set()).add(block_id)
+    for _event, (sfg_name, block_id) in design.event_sources.items():
+        tapped.setdefault(sfg_name, set()).add(block_id)
+    for sfg in design.sfgs:
+        problems.extend(
+            validate_sfg(sfg, allowed_orphans=tapped.get(sfg.name, ()))
+        )
+    produced = design.control_signals() | design.external_signals
+    for sfg in design.sfgs:
+        for signal in sfg.control_bindings:
+            if signal not in produced:
+                problems.append(
+                    f"{sfg.name}: control signal {signal!r} is not produced "
+                    "by any FSM or external signal port"
+                )
+    for fsm in design.fsms:
+        try:
+            fsm.validate()
+        except VaseError as err:
+            problems.append(str(err))
+    if problems:
+        raise VaseError(
+            "VHIF validation failed:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,61 @@
+"""Tests for multi-architecture entities and architecture selection."""
+
+import pytest
+
+from repro.diagnostics import SemanticError
+from repro.compiler import compile_design
+from repro.flow import synthesize
+from repro.vass.parser import parse_source
+from repro.vass.semantics import analyze
+from repro.vhif import BlockKind, Interpreter
+
+TWO_ARCH = """
+ENTITY gain IS
+PORT (QUANTITY u : IN real; QUANTITY y : OUT real);
+END ENTITY;
+
+ARCHITECTURE slow OF gain IS
+BEGIN
+  y == 2.0 * u;
+END ARCHITECTURE;
+
+ARCHITECTURE fast OF gain IS
+BEGIN
+  y == 10.0 * u;
+END ARCHITECTURE;
+"""
+
+
+class TestArchitectureSelection:
+    def test_default_is_last_analyzed(self):
+        design = analyze(parse_source(TWO_ARCH))
+        assert design.architecture.name == "fast"
+
+    def test_select_by_name(self):
+        design = analyze(parse_source(TWO_ARCH), architecture_name="slow")
+        assert design.architecture.name == "slow"
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(SemanticError, match="ghost"):
+            analyze(parse_source(TWO_ARCH), architecture_name="ghost")
+
+    def test_compile_selected_architecture(self):
+        slow = compile_design(TWO_ARCH, architecture_name="slow")
+        fast = compile_design(TWO_ARCH, architecture_name="fast")
+        slow_gain = slow.main_sfg.blocks_of_kind(BlockKind.SCALE)[0].gain
+        fast_gain = fast.main_sfg.blocks_of_kind(BlockKind.SCALE)[0].gain
+        assert slow_gain == 2.0
+        assert fast_gain == 10.0
+
+    def test_synthesize_selected_architecture(self):
+        slow = synthesize(TWO_ARCH, architecture_name="slow")
+        fast = synthesize(TWO_ARCH, architecture_name="fast")
+        assert slow.estimate.area <= fast.estimate.area
+
+    def test_behavior_of_each(self):
+        for name, expected in (("slow", 1.0), ("fast", 5.0)):
+            design = compile_design(TWO_ARCH, architecture_name=name)
+            interp = Interpreter(design, dt=1e-6,
+                                 inputs={"u": lambda t: 0.5})
+            interp.step()
+            assert float(interp.probe("y")) == pytest.approx(expected)

@@ -1,0 +1,275 @@
+"""Tests for the end-to-end VASS-to-VHIF compiler driver."""
+
+import math
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.compiler import CompilerOptions, compile_design, enumerate_solvers
+from repro.vhif import BlockKind, Interpreter, simulate
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+class TestBasicCompilation:
+    def test_pure_equation(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == 3.0 * u;",
+            )
+        )
+        kinds = {b.kind for b in design.main_sfg.processing_blocks()}
+        assert kinds == {BlockKind.SCALE}
+
+    def test_input_blocks_named_after_ports(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == u;",
+            )
+        )
+        assert [b.name for b in design.main_sfg.inputs] == ["u"]
+
+    def test_output_block_exists(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == u;",
+            )
+        )
+        assert [b.name for b in design.main_sfg.outputs] == ["y"]
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(CompileError, match="never defined"):
+            compile_design(
+                wrap("QUANTITY u : IN real; QUANTITY y : OUT real")
+            )
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(CompileError, match="more than one"):
+            compile_design(
+                wrap(
+                    "QUANTITY u : IN real; QUANTITY y : OUT real",
+                    body="""
+  y == u;
+  PROCEDURAL IS BEGIN
+    y := 2.0 * u;
+  END PROCEDURAL;
+""",
+                )
+            )
+
+    def test_constants_recorded(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="CONSTANT k : real := 2.5;",
+                body="y == k * u;",
+            )
+        )
+        assert design.constants["k"] == 2.5
+
+    def test_quantity_taps_registered(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY mid : real;",
+                body="mid == 2.0 * u;\n  y == mid + 1.0;",
+            )
+        )
+        assert "mid" in design.quantity_taps
+
+
+class TestAnnotationDrivenOutputs:
+    def test_limit_annotation_creates_output_stage(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; "
+                "QUANTITY y : OUT real LIMITED AT 2.0 v",
+                body="y == u;",
+            )
+        )
+        limits = design.main_sfg.blocks_of_kind(BlockKind.LIMIT)
+        assert len(limits) == 1
+        assert limits[0].params["role"] == "output_stage"
+        assert limits[0].params["high"] == 2.0
+
+    def test_drive_annotation_creates_buffer(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; "
+                "QUANTITY y : OUT real DRIVES 100.0 ohm AT 1.0 v PEAK",
+                body="y == u;",
+            )
+        )
+        buffers = design.main_sfg.blocks_of_kind(BlockKind.BUFFER)
+        assert len(buffers) == 1
+        assert buffers[0].params["load_ohms"] == 100.0
+
+    def test_unannotated_output_direct(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == u;",
+            )
+        )
+        assert not design.main_sfg.blocks_of_kind(
+            BlockKind.LIMIT, BlockKind.BUFFER
+        )
+
+    def test_port_info_carries_annotations(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real IS current; "
+                "QUANTITY y : OUT real LIMITED AT 1.5 v",
+                body="y == u;",
+            )
+        )
+        assert design.ports["u"].kind == "current"
+        assert design.ports["y"].limit_level == 1.5
+
+
+class TestConstructOrdering:
+    def test_conditional_feeds_equation(self):
+        # The receiver pattern: the DAE reads rvar defined conditionally.
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY r : real; SIGNAL c : bit;",
+                body="""
+  y == u * r;
+  IF (c = '1') USE r == 1.0; ELSE r == 2.0; END USE;
+  PROCESS (u'ABOVE(0.0)) IS
+  BEGIN
+    IF (u'ABOVE(0.0) = TRUE) THEN c <= '1'; ELSE c <= '0'; END IF;
+  END PROCESS;
+""",
+            )
+        )
+        assert design.statistics().n_blocks > 0
+
+    def test_procedural_feeds_equation(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY pre : real;",
+                body="""
+  y == pre + 1.0;
+  PROCEDURAL IS
+  BEGIN
+    pre := 2.0 * u;
+  END PROCEDURAL;
+""",
+            )
+        )
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 3.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(7.0)
+
+    def test_cyclic_constructs_rejected(self):
+        with pytest.raises(CompileError, match="cyclic|loop"):
+            compile_design(
+                wrap(
+                    "QUANTITY u : IN real; QUANTITY y : OUT real",
+                    decls="QUANTITY p : real; QUANTITY q : real;",
+                    body="""
+  p == q + u;
+  PROCEDURAL IS
+  BEGIN
+    q := p * 2.0;
+    y := q;
+  END PROCEDURAL;
+""",
+                )
+            )
+
+
+class TestSolverSelection:
+    SOURCE = wrap(
+        "QUANTITY u : IN real; QUANTITY y : OUT real",
+        decls="QUANTITY a : real;",
+        body="""
+  u == a * 2.0;
+  y == a + u;
+""",
+    )
+
+    def test_enumerate_solvers(self):
+        solvers = enumerate_solvers(self.SOURCE)
+        assert len(solvers) >= 1
+
+    def test_solver_index_selects(self):
+        design0 = compile_design(
+            self.SOURCE, options=CompilerOptions(solver_index=0)
+        )
+        # The selected solver still computes the same function.
+        interp = Interpreter(design0, dt=1e-5, inputs={"u": lambda t: 4.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(6.0)
+
+    def test_solver_index_out_of_range_clamps(self):
+        design = compile_design(
+            self.SOURCE, options=CompilerOptions(solver_index=99)
+        )
+        assert design is not None
+
+
+class TestCompiledBehavior:
+    def test_first_order_filter(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY x : real := 0.0; CONSTANT tau : real := 0.1;",
+                body="""
+  tau * x'dot == u - x;
+  y == x;
+""",
+            )
+        )
+        traces = simulate(
+            design, 0.5, dt=1e-4, inputs={"u": lambda t: 1.0}, probes=["y"]
+        )
+        expected = 1.0 - math.exp(-0.5 / 0.1)
+        assert traces.final("y") == pytest.approx(expected, rel=1e-2)
+
+    def test_nonlinear_drag_equation(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == 0.5 * exp(1.5 * log(u));",  # 0.5 * u^1.5
+            )
+        )
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 4.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(0.5 * 4.0 ** 1.5)
+
+    def test_simultaneous_case_compiles(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY g : real; SIGNAL mode : bit;",
+                body="""
+  y == g * u;
+  CASE mode USE
+    WHEN '1' => g == 2.0;
+    WHEN OTHERS => g == 1.0;
+  END CASE;
+  PROCESS (u'ABOVE(1.0)) IS
+  BEGIN
+    IF (u'ABOVE(1.0) = TRUE) THEN mode <= '1'; ELSE mode <= '0'; END IF;
+  END PROCESS;
+""",
+            )
+        )
+        muxes = design.main_sfg.blocks_of_kind(BlockKind.MUX)
+        assert len(muxes) == 1

@@ -1,0 +1,183 @@
+"""Focused tests for simultaneous if/case compilation."""
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.compiler import compile_design
+from repro.vhif import BlockKind, Interpreter
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+def controller(extra=""):
+    """A process driving bit signal c from u'above(0.5)."""
+    return f"""
+  PROCESS (u'ABOVE(0.5)) IS
+  BEGIN
+    IF (u'ABOVE(0.5) = TRUE) THEN c <= '1'; ELSE c <= '0'; END IF;
+  END PROCESS;
+{extra}"""
+
+
+class TestSimultaneousIf:
+    def compile(self, body, decls="QUANTITY g : real; SIGNAL c : bit;"):
+        return compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls=decls,
+                body=body + controller(),
+            ),
+        )
+
+    def run(self, design, u):
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: u})
+        interp.run(1e-4, probes=[])
+        return float(interp.probe("y"))
+
+    def test_two_branch_values(self):
+        design = self.compile(
+            """
+  y == g * u;
+  IF (c = '1') USE g == 3.0; ELSE g == 1.0; END USE;
+"""
+        )
+        assert self.run(design, 1.0) == pytest.approx(3.0)
+        assert self.run(design, 0.25) == pytest.approx(0.25)
+
+    def test_inverted_polarity_condition(self):
+        design = self.compile(
+            """
+  y == g * u;
+  IF (c = '0') USE g == 3.0; ELSE g == 1.0; END USE;
+"""
+        )
+        assert self.run(design, 1.0) == pytest.approx(1.0)
+        assert self.run(design, 0.25) == pytest.approx(0.75)
+
+    def test_elsif_chain_produces_mux_cascade(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY g : real; SIGNAL c : bit; SIGNAL d : bit;",
+                body="""
+  y == g * u;
+  IF (c = '1') USE g == 3.0;
+  ELSIF (d = '1') USE g == 2.0;
+  ELSE g == 1.0;
+  END USE;
+  PROCESS (u'ABOVE(0.5), u'ABOVE(1.5)) IS
+  BEGIN
+    IF (u'ABOVE(1.5) = TRUE) THEN c <= '1'; ELSE c <= '0'; END IF;
+    IF (u'ABOVE(0.5) = TRUE) THEN d <= '1'; ELSE d <= '0'; END IF;
+  END PROCESS;
+""",
+            ),
+        )
+        muxes = design.main_sfg.blocks_of_kind(BlockKind.MUX)
+        assert len(muxes) == 2
+
+    def test_implicit_branch_equations_solved(self):
+        # Branch equations may be implicit: 2*g == 6 still defines g.
+        design = self.compile(
+            """
+  y == g * u;
+  IF (c = '1') USE 2.0 * g == 6.0; ELSE g + 1.0 == 2.0; END USE;
+"""
+        )
+        assert self.run(design, 1.0) == pytest.approx(3.0)
+        assert self.run(design, 0.2) == pytest.approx(0.2)
+
+    def test_analog_condition_uses_comparator(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY g : real;",
+                body="""
+  y == g * u;
+  IF (u > 1.0) USE g == 2.0; ELSE g == 1.0; END USE;
+""",
+            ),
+        )
+        comparators = design.main_sfg.blocks_of_kind(BlockKind.COMPARATOR)
+        assert len(comparators) == 1
+
+    def test_missing_else_rejected(self):
+        with pytest.raises(CompileError, match="else"):
+            self.compile(
+                """
+  y == g * u;
+  IF (c = '1') USE g == 3.0; END USE;
+"""
+            )
+
+    def test_branch_not_defining_unknown_rejected(self):
+        with pytest.raises(CompileError):
+            self.compile(
+                """
+  y == g * u;
+  IF (c = '1') USE u == 1.0; ELSE g == 1.0; END USE;
+"""
+            )
+
+
+class TestSimultaneousCase:
+    def test_case_with_others(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY g : real; SIGNAL c : bit;",
+                body="""
+  y == g * u;
+  CASE c USE
+    WHEN '1' => g == 5.0;
+    WHEN OTHERS => g == 1.0;
+  END CASE;
+""" + controller(),
+            ),
+        )
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 1.0})
+        interp.run(1e-4, probes=[])
+        assert float(interp.probe("y")) == pytest.approx(5.0)
+
+    def test_case_without_others_uses_last_as_default(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="QUANTITY g : real; SIGNAL c : bit;",
+                body="""
+  y == g * u;
+  CASE c USE
+    WHEN '1' => g == 5.0;
+    WHEN '0' => g == 1.0;
+  END CASE;
+""" + controller(),
+            ),
+        )
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 0.2})
+        interp.run(1e-4, probes=[])
+        assert float(interp.probe("y")) == pytest.approx(0.2)
+
+    def test_non_signal_selector_rejected(self):
+        with pytest.raises(CompileError, match="selector"):
+            compile_design(
+                wrap(
+                    "QUANTITY u : IN real; QUANTITY y : OUT real",
+                    decls="QUANTITY g : real;",
+                    body="""
+  y == g * u;
+  CASE (u + 1.0) USE
+    WHEN 1.0 => g == 5.0;
+    WHEN OTHERS => g == 1.0;
+  END CASE;
+""",
+                ),
+            )

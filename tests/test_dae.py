@@ -1,0 +1,207 @@
+"""Tests for DAE causalization and solver emission."""
+
+import math
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.vass import ast_nodes as ast
+from repro.vass.parser import parse_source
+from repro.vass.semantics import analyze
+from repro.compiler.dae import DaeCompiler, dot_name, strip_dots
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.design import VhifDesign
+from repro.vhif.interp import Interpreter
+from repro.vhif.sfg import BlockKind, SignalFlowGraph
+
+
+def equations_of(body: str, decls: str = "", ports: str = ""):
+    source = f"""
+ENTITY e IS PORT ({ports if ports else 'QUANTITY u : IN real'}); END ENTITY;
+ARCHITECTURE t OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+    design = analyze(parse_source(source), check_restrictions=False)
+    eqs = [
+        s
+        for s in design.architecture.statements
+        if isinstance(s, ast.SimpleSimultaneous)
+    ]
+    return eqs, design
+
+
+class TestStripDots:
+    def test_dot_becomes_name(self):
+        eqs, _ = equations_of("x'dot == u;", decls="QUANTITY x : real;")
+        stripped = strip_dots(eqs[0].lhs)
+        assert isinstance(stripped, ast.Name)
+        assert stripped.identifier == dot_name("x")
+
+    def test_nested_dot(self):
+        eqs, _ = equations_of("x'dot'dot == u;", decls="QUANTITY x : real;")
+        stripped = strip_dots(eqs[0].lhs)
+        assert stripped.identifier == dot_name(dot_name("x"))
+
+    def test_dot_inside_expression(self):
+        eqs, _ = equations_of(
+            "u == 2.0 * x'dot + x;", decls="QUANTITY x : real;"
+        )
+        names = ast.referenced_names(strip_dots(eqs[0].rhs))
+        assert dot_name("x") in names
+        assert "x" in names
+
+
+class TestCausalization:
+    def test_explicit_equation(self):
+        eqs, _ = equations_of("y == 2.0 * u;", decls="QUANTITY y : real;")
+        dae = DaeCompiler(eqs, ["y"])
+        solvers = dae.enumerate_causalizations()
+        assert len(solvers) == 1
+        assert "y" in solvers[0].solutions
+
+    def test_state_from_dot(self):
+        eqs, _ = equations_of("x'dot == u - x;", decls="QUANTITY x : real;")
+        dae = DaeCompiler(eqs, ["x"])
+        solvers = dae.enumerate_causalizations()
+        assert solvers[0].states == {"x": 0.0}
+        assert dot_name("x") in solvers[0].solutions
+
+    def test_initial_value_flows_to_state(self):
+        eqs, _ = equations_of("x'dot == u;", decls="QUANTITY x : real;")
+        dae = DaeCompiler(eqs, ["x"], initial_values={"x": 3.0})
+        solvers = dae.enumerate_causalizations()
+        assert solvers[0].states["x"] == 3.0
+
+    def test_implicit_equation_solved(self):
+        # u == y + 2y  =>  y = u/3
+        eqs, _ = equations_of("u == y + 2.0 * y;", decls="QUANTITY y : real;")
+        dae = DaeCompiler(eqs, ["y"])
+        (solver,) = dae.enumerate_causalizations()
+        assert "y" in solver.solutions
+
+    def test_coupled_system_ordering(self):
+        eqs, _ = equations_of(
+            "a == 2.0 * u;\n  b == a + 1.0;",
+            decls="QUANTITY a : real; QUANTITY b : real;",
+        )
+        dae = DaeCompiler(eqs, ["a", "b"])
+        (solver,) = dae.enumerate_causalizations()
+        assert solver.order.index("a") < solver.order.index("b")
+
+    def test_multiple_causalizations_enumerated(self):
+        # `a` can come from the first or second equation, `b` from the
+        # second or third: several distinct solvers exist.
+        eqs, _ = equations_of(
+            "u == a * 2.0;\n  a == b - 1.0;\n  u == b;",
+            decls="QUANTITY a : real; QUANTITY b : real;",
+        )
+        dae = DaeCompiler(eqs, ["a", "b"])
+        solvers = dae.enumerate_causalizations()
+        assert len(solvers) >= 2
+
+    def test_rank_deficient_system_has_no_solver(self):
+        # u == a + b and a == u - b are the same constraint twice: every
+        # matching leaves a delay-free dependence cycle.
+        eqs, _ = equations_of(
+            "u == a + b;\n  a == u - b;",
+            decls="QUANTITY a : real; QUANTITY b : real;",
+        )
+        dae = DaeCompiler(eqs, ["a", "b"])
+        assert dae.enumerate_causalizations() == []
+
+    def test_algebraic_loop_rejected(self):
+        # a == b and b == a: pure cycle, no valid causalization.
+        eqs, _ = equations_of(
+            "a == b + u;\n  b == a - u;",
+            decls="QUANTITY a : real; QUANTITY b : real;",
+        )
+        dae = DaeCompiler(eqs, ["a", "b"])
+        # Either no solver at all, or only solvers without cycles.
+        for solver in dae.enumerate_causalizations():
+            assert solver.order  # must be topologically ordered
+
+    def test_underdetermined_rejected(self):
+        eqs, _ = equations_of(
+            "u == a + b;", decls="QUANTITY a : real; QUANTITY b : real;"
+        )
+        with pytest.raises(CompileError, match="underdetermined"):
+            DaeCompiler(eqs, ["a", "b"])
+
+    def test_unsolvable_nonlinear(self):
+        eqs, _ = equations_of("u == y * y;", decls="QUANTITY y : real;")
+        dae = DaeCompiler(eqs, ["y"])
+        assert dae.enumerate_causalizations() == []
+
+
+class TestEmission:
+    def emit(self, body, decls, unknowns, initial=None):
+        eqs, design = equations_of(body, decls=decls)
+        vhif = VhifDesign("t")
+        sfg = SignalFlowGraph("main")
+        vhif.add_sfg(sfg)
+        compiler = ExprCompiler(sfg, design.scope)
+        compiler.bind("u", sfg.add(BlockKind.INPUT, name="u"))
+        dae = DaeCompiler(eqs, unknowns, initial_values=initial or {})
+        produced = dae.emit(compiler)
+        return sfg, produced, vhif
+
+    def test_integrator_emitted_for_state(self):
+        sfg, produced, _ = self.emit(
+            "x'dot == u - x;", "QUANTITY x : real;", ["x"]
+        )
+        assert produced["x"].kind is BlockKind.INTEGRATE
+        # The integrator's input is the solved derivative expression.
+        assert sfg.driver_of(produced["x"], 0) is not None
+
+    def test_first_order_lowpass_simulates(self):
+        # x' = (u - x): step response -> 1 - e^{-t}
+        sfg, produced, vhif = self.emit(
+            "x'dot == u - x;", "QUANTITY x : real := 0.0;", ["x"]
+        )
+        out = sfg.add(BlockKind.OUTPUT, name="x_out")
+        sfg.connect(produced["x"], out)
+        interp = Interpreter(vhif, dt=1e-3, inputs={"u": lambda t: 1.0})
+        traces = interp.run(1.0, probes=["x_out"])
+        assert traces.final("x_out") == pytest.approx(
+            1.0 - math.exp(-1.0), rel=5e-3
+        )
+
+    def test_second_order_oscillator(self):
+        # x' = v, v' = -x: harmonic oscillator, energy preserved-ish.
+        eqs, design = equations_of(
+            "x'dot == v;\n  v'dot == 0.0 - x;",
+            decls="QUANTITY x : real := 1.0; QUANTITY v : real := 0.0;",
+        )
+        vhif = VhifDesign("osc")
+        sfg = SignalFlowGraph("main")
+        vhif.add_sfg(sfg)
+        compiler = ExprCompiler(sfg, design.scope)
+        compiler.bind("u", sfg.add(BlockKind.INPUT, name="u"))
+        dae = DaeCompiler(eqs, ["x", "v"], initial_values={"x": 1.0, "v": 0.0})
+        produced = dae.emit(compiler)
+        out = sfg.add(BlockKind.OUTPUT, name="xo")
+        sfg.connect(produced["x"], out)
+        interp = Interpreter(vhif, dt=1e-4)
+        traces = interp.run(math.pi, probes=["xo"])  # half period
+        assert traces.final("xo") == pytest.approx(-1.0, abs=5e-3)
+
+    def test_no_valid_causalization_raises(self):
+        eqs, design = equations_of("u == y * y;", decls="QUANTITY y : real;")
+        vhif = VhifDesign("t")
+        sfg = SignalFlowGraph("main")
+        vhif.add_sfg(sfg)
+        compiler = ExprCompiler(sfg, design.scope)
+        compiler.bind("u", sfg.add(BlockKind.INPUT, name="u"))
+        dae = DaeCompiler(eqs, ["y"])
+        with pytest.raises(CompileError):
+            dae.emit(compiler)
+
+    def test_known_dot_becomes_differentiator(self):
+        # y == u'dot: derivative of a known input.
+        sfg, produced, _ = self.emit(
+            "y == u'dot;", "QUANTITY y : real;", ["y"]
+        )
+        assert produced["y"].kind is BlockKind.DIFFERENTIATE

@@ -1,0 +1,90 @@
+"""Tests for the diagnostics infrastructure."""
+
+import pytest
+
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    LexerError,
+    NO_LOCATION,
+    ParseError,
+    SemanticError,
+    Severity,
+    SourceLocation,
+    VaseError,
+)
+
+
+class TestSourceLocation:
+    def test_str_with_position(self):
+        loc = SourceLocation(3, 7, "f.vams")
+        assert str(loc) == "f.vams:3:7"
+
+    def test_str_without_position(self):
+        assert str(SourceLocation(0, 0, "f.vams")) == "f.vams"
+
+    def test_frozen(self):
+        loc = SourceLocation(1, 1)
+        with pytest.raises(AttributeError):
+            loc.line = 2
+
+
+class TestErrors:
+    def test_error_message_includes_location(self):
+        err = ParseError("bad token", SourceLocation(2, 5, "x.vams"))
+        assert "x.vams:2:5" in str(err)
+        assert err.bare_message == "bad token"
+
+    def test_hierarchy(self):
+        assert issubclass(LexerError, VaseError)
+        assert issubclass(ParseError, VaseError)
+        assert issubclass(SemanticError, VaseError)
+
+
+class TestDiagnosticSink:
+    def test_collects_by_severity(self):
+        sink = DiagnosticSink()
+        sink.note("fyi")
+        sink.warn("careful")
+        sink.error("broken")
+        assert len(sink) == 3
+        assert len(sink.errors) == 1
+        assert len(sink.warnings) == 1
+        assert sink.has_errors()
+
+    def test_check_raises_on_errors(self):
+        sink = DiagnosticSink()
+        sink.error("first", SourceLocation(1, 1))
+        sink.error("second", SourceLocation(2, 1))
+        with pytest.raises(SemanticError, match="first"):
+            sink.check("stage")
+
+    def test_check_silent_without_errors(self):
+        sink = DiagnosticSink()
+        sink.warn("only a warning")
+        sink.check("stage")  # no exception
+
+    def test_check_truncates_long_lists(self):
+        sink = DiagnosticSink()
+        for i in range(15):
+            sink.error(f"e{i}")
+        with pytest.raises(SemanticError, match=r"\+5 more"):
+            sink.check("stage")
+
+    def test_extend(self):
+        a = DiagnosticSink()
+        a.error("one")
+        b = DiagnosticSink()
+        b.extend(a)
+        assert b.has_errors()
+
+    def test_iteration(self):
+        sink = DiagnosticSink()
+        sink.note("n")
+        assert [d.severity for d in sink] == [Severity.NOTE]
+
+    def test_diagnostic_str(self):
+        d = Diagnostic(Severity.ERROR, "boom", SourceLocation(1, 2, "f"))
+        assert "f:1:2" in str(d)
+        assert "error" in str(d)
+        assert "boom" in str(d)

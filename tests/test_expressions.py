@@ -1,0 +1,249 @@
+"""Tests for the expression-to-SFG compiler."""
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.vass.parser import parse_expression, parse_source
+from repro.vass.semantics import analyze
+from repro.compiler.expressions import ExprCompiler
+from repro.vhif.sfg import BlockKind, SignalFlowGraph
+
+
+def make_compiler(constants=""):
+    """Compiler over a scope with inputs a, b and optional constants."""
+    source = f"""
+ENTITY e IS PORT (QUANTITY a : IN real; QUANTITY b : IN real;
+                  QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE t OF e IS
+{constants}
+BEGIN
+  y == a;
+END ARCHITECTURE;
+"""
+    design = analyze(parse_source(source))
+    g = SignalFlowGraph("main")
+    compiler = ExprCompiler(g, design.scope)
+    for name in ("a", "b"):
+        compiler.bind(name, g.add(BlockKind.INPUT, name=name))
+    return compiler
+
+
+class TestBasicLowering:
+    def test_name_resolves_to_binding(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a"))
+        assert block.kind is BlockKind.INPUT
+
+    def test_unbound_name_rejected(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile(parse_expression("ghost"))
+
+    def test_literal_becomes_const(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("2.5"))
+        assert block.kind is BlockKind.CONST
+        assert block.params["value"] == 2.5
+
+    def test_static_subexpression_folds(self):
+        c = make_compiler("  CONSTANT k : real := 3.0;")
+        block = c.compile(parse_expression("k * 2.0"))
+        assert block.kind is BlockKind.CONST
+        assert block.params["value"] == 6.0
+
+    def test_const_dedup(self):
+        c = make_compiler()
+        b1 = c.compile(parse_expression("1.5"))
+        b2 = c.compile(parse_expression("1.5"))
+        assert b1 is b2
+
+    def test_negation(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("-a"))
+        assert block.kind is BlockKind.NEG
+
+    def test_abs(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("abs(a)"))
+        assert block.kind is BlockKind.ABS
+
+
+class TestStrengthSelection:
+    def test_const_times_signal_is_scale(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("2.0 * a"))
+        assert block.kind is BlockKind.SCALE
+        assert block.params["gain"] == 2.0
+
+    def test_signal_times_signal_is_mul(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a * b"))
+        assert block.kind is BlockKind.MUL
+
+    def test_unity_gain_elided(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("1.0 * a"))
+        assert block.kind is BlockKind.INPUT  # just `a`
+
+    def test_minus_one_gain_becomes_neg(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("(-1.0) * a"))
+        assert block.kind is BlockKind.NEG
+
+    def test_divide_by_const_is_scale(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a / 4.0"))
+        assert block.kind is BlockKind.SCALE
+        assert block.params["gain"] == 0.25
+
+    def test_divide_by_signal_is_div(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a / b"))
+        assert block.kind is BlockKind.DIV
+
+    def test_divide_by_zero_rejected(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile(parse_expression("a / 0.0"))
+
+
+class TestSumFlattening:
+    def test_nary_add(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a + b + 1.0"))
+        assert block.kind is BlockKind.ADD
+        assert block.n_inputs == 3
+
+    def test_two_term_mixed_sign_is_sub(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a - b"))
+        assert block.kind is BlockKind.SUB
+
+    def test_weighted_sum_structure(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("2.0 * a + 3.0 * b"))
+        assert block.kind is BlockKind.ADD
+        preds = c.sfg.data_predecessors(block)
+        assert all(p.kind is BlockKind.SCALE for p in preds)
+
+
+class TestPowerLowering:
+    def test_square_is_mul_chain(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a ** 2"))
+        assert block.kind is BlockKind.MUL
+
+    def test_fractional_power_via_log_exp(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a ** 1.8"))
+        assert block.kind is BlockKind.EXP
+        scale = c.sfg.driver_of(block, 0)
+        assert scale.kind is BlockKind.SCALE
+        assert scale.params["gain"] == pytest.approx(1.8)
+        log = c.sfg.driver_of(scale, 0)
+        assert log.kind is BlockKind.LOG
+
+    def test_symbolic_exponent_rejected(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile(parse_expression("a ** b"))
+
+    def test_sqrt_via_log_exp(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("sqrt(a)"))
+        assert block.kind is BlockKind.EXP
+
+
+class TestAttributes:
+    def test_dot_is_differentiator(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a'dot"))
+        assert block.kind is BlockKind.DIFFERENTIATE
+
+    def test_integ_is_integrator(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a'integ"))
+        assert block.kind is BlockKind.INTEGRATE
+
+    def test_above_is_comparator(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("a'above(0.3)"))
+        assert block.kind is BlockKind.COMPARATOR
+        assert block.params["threshold"] == pytest.approx(0.3)
+
+    def test_above_nonstatic_threshold_rejected(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile(parse_expression("a'above(b)"))
+
+
+class TestCse:
+    def test_identical_subtrees_share_blocks(self):
+        c = make_compiler()
+        b1 = c.compile(parse_expression("a + b"))
+        b2 = c.compile(parse_expression("a + b"))
+        assert b1 is b2
+
+    def test_commuted_operands_share(self):
+        c = make_compiler()
+        b1 = c.compile(parse_expression("a + b"))
+        b2 = c.compile(parse_expression("b + a"))
+        assert b1 is b2
+
+    def test_rebinding_invalidates_reuse(self):
+        c = make_compiler()
+        b1 = c.compile(parse_expression("a + b"))
+        # Rebind a to a new block (as procedural assignment would).
+        c.bind("a", c.sfg.add(BlockKind.NEG))
+        b2 = c.compile(parse_expression("a + b"))
+        assert b1 is not b2
+
+    def test_shared_subexpression_inside_larger(self):
+        c = make_compiler()
+        inner = c.compile(parse_expression("a * b"))
+        outer = c.compile(parse_expression("(a * b) + 1.0"))
+        assert c.sfg.driver_of(outer, 0) is inner
+
+
+class TestConditions:
+    def test_greater_than(self):
+        c = make_compiler()
+        block = c.compile_condition(parse_expression("a > b"))
+        assert block.kind is BlockKind.COMPARATOR
+        sub = c.sfg.driver_of(block, 0)
+        assert sub.kind is BlockKind.SUB
+
+    def test_less_than_flips(self):
+        c = make_compiler()
+        block = c.compile_condition(parse_expression("a < b"))
+        assert block.kind is BlockKind.COMPARATOR
+        neg = c.sfg.driver_of(block, 0)
+        assert neg.kind is BlockKind.NEG
+
+    def test_above_condition(self):
+        c = make_compiler()
+        block = c.compile_condition(parse_expression("a'above(1.0)"))
+        assert block.kind is BlockKind.COMPARATOR
+
+    def test_not_condition(self):
+        c = make_compiler()
+        block = c.compile_condition(parse_expression("not (a > 0.0)"))
+        assert block.kind is BlockKind.COMPARATOR
+
+    def test_unsupported_condition(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile_condition(parse_expression("a + b"))
+
+
+class TestFunctions:
+    def test_limit_function(self):
+        c = make_compiler()
+        block = c.compile(parse_expression("limit(a, -1.0, 1.0)"))
+        assert block.kind is BlockKind.LIMIT
+        assert block.params["low"] == -1.0
+
+    def test_unknown_function_rejected(self):
+        c = make_compiler()
+        with pytest.raises(CompileError):
+            c.compile(parse_expression("sin(a)"))

@@ -1,0 +1,106 @@
+"""Fuzz/property tests on the VASS frontend's robustness.
+
+The contract: on arbitrary input, the lexer/parser either succeed or
+raise a :class:`~repro.diagnostics.VaseError` subclass with a source
+location — never an unhandled Python exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnostics import VaseError
+from repro.vass.lexer import TokenKind, tokenize
+from repro.vass.parser import parse_expression, parse_source
+
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120,
+)
+
+vass_ish = st.text(
+    alphabet=(
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789"
+        " \n\t()+-*/=<>:;,.'\"_"
+    ),
+    max_size=200,
+)
+
+
+class TestLexerRobustness:
+    @given(printable)
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_never_crashes(self, text):
+        try:
+            tokens = tokenize(text)
+        except VaseError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @given(vass_ish)
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_vass_alphabet(self, text):
+        try:
+            tokens = tokenize(text)
+        except VaseError:
+            return
+        # All non-EOF tokens carry positions inside the text.
+        for token in tokens[:-1]:
+            assert token.location.line >= 1
+            assert token.location.column >= 1
+
+    @given(printable)
+    @settings(max_examples=100, deadline=None)
+    def test_tokenize_is_deterministic(self, text):
+        def run():
+            try:
+                return [(t.kind, t.value) for t in tokenize(text)]
+            except VaseError as err:
+                return str(err)
+
+        assert run() == run()
+
+
+class TestParserRobustness:
+    @given(vass_ish)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_source_never_crashes(self, text):
+        try:
+            parse_source(text)
+        except VaseError:
+            pass
+        except RecursionError:
+            pass  # pathological nesting is acceptable to reject this way
+
+    @given(vass_ish)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_expression_never_crashes(self, text):
+        try:
+            parse_expression(text)
+        except VaseError:
+            pass
+        except RecursionError:
+            pass
+
+    def test_deeply_nested_parentheses(self):
+        text = "(" * 50 + "x" + ")" * 50
+        expr = parse_expression(text)
+        assert expr is not None
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(VaseError):
+            parse_expression("((x)")
+
+    def test_empty_source_is_empty_design_file(self):
+        source = parse_source("")
+        assert source.units == []
+
+    def test_error_location_points_into_source(self):
+        try:
+            parse_source("ENTITY e IS PORT (QUANTITY ); END ENTITY;")
+        except VaseError as err:
+            assert getattr(err, "location", None) is not None
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")

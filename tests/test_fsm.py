@@ -1,0 +1,194 @@
+"""Unit tests for the FSM half of VHIF."""
+
+import pytest
+
+from repro.diagnostics import VaseError
+from repro.vass.parser import parse_expression
+from repro.vhif.fsm import (
+    ALWAYS,
+    AboveEvent,
+    AllOf,
+    AnyOf,
+    BoolTest,
+    DataOp,
+    ExprCondition,
+    Fsm,
+    Not,
+    PortEvent,
+    SignalEquals,
+    START_STATE,
+    sensitivity_condition,
+)
+
+
+class TestConditions:
+    def test_above_event_key_includes_threshold(self):
+        ev = AboveEvent(quantity="line", threshold=0.2)
+        assert ev.key == "line'above(0.2)"
+
+    def test_above_event_evaluation(self):
+        ev = AboveEvent(quantity="line", threshold=0.2)
+        assert ev.evaluate({"event:line'above(0.2)": True})
+        assert not ev.evaluate({})
+
+    def test_port_event(self):
+        ev = PortEvent(name="sclk")
+        assert ev.evaluate({"event:sclk": True})
+        assert not ev.evaluate({"event:sclk": False})
+
+    def test_signal_equals(self):
+        cond = SignalEquals(name="c1", value="1")
+        assert cond.evaluate({"c1": "1"})
+        assert not cond.evaluate({"c1": "0"})
+
+    def test_bool_test_with_negate(self):
+        assert BoolTest(name="f", negate=True).evaluate({"f": False})
+
+    def test_not(self):
+        cond = Not(operand=SignalEquals(name="c", value="1"))
+        assert cond.evaluate({"c": "0"})
+
+    def test_any_of_is_or(self):
+        cond = AnyOf(operands=(
+            PortEvent(name="a"), PortEvent(name="b")))
+        assert cond.evaluate({"event:b": True})
+        assert not cond.evaluate({})
+
+    def test_all_of_is_and(self):
+        cond = AllOf(operands=(
+            SignalEquals(name="x", value="1"),
+            SignalEquals(name="y", value="1"),
+        ))
+        assert cond.evaluate({"x": "1", "y": "1"})
+        assert not cond.evaluate({"x": "1", "y": "0"})
+
+    def test_always(self):
+        assert ALWAYS.evaluate({})
+
+    def test_event_names_aggregate(self):
+        cond = AnyOf(operands=(
+            AboveEvent(quantity="q", threshold=1.0),
+            PortEvent(name="clk"),
+        ))
+        assert cond.event_names() == frozenset({"q'above(1)", "clk"})
+
+    def test_expr_condition_evaluates_vass_expression(self):
+        cond = ExprCondition(expr=parse_expression("x > 2.0"), text="x > 2.0")
+        assert cond.evaluate({"x": 3.0})
+        assert not cond.evaluate({"x": 1.0})
+
+    def test_sensitivity_condition_single(self):
+        ev = PortEvent(name="clk")
+        assert sensitivity_condition([ev]) is ev
+
+    def test_sensitivity_condition_multiple_is_or(self):
+        cond = sensitivity_condition([PortEvent(name="a"), PortEvent(name="b")])
+        assert isinstance(cond, AnyOf)
+
+    def test_sensitivity_condition_empty_rejected(self):
+        with pytest.raises(VaseError):
+            sensitivity_condition([])
+
+
+class TestFsmStructure:
+    def test_start_state_exists(self):
+        fsm = Fsm("p")
+        assert START_STATE in fsm
+        assert fsm.n_states() == 0  # start not counted
+
+    def test_add_state_and_transition(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        fsm.add_transition(START_STATE, "s1", PortEvent(name="e"))
+        assert fsm.n_states() == 1
+        assert len(fsm.transitions_from(START_STATE)) == 1
+
+    def test_duplicate_state_rejected(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        with pytest.raises(VaseError):
+            fsm.add_state("s1")
+
+    def test_transition_to_unknown_state_rejected(self):
+        fsm = Fsm("p")
+        with pytest.raises(VaseError):
+            fsm.add_transition(START_STATE, "nowhere")
+
+    def test_validate_unreachable_state(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        fsm.add_state("island")
+        fsm.add_transition(START_STATE, "s1")
+        with pytest.raises(VaseError, match="unreachable"):
+            fsm.validate()
+
+    def test_validate_start_without_resume(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        with pytest.raises(VaseError, match="resume"):
+            fsm.validate()
+
+    def test_output_signals(self):
+        fsm = Fsm("p")
+        state = fsm.add_state("s1")
+        state.operations.append(
+            DataOp(target="c1", expr=parse_expression("'1'"), is_signal=True)
+        )
+        state.operations.append(
+            DataOp(target="n", expr=parse_expression("2.0"), is_signal=False)
+        )
+        assert fsm.output_signals() == {"c1"}
+
+    def test_event_names_from_transitions(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        fsm.add_transition(
+            START_STATE, "s1", AboveEvent(quantity="q", threshold=0.5)
+        )
+        assert "q'above(0.5)" in fsm.event_names()
+
+
+class TestDatapathCounting:
+    def test_distinct_targets_counted(self):
+        fsm = Fsm("p")
+        s1 = fsm.add_state("s1")
+        s2 = fsm.add_state("s2")
+        s1.operations.append(
+            DataOp(target="c", expr=parse_expression("'1'"), is_signal=True)
+        )
+        s2.operations.append(
+            DataOp(target="c", expr=parse_expression("'0'"), is_signal=True)
+        )
+        # One memory element (c), literal sources cost nothing.
+        assert fsm.datapath_elements() == 1
+
+    def test_operator_expressions_counted(self):
+        fsm = Fsm("p")
+        s1 = fsm.add_state("s1")
+        s1.operations.append(
+            DataOp(target="n", expr=parse_expression("n + 1.0"))
+        )
+        # One target + one operator expression.
+        assert fsm.datapath_elements() == 2
+
+    def test_duplicate_operator_expression_shared(self):
+        fsm = Fsm("p")
+        s1 = fsm.add_state("s1")
+        s2 = fsm.add_state("s2")
+        s1.operations.append(DataOp(target="a", expr=parse_expression("x + y")))
+        s2.operations.append(DataOp(target="b", expr=parse_expression("x + y")))
+        # Two targets share one adder element.
+        assert fsm.datapath_elements() == 3
+
+    def test_state_reads_and_writes(self):
+        fsm = Fsm("p")
+        s = fsm.add_state("s1")
+        s.operations.append(DataOp(target="a", expr=parse_expression("x + y")))
+        assert s.writes() == {"a"}
+        assert s.reads() == {"x", "y"}
+
+    def test_describe_smoke(self):
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        fsm.add_transition(START_STATE, "s1", PortEvent(name="e"))
+        assert "s1" in fsm.describe()

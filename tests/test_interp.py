@@ -1,0 +1,343 @@
+"""Tests for the VHIF behavioral interpreter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnostics import SimulationError
+from repro.vass.parser import parse_expression
+from repro.vhif import (
+    BlockKind,
+    CONTROL_PORT,
+    DataOp,
+    Fsm,
+    Interpreter,
+    PortEvent,
+    SignalFlowGraph,
+    START_STATE,
+    VhifDesign,
+    eval_discrete,
+    simulate,
+)
+
+
+def design_with(build):
+    """Helper: VhifDesign with one SFG built by ``build(g)``."""
+    design = VhifDesign("t")
+    g = SignalFlowGraph("main")
+    build(g)
+    design.add_sfg(g)
+    return design
+
+
+class TestEvalDiscrete:
+    def test_arithmetic(self):
+        assert eval_discrete(parse_expression("2.0 + 3.0 * 4.0"), {}) == 14.0
+
+    def test_names_from_env(self):
+        assert eval_discrete(parse_expression("x - 1.0"), {"x": 5.0}) == 4.0
+
+    def test_undefined_name(self):
+        with pytest.raises(SimulationError):
+            eval_discrete(parse_expression("nope"), {})
+
+    def test_char_equality(self):
+        assert eval_discrete(parse_expression("c = '1'"), {"c": "1"}) is True
+
+    def test_boolean_logic(self):
+        expr = parse_expression("a = 1.0 and b = 2.0")
+        assert eval_discrete(expr, {"a": 1.0, "b": 2.0}) is True
+
+    def test_above_attribute(self):
+        expr = parse_expression("q'above(0.5)")
+        assert eval_discrete(expr, {"q": 0.7}) is True
+        assert eval_discrete(expr, {"q": 0.3}) is False
+
+    def test_functions(self):
+        assert eval_discrete(parse_expression("exp(0.0)"), {}) == 1.0
+
+    def test_not(self):
+        assert eval_discrete(parse_expression("not (a = '1')"), {"a": "0"})
+
+
+class TestBlockSemantics:
+    def test_scale_and_add(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            s = g.add(BlockKind.SCALE, gain=3.0)
+            c = g.add(BlockKind.CONST, value=1.0)
+            a = g.add(BlockKind.ADD, n_inputs=2)
+            out = g.add(BlockKind.OUTPUT, name="y")
+            g.connect(x, s)
+            g.connect(s, a, port=0)
+            g.connect(c, a, port=1)
+            g.connect(a, out)
+
+        traces = simulate(
+            design_with(build), 1e-4, dt=1e-5,
+            inputs={"x": lambda t: 2.0}, probes=["y"],
+        )
+        assert traces.final("y") == pytest.approx(7.0)
+
+    def test_sub_mul_div(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            c = g.add(BlockKind.CONST, value=4.0)
+            sub = g.add(BlockKind.SUB)
+            mul = g.add(BlockKind.MUL)
+            div = g.add(BlockKind.DIV)
+            out = g.add(BlockKind.OUTPUT, name="y")
+            g.connect(c, sub, port=0)
+            g.connect(x, sub, port=1)  # 4 - x
+            g.connect(sub, mul, port=0)
+            g.connect(x, mul, port=1)  # (4-x)*x
+            g.connect(mul, div, port=0)
+            g.connect(c, div, port=1)  # /4
+            g.connect(div, out)
+
+        traces = simulate(
+            design_with(build), 1e-4, dt=1e-5,
+            inputs={"x": lambda t: 2.0}, probes=["y"],
+        )
+        assert traces.final("y") == pytest.approx(1.0)
+
+    def test_log_exp_abs_limit(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            log = g.add(BlockKind.LOG)
+            exp = g.add(BlockKind.EXP, name="roundtrip")
+            ab = g.add(BlockKind.ABS, name="mag")
+            lim = g.add(BlockKind.LIMIT, low=-1.0, high=1.0, name="clamped")
+            g.connect(x, log)
+            g.connect(log, exp)
+            g.connect(x, ab)
+            g.connect(x, lim)
+
+        interp = Interpreter(
+            design_with(build), dt=1e-5, inputs={"x": lambda t: 2.5}
+        )
+        interp.step()
+        assert interp.probe("roundtrip") == pytest.approx(2.5)
+        assert interp.probe("mag") == pytest.approx(2.5)
+        assert interp.probe("clamped") == pytest.approx(1.0)
+
+    def test_integrator_ramp(self):
+        def build(g):
+            c = g.add(BlockKind.CONST, value=2.0)
+            i = g.add(BlockKind.INTEGRATE, gain=1.0, initial=0.0, name="ramp")
+            g.connect(c, i)
+
+        traces = simulate(design_with(build), 1.0, dt=1e-3, probes=["ramp"])
+        assert traces.final("ramp") == pytest.approx(2.0, rel=1e-2)
+
+    def test_integrator_initial_condition(self):
+        def build(g):
+            c = g.add(BlockKind.CONST, value=0.0)
+            i = g.add(BlockKind.INTEGRATE, gain=1.0, initial=5.0, name="state")
+            g.connect(c, i)
+
+        traces = simulate(design_with(build), 1e-3, dt=1e-4, probes=["state"])
+        assert traces.final("state") == pytest.approx(5.0)
+
+    def test_exponential_decay_accuracy(self):
+        # x' = -x, x(0)=1 -> e^{-t}
+        def build(g):
+            i = g.add(BlockKind.INTEGRATE, gain=1.0, initial=1.0, name="x")
+            n = g.add(BlockKind.NEG)
+            g.connect(i, n)
+            g.connect(n, i)
+
+        traces = simulate(design_with(build), 1.0, dt=1e-4, probes=["x"])
+        assert traces.final("x") == pytest.approx(math.exp(-1.0), rel=1e-3)
+
+    def test_comparator_hysteresis(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            c = g.add(
+                BlockKind.COMPARATOR, threshold=0.0, hysteresis=0.2,
+                name="cmp",
+            )
+            g.connect(x, c)
+
+        values = []
+        interp = Interpreter(
+            design_with(build), dt=1e-3,
+            inputs={"x": lambda t: math.sin(2 * math.pi * t)},
+        )
+        traces = interp.run(1.0, probes=["cmp"])
+        v = traces["cmp"]
+        # Exactly two switchings per period despite the slow sine.
+        assert int(np.abs(np.diff(v)).sum()) == 2
+
+    def test_comparator_invert(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            c = g.add(BlockKind.COMPARATOR, threshold=0.0, invert=True,
+                      name="cmp")
+            g.connect(x, c)
+
+        interp = Interpreter(design_with(build), dt=1e-5,
+                             inputs={"x": lambda t: 1.0})
+        interp.step()
+        assert interp.probe("cmp") is False
+
+    def test_sample_hold_tracks_and_holds(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            sh = g.add(BlockKind.SAMPLE_HOLD, name="sh")
+            g.connect(x, sh)
+            g.bind_control("track", sh)
+
+        design = design_with(build)
+        design.external_signals.add("track")
+        interp = Interpreter(
+            design, dt=1e-3,
+            inputs={"x": lambda t: t, "track": lambda t: t < 0.5},
+        )
+        traces = interp.run(1.0, probes=["sh"])
+        held = traces["sh"][-1]
+        assert held == pytest.approx(0.5, abs=2e-3)
+
+    def test_mux_selection_by_signal(self):
+        def build(g):
+            a = g.add(BlockKind.CONST, value=1.0)
+            b = g.add(BlockKind.CONST, value=-1.0)
+            m = g.add(BlockKind.MUX, n_inputs=2, name="m")
+            g.connect(a, m, port=0)
+            g.connect(b, m, port=1)
+            g.bind_control("sel", m)
+
+        design = design_with(build)
+        design.external_signals.add("sel")
+        interp = Interpreter(design, dt=1e-3,
+                             inputs={"sel": lambda t: 1.0})
+        interp.step()
+        assert interp.probe("m") == pytest.approx(1.0)
+        interp.inputs["sel"] = lambda t: 0.0
+        interp.step()
+        assert interp.probe("m") == pytest.approx(-1.0)
+
+    def test_adc_quantizes(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            adc = g.add(BlockKind.ADC, bits=2, full_scale=4.0, name="adc")
+            g.connect(x, adc)
+            g.bind_control("go", adc)
+
+        design = design_with(build)
+        design.external_signals.add("go")
+        interp = Interpreter(
+            design, dt=1e-3,
+            inputs={"x": lambda t: 1.9, "go": lambda t: 1.0},
+        )
+        interp.step()
+        # 2 bits over 4 V full scale: LSB = 4/3; 1.9 -> round to 4/3*1=1.33..
+        assert interp.probe("adc") == pytest.approx(4.0 / 3.0, rel=1e-6)
+
+    def test_differentiator(self):
+        def build(g):
+            x = g.add(BlockKind.INPUT, name="x")
+            d = g.add(BlockKind.DIFFERENTIATE, name="slope")
+            g.connect(x, d)
+
+        interp = Interpreter(design_with(build), dt=1e-3,
+                             inputs={"x": lambda t: 3.0 * t})
+        traces = interp.run(0.1, probes=["slope"])
+        assert traces.final("slope") == pytest.approx(3.0, rel=1e-6)
+
+
+class TestFsmExecution:
+    def build_counter_design(self):
+        design = design_with(lambda g: None)
+        fsm = Fsm("p")
+        s1 = fsm.add_state("s1")
+        s1.operations.append(
+            DataOp(target="n", expr=parse_expression("n + 1.0"))
+        )
+        fsm.add_transition(START_STATE, "s1", PortEvent(name="clk"))
+        design.add_fsm(fsm)
+        design.external_signals.add("clk")
+        design.constants["n"] = 0.0
+        return design
+
+    def test_process_runs_once_per_event(self):
+        design = self.build_counter_design()
+        interp = Interpreter(
+            design, dt=1e-3,
+            inputs={"clk": lambda t: (int(t * 100) % 2) == 1},
+        )
+        interp.run(0.1, probes=[])
+        # clk toggles every 10ms over 100ms -> ~10 events
+        assert interp.env["n"] == pytest.approx(10.0, abs=1.0)
+
+    def test_quiet_clock_executes_only_at_time_zero(self):
+        # VHDL semantics: every process runs once at t=0, then suspends
+        # until an event occurs; a constant clock yields no more events.
+        design = self.build_counter_design()
+        interp = Interpreter(design, dt=1e-3,
+                             inputs={"clk": lambda t: 0.0})
+        interp.run(0.05, probes=[])
+        assert interp.env["n"] == 1.0
+
+    def test_state_chain_executes_fully(self):
+        design = design_with(lambda g: None)
+        fsm = Fsm("p")
+        s1 = fsm.add_state("s1")
+        s1.operations.append(DataOp(target="a", expr=parse_expression("1.0")))
+        s2 = fsm.add_state("s2")
+        s2.operations.append(
+            DataOp(target="b", expr=parse_expression("a + 1.0"))
+        )
+        fsm.add_transition(START_STATE, "s1", PortEvent(name="go"))
+        fsm.add_transition("s1", "s2")
+        design.add_fsm(fsm)
+        design.external_signals.add("go")
+        interp = Interpreter(design, dt=1e-3,
+                             inputs={"go": lambda t: t > 0.002})
+        interp.run(0.01, probes=[])
+        assert interp.env["b"] == 2.0
+
+    def test_probe_unknown_name(self):
+        design = design_with(lambda g: None)
+        interp = Interpreter(design, dt=1e-3)
+        with pytest.raises(SimulationError):
+            interp.probe("ghost")
+
+    def test_invalid_dt(self):
+        with pytest.raises(SimulationError):
+            Interpreter(design_with(lambda g: None), dt=0.0)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-2.0, max_value=2.0),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_integrator_linearity(self, level, gain):
+        """Integrating a constant gives gain * level * t."""
+
+        def build(g):
+            c = g.add(BlockKind.CONST, value=level)
+            i = g.add(BlockKind.INTEGRATE, gain=gain, initial=0.0, name="i")
+            g.connect(c, i)
+
+        traces = simulate(design_with(build), 0.5, dt=1e-3, probes=["i"])
+        assert traces.final("i") == pytest.approx(gain * level * 0.5, rel=1e-2,
+                                                  abs=1e-2)
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2,
+                    max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_nary_add(self, values):
+        def build(g):
+            adder = g.add(BlockKind.ADD, n_inputs=len(values), name="sum")
+            for port, v in enumerate(values):
+                c = g.add(BlockKind.CONST, value=v)
+                g.connect(c, adder, port=port)
+
+        interp = Interpreter(design_with(build), dt=1e-5)
+        interp.step()
+        assert interp.probe("sum") == pytest.approx(sum(values))

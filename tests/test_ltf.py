@@ -1,0 +1,141 @@
+"""Tests for the 'ltf attribute (Laplace transfer functions).
+
+Section 3 of the paper lists transfer functions among the behavior
+description styles.  ``u'ltf(num, den)`` (coefficients in ascending
+powers of s) compiles into the phase-variable integrator chain of the
+classical analog computer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.compiler import compile_design
+from repro.flow import synthesize
+from repro.spice import ac_sweep, dc, elaborate
+from repro.vhif import BlockKind, Interpreter
+
+
+def wrap(body, decls=""):
+    return f"""
+ENTITY f IS PORT (QUANTITY u : IN real; QUANTITY y : OUT real);
+END ENTITY;
+ARCHITECTURE tf OF f IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+class TestStructure:
+    def test_first_order_has_one_integrator(self):
+        design = compile_design(
+            wrap("  y == u'ltf((1.0), (1.0, 0.001));")
+        )
+        assert len(design.main_sfg.blocks_of_kind(BlockKind.INTEGRATE)) == 1
+
+    def test_second_order_has_two_integrators(self):
+        design = compile_design(
+            wrap("  y == u'ltf((1.0), (1.0, 0.5, 0.25));")
+        )
+        assert len(design.main_sfg.blocks_of_kind(BlockKind.INTEGRATE)) == 2
+
+    def test_pure_integrator(self):
+        design = compile_design(wrap("  y == u'ltf((1.0), (0.0, 1.0));"))
+        integrators = design.main_sfg.blocks_of_kind(BlockKind.INTEGRATE)
+        assert len(integrators) == 1
+
+    def test_improper_rejected(self):
+        with pytest.raises(CompileError, match="proper"):
+            compile_design(
+                wrap("  y == u'ltf((1.0, 1.0, 1.0), (1.0, 1.0));")
+            )
+
+    def test_zero_order_denominator_rejected(self):
+        with pytest.raises(CompileError, match="order"):
+            compile_design(wrap("  y == u'ltf((1.0), (2.0));"))
+
+    def test_nonstatic_coefficients_rejected(self):
+        with pytest.raises(CompileError, match="static"):
+            compile_design(wrap("  y == u'ltf((u), (1.0, 1.0));"))
+
+    def test_zero_numerator_rejected(self):
+        with pytest.raises(CompileError, match="zero"):
+            compile_design(wrap("  y == u'ltf((0.0), (1.0, 1.0));"))
+
+
+class TestBehavior:
+    def test_first_order_step_response(self):
+        # H(s) = 1/(1 + 0.01 s): tau = 10 ms.
+        design = compile_design(wrap("  y == u'ltf((1.0), (1.0, 0.01));"))
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 1.0})
+        traces = interp.run(0.01, probes=["y"])
+        assert traces.final("y") == pytest.approx(1 - math.exp(-1), rel=5e-3)
+
+    def test_dc_gain(self):
+        # H(0) = b0/a0 = 3/2.
+        design = compile_design(wrap("  y == u'ltf((3.0), (2.0, 0.001));"))
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 1.0})
+        traces = interp.run(0.02, probes=["y"])
+        assert traces.final("y") == pytest.approx(1.5, rel=1e-2)
+
+    def test_pure_integrator_ramp(self):
+        design = compile_design(wrap("  y == u'ltf((1.0), (0.0, 1.0));"))
+        interp = Interpreter(design, dt=1e-4, inputs={"u": lambda t: 2.0})
+        traces = interp.run(1.0, probes=["y"])
+        assert traces.final("y") == pytest.approx(2.0, rel=1e-2)
+
+    def test_second_order_matches_biquad_math(self):
+        w0 = 2 * math.pi * 100.0
+        q = 0.707
+        # H(s) = w0^2/(s^2 + w0/q s + w0^2), normalized by w0^2:
+        a0, a1, a2 = 1.0, 1.0 / (q * w0), 1.0 / w0**2
+        design = compile_design(
+            wrap(f"  y == u'ltf((1.0), ({a0!r}, {a1!r}, {a2!r}));")
+        )
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 1.0})
+        traces = interp.run(0.05, probes=["y"])
+        assert traces.final("y") == pytest.approx(1.0, rel=1e-2)
+
+    def test_bandpass_numerator_with_s_term(self):
+        # H(s) = s*tau/(1 + s*tau): high-pass; step response decays to 0.
+        tau = 1e-3
+        design = compile_design(
+            wrap(f"  y == u'ltf((0.0, {tau!r}), (1.0, {tau!r}));")
+        )
+        interp = Interpreter(design, dt=1e-6, inputs={"u": lambda t: 1.0})
+        traces = interp.run(8e-3, probes=["y"])
+        assert traces.final("y") == pytest.approx(0.0, abs=2e-2)
+
+    def test_direct_feedthrough_allpass_like(self):
+        # H(s) = (1 + s*tau)/(1 + s*tau) = 1 exactly.
+        tau = 1e-3
+        design = compile_design(
+            wrap(f"  y == u'ltf((1.0, {tau!r}), (1.0, {tau!r}));")
+        )
+        interp = Interpreter(design, dt=1e-6, inputs={"u": lambda t: 0.7})
+        traces = interp.run(5e-3, probes=["y"])
+        assert traces.final("y") == pytest.approx(0.7, rel=1e-3)
+
+
+class TestSynthesisOfLtf:
+    def test_maps_to_integrators(self):
+        result = synthesize(
+            wrap("  y == u'ltf((1.0), (1.0, 0.002, 0.000001));")
+        )
+        cats = dict(result.netlist.category_counts())
+        assert cats["integ."] == 2
+
+    def test_ac_response_matches_transfer_function(self):
+        tau = 1.0 / (2 * math.pi * 500.0)  # 500 Hz pole
+        result = synthesize(wrap(f"  y == u'ltf((1.0), (1.0, {tau!r}));"))
+        circuit = elaborate(result.netlist, input_waves={"u": dc(0.0)})
+        out = circuit.output_nodes["y"]
+        response = ac_sweep(circuit.circuit, 10.0, 50e3,
+                            points_per_decade=30, probes=[out],
+                            ac_source="VIN_u")
+        assert response.cutoff_frequency(out) == pytest.approx(500.0,
+                                                               rel=0.05)

@@ -1,0 +1,55 @@
+"""Tests for map_design (multi-SFG) and the greedy fallback path."""
+
+import pytest
+
+from repro.estimation import ConstraintSet, Estimator
+from repro.synth import map_design, map_sfg_greedy
+from repro.vhif import BlockKind, SignalFlowGraph, VhifDesign
+
+
+def small_sfg(name, gain):
+    g = SignalFlowGraph(name)
+    x = g.add(BlockKind.INPUT, name=f"{name}_in")
+    s = g.add(BlockKind.SCALE, gain=gain)
+    out = g.add(BlockKind.OUTPUT, name=f"{name}_out")
+    g.connect(x, s)
+    g.connect(s, out)
+    return g
+
+
+class TestMapDesign:
+    def test_maps_every_sfg(self):
+        design = VhifDesign("multi")
+        design.add_sfg(small_sfg("alpha", 2.0))
+        design.add_sfg(small_sfg("beta", -3.0))
+        results = map_design(design)
+        assert set(results) == {"alpha", "beta"}
+        assert results["alpha"].netlist.total_opamps() == 1
+        assert results["beta"].netlist.total_opamps() == 1
+
+    def test_constraints_shared_across_sfgs(self):
+        design = VhifDesign("multi")
+        design.add_sfg(small_sfg("alpha", 2.0))
+        results = map_design(
+            design, constraints=ConstraintSet(max_opamps=10)
+        )
+        assert results["alpha"].estimate.feasible
+
+
+class TestGreedyFallback:
+    def test_infeasible_constraints_fall_back_to_unconstrained(self):
+        """When the first greedy path violates constraints, the greedy
+        wrapper retries unconstrained so the benchmark can still report
+        an area figure."""
+        g = small_sfg("tight", -40.0)
+        estimator = Estimator(
+            constraints=ConstraintSet(signal_bandwidth_hz=5.0e6)
+        )
+        result = map_sfg_greedy(g, estimator=estimator)
+        assert result.netlist.total_opamps() >= 1
+
+    def test_greedy_on_trivial_graph(self):
+        g = small_sfg("trivial", 1.5)
+        result = map_sfg_greedy(g)
+        assert result.statistics.nodes_visited <= 3
+        assert result.netlist.summary().startswith("1 ")

@@ -1,0 +1,104 @@
+"""Tests for Monte-Carlo mismatch / yield analysis."""
+
+import math
+
+import pytest
+
+from repro.apps import receiver
+from repro.estimation.montecarlo import mismatch_analysis
+from repro.flow import synthesize
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+@pytest.fixture(scope="module")
+def amp_result():
+    return synthesize(
+        wrap(
+            "QUANTITY u : IN real; QUANTITY y : OUT real",
+            body="y == 3.0 * u + 0.2;",
+        )
+    )
+
+
+SINE = {"u": lambda t: 0.5 * math.sin(2 * math.pi * 1e3 * t)}
+
+
+class TestMismatchAnalysis:
+    def test_zero_tolerance_full_yield(self, amp_result):
+        report = mismatch_analysis(
+            amp_result, inputs=SINE, tolerance=0.0, n_trials=5
+        )
+        assert report.yield_fraction == 1.0
+        assert report.mean_rms_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_huge_tolerance_fails(self, amp_result):
+        report = mismatch_analysis(
+            amp_result, inputs=SINE, tolerance=0.5, n_trials=20,
+            error_budget=0.01,
+        )
+        assert report.yield_fraction < 1.0
+
+    def test_yield_monotone_in_tolerance(self, amp_result):
+        tight = mismatch_analysis(
+            amp_result, inputs=SINE, tolerance=0.002, n_trials=30,
+            error_budget=0.02,
+        )
+        loose = mismatch_analysis(
+            amp_result, inputs=SINE, tolerance=0.2, n_trials=30,
+            error_budget=0.02,
+        )
+        assert tight.yield_fraction >= loose.yield_fraction
+        assert tight.mean_rms_error <= loose.mean_rms_error
+
+    def test_deterministic_under_seed(self, amp_result):
+        a = mismatch_analysis(amp_result, inputs=SINE, tolerance=0.05,
+                              n_trials=10, seed=7)
+        b = mismatch_analysis(amp_result, inputs=SINE, tolerance=0.05,
+                              n_trials=10, seed=7)
+        assert [t.rms_error for t in a.trials] == [
+            t.rms_error for t in b.trials
+        ]
+
+    def test_trial_count(self, amp_result):
+        report = mismatch_analysis(amp_result, inputs=SINE, n_trials=12)
+        assert report.n_trials == 12
+
+    def test_describe(self, amp_result):
+        report = mismatch_analysis(amp_result, inputs=SINE, n_trials=5)
+        text = report.describe()
+        assert "yield" in text and "trials" in text
+
+    def test_receiver_reasonably_robust(self):
+        result = synthesize(receiver.VASS_SOURCE)
+        report = mismatch_analysis(
+            result,
+            inputs={
+                "line": lambda t: 0.5 * math.sin(2 * math.pi * 1e3 * t),
+                "local": lambda t: 0.1,
+            },
+            tolerance=0.01,
+            n_trials=15,
+            error_budget=0.10,
+        )
+        assert report.yield_fraction >= 0.8
+
+    def test_unknown_output_rejected(self):
+        result = synthesize(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                body="y == u;",
+            )
+        )
+        with pytest.raises(Exception):
+            mismatch_analysis(result, inputs=SINE, output="ghost",
+                              n_trials=1)

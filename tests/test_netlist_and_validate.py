@@ -1,0 +1,197 @@
+"""Tests for netlist structure, VHIF validation and DOT export."""
+
+import pytest
+
+from repro.diagnostics import SynthesisError, VaseError
+from repro.library import default_library
+from repro.synth.netlist import Netlist
+from repro.vhif import (
+    BlockKind,
+    Fsm,
+    PortEvent,
+    SignalFlowGraph,
+    START_STATE,
+    VhifDesign,
+)
+from repro.vhif.dot import design_to_dot, fsm_to_dot, sfg_to_dot
+from repro.vhif.validate import validate_design, validate_sfg
+
+
+class TestNetlist:
+    def make(self):
+        netlist = Netlist(name="t", library=default_library())
+        netlist.inputs["x"] = 0
+        netlist.add_instance(
+            "inverting_amplifier", params={"gain": -2.0}, inputs=[0],
+            output=1, covers=[1],
+        )
+        netlist.add_instance(
+            "voltage_follower", inputs=[1], output=2, covers=[2],
+        )
+        netlist.outputs["y"] = 2
+        return netlist
+
+    def test_total_opamps(self):
+        assert self.make().total_opamps() == 2
+
+    def test_driver_of(self):
+        netlist = self.make()
+        assert netlist.driver_of(1).spec.name == "inverting_amplifier"
+        assert netlist.driver_of(99) is None
+
+    def test_instance_lookup(self):
+        netlist = self.make()
+        assert netlist.instance("U1").spec.name == "inverting_amplifier"
+        with pytest.raises(SynthesisError):
+            netlist.instance("U99")
+
+    def test_category_counts_and_summary(self):
+        netlist = self.make()
+        counts = netlist.category_counts()
+        assert counts["amplif."] == 1
+        assert counts["follower"] == 1
+        assert "1 amplif." in netlist.summary()
+
+    def test_covered_blocks(self):
+        assert self.make().covered_blocks() == {1, 2}
+
+    def test_validation_passes(self):
+        self.make().validate()
+
+    def test_validation_catches_undriven_input(self):
+        netlist = self.make()
+        netlist.add_instance("voltage_follower", inputs=[999], output=3)
+        with pytest.raises(SynthesisError, match="no driver"):
+            netlist.validate()
+
+    def test_validation_catches_undriven_output_port(self):
+        netlist = self.make()
+        netlist.outputs["z"] = 777
+        with pytest.raises(SynthesisError, match="undriven"):
+            netlist.validate()
+
+    def test_copy_independent(self):
+        netlist = self.make()
+        clone = netlist.copy()
+        clone.instances[0].params["gain"] = -9.0
+        assert netlist.instances[0].params["gain"] == -2.0
+
+    def test_by_component(self):
+        netlist = self.make()
+        assert len(netlist.by_component("voltage_follower")) == 1
+
+    def test_describe(self):
+        text = self.make().describe()
+        assert "U1" in text and "output y" in text
+
+
+class TestValidateSfg:
+    def test_undriven_input_detected(self):
+        g = SignalFlowGraph("t")
+        g.add(BlockKind.SCALE, gain=2.0)
+        problems = validate_sfg(g)
+        assert any("undriven" in p for p in problems)
+
+    def test_missing_control_detected(self):
+        g = SignalFlowGraph("t")
+        x = g.add(BlockKind.INPUT)
+        sh = g.add(BlockKind.SAMPLE_HOLD)
+        out = g.add(BlockKind.OUTPUT)
+        g.connect(x, sh)
+        g.connect(sh, out)
+        problems = validate_sfg(g)
+        assert any("control" in p for p in problems)
+
+    def test_orphan_detected(self):
+        g = SignalFlowGraph("t")
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=1.0)
+        g.connect(x, s)
+        problems = validate_sfg(g)
+        assert any("drives nothing" in p for p in problems)
+
+    def test_allowed_orphans_suppressed(self):
+        g = SignalFlowGraph("t")
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=1.0)
+        g.connect(x, s)
+        problems = validate_sfg(g, allowed_orphans=[s.block_id])
+        assert not any("drives nothing" in p for p in problems)
+
+    def test_comparator_orphan_allowed(self):
+        g = SignalFlowGraph("t")
+        x = g.add(BlockKind.INPUT)
+        c = g.add(BlockKind.COMPARATOR, threshold=0.0)
+        g.connect(x, c)
+        problems = validate_sfg(g)
+        assert not any("drives nothing" in p for p in problems)
+
+    def test_scale_without_gain_detected(self):
+        g = SignalFlowGraph("t")
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE)
+        o = g.add(BlockKind.OUTPUT)
+        g.connect(x, s)
+        g.connect(s, o)
+        problems = validate_sfg(g)
+        assert any("gain" in p for p in problems)
+
+
+class TestValidateDesign:
+    def test_unproduced_control_signal(self):
+        design = VhifDesign("t")
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT)
+        sw = g.add(BlockKind.SWITCH)
+        o = g.add(BlockKind.OUTPUT)
+        g.connect(x, sw)
+        g.connect(sw, o)
+        g.bind_control("ghost", sw)
+        design.add_sfg(g)
+        with pytest.raises(VaseError, match="ghost"):
+            validate_design(design)
+
+    def test_external_signal_accepted_as_control(self):
+        design = VhifDesign("t")
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT)
+        sw = g.add(BlockKind.SWITCH)
+        o = g.add(BlockKind.OUTPUT)
+        g.connect(x, sw)
+        g.connect(sw, o)
+        g.bind_control("strobe", sw)
+        design.add_sfg(g)
+        design.external_signals.add("strobe")
+        validate_design(design)  # no exception
+
+
+class TestDotExport:
+    def build(self):
+        design = VhifDesign("t")
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        s = g.add(BlockKind.SCALE, gain=2.0)
+        o = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, s)
+        g.connect(s, o)
+        design.add_sfg(g)
+        fsm = Fsm("p")
+        fsm.add_state("s1")
+        fsm.add_transition(START_STATE, "s1", PortEvent(name="e"))
+        design.add_fsm(fsm)
+        return design
+
+    def test_sfg_dot(self):
+        dot = sfg_to_dot(self.build().main_sfg)
+        assert dot.startswith("digraph")
+        assert "scale" in dot
+        assert "->" in dot
+
+    def test_fsm_dot(self):
+        dot = fsm_to_dot(self.build().fsm)
+        assert "start" in dot
+        assert "s1" in dot
+
+    def test_design_dot_combines(self):
+        dot = design_to_dot(self.build())
+        assert dot.count("digraph") == 2

@@ -1,0 +1,120 @@
+"""Unit tests for individual component elaborations."""
+
+import math
+
+import pytest
+
+from repro.library import default_library
+from repro.spice import dc, elaborate, sin_wave
+from repro.spice.mna import MnaSolver
+from repro.synth.netlist import Netlist
+
+
+def single_instance_netlist(component, params=None, n_inputs=1,
+                            control=None):
+    netlist = Netlist(name="t", library=default_library())
+    inputs = []
+    for index in range(n_inputs):
+        port = f"in{index}"
+        netlist.inputs[port] = index
+        inputs.append(index)
+    netlist.add_instance(
+        component, params=params or {}, inputs=inputs, output=100,
+        control=control, covers=[100],
+    )
+    netlist.outputs["out"] = 100
+    return netlist
+
+
+def dc_response(netlist, values, control_waves=None):
+    waves = {f"in{i}": dc(v) for i, v in enumerate(values)}
+    circuit = elaborate(netlist, input_waves=waves,
+                        control_waves=control_waves)
+    sim = circuit.transient(1e-3, 1e-5, probes=["n100"])
+    return sim.final("n100")
+
+
+class TestCascade:
+    def test_positive_gain_cascade(self):
+        netlist = single_instance_netlist(
+            "inverting_cascade", params={"gain": 36.0}
+        )
+        assert dc_response(netlist, [0.05]) == pytest.approx(1.8, rel=3e-2)
+
+    def test_negative_gain_cascade(self):
+        netlist = single_instance_netlist(
+            "inverting_cascade", params={"gain": -36.0}
+        )
+        assert dc_response(netlist, [0.05]) == pytest.approx(-1.8, rel=3e-2)
+
+
+class TestSmallStages:
+    def test_voltage_follower(self):
+        netlist = single_instance_netlist("voltage_follower")
+        assert dc_response(netlist, [0.42]) == pytest.approx(0.42, rel=1e-2)
+
+    def test_rectifier(self):
+        netlist = single_instance_netlist("rectifier")
+        assert dc_response(netlist, [-0.6]) == pytest.approx(0.6, rel=1e-3)
+
+    def test_divider(self):
+        netlist = single_instance_netlist("divider", n_inputs=2)
+        assert dc_response(netlist, [1.2, 0.4]) == pytest.approx(3.0,
+                                                                 rel=1e-3)
+
+    def test_log_amplifier(self):
+        netlist = single_instance_netlist("log_amplifier")
+        assert dc_response(netlist, [math.e]) == pytest.approx(1.0,
+                                                               rel=1e-3)
+
+    def test_limiter(self):
+        netlist = single_instance_netlist(
+            "limiter", params={"low": -0.5, "high": 0.5}
+        )
+        assert dc_response(netlist, [2.0]) == pytest.approx(0.5, rel=1e-2)
+
+    def test_analog_switch_closed_and_open(self):
+        closed = single_instance_netlist("analog_switch", control="go")
+        value = dc_response(closed, [0.9], control_waves={"go": dc(1.0)})
+        assert value == pytest.approx(0.9, rel=1e-2)
+        opened = single_instance_netlist("analog_switch", control="go")
+        value = dc_response(opened, [0.9], control_waves={"go": dc(0.0)})
+        assert abs(value) < 0.01
+
+    def test_schmitt_trigger_is_bistable(self):
+        netlist = single_instance_netlist(
+            "schmitt_trigger",
+            params={"threshold": 0.0, "hysteresis": 0.3},
+        )
+        circuit = elaborate(netlist,
+                            input_waves={"in0": sin_wave(1.0, 500.0)})
+        sim = circuit.transient(4e-3, 2e-6, probes=["n100"])
+        v = sim["n100"]
+        # Output is a clean 0/1 square wave.
+        import numpy as np
+
+        mid = np.logical_and(v > 0.2, v < 0.8)
+        assert float(np.mean(mid)) < 0.05
+
+    def test_differentiator(self):
+        netlist = single_instance_netlist("differentiator")
+        circuit = elaborate(
+            netlist, input_waves={"in0": lambda t: 100.0 * t}
+        )
+        sim = circuit.transient(2e-3, 1e-6, probes=["n100"])
+        # out = RC * dv/dt with RC = 1e-3 s -> 0.1 V for 100 V/s.
+        assert sim.final("n100") == pytest.approx(0.1, rel=0.05)
+
+    def test_unknown_component_rejected(self):
+        from repro.library import ComponentLibrary, ComponentSpec
+        from repro.diagnostics import SynthesisError
+
+        library = ComponentLibrary(
+            [ComponentSpec(name="mystery", category="?", opamps=1)],
+            name="odd",
+        )
+        netlist = Netlist(name="t", library=library)
+        netlist.inputs["in0"] = 0
+        netlist.add_instance("mystery", inputs=[0], output=1)
+        with pytest.raises(SynthesisError, match="elaboration"):
+            elaborate(netlist, input_waves={"in0": dc(0.0)})

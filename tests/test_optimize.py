@@ -1,0 +1,193 @@
+"""Tests for the VHIF optimization passes (semantics preservation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vhif import BlockKind, Interpreter, SignalFlowGraph, VhifDesign
+from repro.vhif.optimize import optimize_design, optimize_sfg
+
+
+def design_of(sfg):
+    design = VhifDesign("t")
+    design.add_sfg(sfg)
+    return design
+
+
+def evaluate(design, x=0.7):
+    interp = Interpreter(design, dt=1e-5, inputs={"x": lambda t: x})
+    interp.step()
+    return float(interp.probe("y"))
+
+
+class TestScaleFusion:
+    def build_chain(self, gains):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        current = x
+        for gain in gains:
+            s = g.add(BlockKind.SCALE, gain=gain)
+            g.connect(current, s)
+            current = s
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(current, out)
+        return g
+
+    def test_two_scales_fuse(self):
+        g = self.build_chain([2.0, 3.0])
+        report = optimize_sfg(g)
+        assert report.fused_scales == 1
+        assert len(g.blocks_of_kind(BlockKind.SCALE)) == 1
+        assert g.blocks_of_kind(BlockKind.SCALE)[0].gain == 6.0
+
+    def test_long_chain_collapses(self):
+        g = self.build_chain([2.0, 3.0, 0.5, 4.0])
+        optimize_sfg(g)
+        scales = g.blocks_of_kind(BlockKind.SCALE)
+        assert len(scales) == 1
+        assert scales[0].gain == pytest.approx(12.0)
+
+    def test_semantics_preserved(self):
+        g = self.build_chain([2.0, -1.5])
+        before = evaluate(design_of(g.copy()))
+        optimize_sfg(g)
+        after = evaluate(design_of(g))
+        assert after == pytest.approx(before)
+
+    def test_fanout_blocks_fusion(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        s1 = g.add(BlockKind.SCALE, gain=2.0)
+        s2 = g.add(BlockKind.SCALE, gain=3.0)
+        extra = g.add(BlockKind.NEG, name="tap2")
+        out = g.add(BlockKind.OUTPUT, name="y")
+        out2 = g.add(BlockKind.OUTPUT, name="y2")
+        g.connect(x, s1)
+        g.connect(s1, s2)
+        g.connect(s1, extra)  # s1 fans out: must not fuse
+        g.connect(s2, out)
+        g.connect(extra, out2)
+        report = optimize_sfg(g)
+        assert report.fused_scales == 0
+
+
+class TestNegation:
+    def test_double_negation_cancels(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        n1 = g.add(BlockKind.NEG)
+        n2 = g.add(BlockKind.NEG)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, n1)
+        g.connect(n1, n2)
+        g.connect(n2, out)
+        report = optimize_sfg(g)
+        assert report.cancelled_negations == 1
+        assert not g.blocks_of_kind(BlockKind.NEG)
+        assert evaluate(design_of(g)) == pytest.approx(0.7)
+
+    def test_neg_absorbs_into_scale(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        n = g.add(BlockKind.NEG)
+        s = g.add(BlockKind.SCALE, gain=4.0)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, n)
+        g.connect(n, s)
+        g.connect(s, out)
+        optimize_sfg(g)
+        assert not g.blocks_of_kind(BlockKind.NEG)
+        assert g.blocks_of_kind(BlockKind.SCALE)[0].gain == -4.0
+
+    def test_neg_absorbs_into_integrator(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        n = g.add(BlockKind.NEG)
+        i = g.add(BlockKind.INTEGRATE, gain=2.0, initial=0.0)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, n)
+        g.connect(n, i)
+        g.connect(i, out)
+        optimize_sfg(g)
+        assert not g.blocks_of_kind(BlockKind.NEG)
+        assert g.blocks_of_kind(BlockKind.INTEGRATE)[0].gain == -2.0
+
+
+class TestIdentityAndPinning:
+    def test_unity_scale_removed(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        s = g.add(BlockKind.SCALE, gain=1.0)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, s)
+        g.connect(s, out)
+        report = optimize_sfg(g)
+        assert report.removed_identities == 1
+        assert not g.blocks_of_kind(BlockKind.SCALE)
+
+    def test_pinned_block_survives(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        s = g.add(BlockKind.SCALE, gain=1.0)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, s)
+        g.connect(s, out)
+        report = optimize_sfg(g, pinned={s.block_id})
+        assert report.total == 0
+        assert g.blocks_of_kind(BlockKind.SCALE)
+
+    def test_design_level_pins_taps(self):
+        g = SignalFlowGraph("main")
+        x = g.add(BlockKind.INPUT, name="x")
+        s = g.add(BlockKind.SCALE, gain=1.0)
+        out = g.add(BlockKind.OUTPUT, name="y")
+        g.connect(x, s)
+        g.connect(s, out)
+        design = design_of(g)
+        design.quantity_taps["q"] = ("main", s.block_id)
+        report = optimize_design(design)
+        assert report.total == 0
+
+
+@st.composite
+def chain_graph(draw):
+    """A random single-path chain of SCALE/NEG blocks."""
+    g = SignalFlowGraph("main")
+    x = g.add(BlockKind.INPUT, name="x")
+    current = x
+    n = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n):
+        if draw(st.booleans()):
+            block = g.add(
+                BlockKind.SCALE,
+                gain=draw(
+                    st.floats(min_value=-4.0, max_value=4.0).filter(
+                        lambda v: abs(v) > 1e-3
+                    )
+                ),
+            )
+        else:
+            block = g.add(BlockKind.NEG)
+        g.connect(current, block)
+        current = block
+    out = g.add(BlockKind.OUTPUT, name="y")
+    g.connect(current, out)
+    return g
+
+
+class TestProperties:
+    @given(chain_graph(), st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_optimization_preserves_function(self, g, x):
+        before = evaluate(design_of(g.copy()), x=x)
+        optimize_sfg(g)
+        after = evaluate(design_of(g), x=x)
+        assert after == pytest.approx(before, rel=1e-9, abs=1e-9)
+
+    @given(chain_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_collapses_to_at_most_one_block(self, g):
+        optimize_sfg(g)
+        remaining = g.processing_blocks()
+        # Any SCALE/NEG chain reduces to at most one SCALE (or nothing,
+        # when the net gain is exactly 1) or one NEG (net gain -1).
+        assert len(remaining) <= 1

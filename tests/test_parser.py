@@ -1,0 +1,434 @@
+"""Unit tests for the VASS parser."""
+
+import pytest
+
+from repro.diagnostics import ParseError
+from repro.vass import ast_nodes as ast
+from repro.vass.parser import parse_expression, parse_source
+
+
+class TestExpressions:
+    def test_name(self):
+        expr = parse_expression("line")
+        assert isinstance(expr, ast.Name)
+        assert expr.identifier == "line"
+
+    def test_integer_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, ast.IntegerLiteral)
+        assert expr.value == 42
+
+    def test_real_literal(self):
+        expr = parse_expression("2.5")
+        assert isinstance(expr, ast.RealLiteral)
+        assert expr.value == 2.5
+
+    def test_character_literal(self):
+        expr = parse_expression("'1'")
+        assert isinstance(expr, ast.CharacterLiteral)
+        assert expr.value == "1"
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("false").value is False
+
+    def test_addition_left_associative(self):
+        expr = parse_expression("a + b + c")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.operator == "+"
+        assert isinstance(expr.left, ast.BinaryOp)
+        assert expr.left.operator == "+"
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert expr.operator == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.operator == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.operator == "*"
+        assert expr.left.operator == "+"
+
+    def test_unary_minus(self):
+        # VHDL rule: the sign applies to the whole first term, -(a*b).
+        expr = parse_expression("-a * b")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operator == "-"
+        assert isinstance(expr.operand, ast.BinaryOp)
+        assert expr.operand.operator == "*"
+
+    def test_power_operator(self):
+        expr = parse_expression("v ** 2")
+        assert expr.operator == "**"
+
+    def test_relational(self):
+        expr = parse_expression("a >= b")
+        assert expr.operator == ">="
+
+    def test_less_equal_in_expression_context(self):
+        expr = parse_expression("a <= b")
+        assert expr.operator == "<="
+
+    def test_logical_operators(self):
+        expr = parse_expression("a = b and c = d")
+        assert expr.operator == "and"
+
+    def test_not_operator(self):
+        expr = parse_expression("not (a = b)")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operator == "not"
+
+    def test_abs_operator(self):
+        expr = parse_expression("abs (x)")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operator == "abs"
+
+    def test_function_call(self):
+        expr = parse_expression("log(x)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "log"
+        assert len(expr.arguments) == 1
+
+    def test_attribute_above(self):
+        expr = parse_expression("line'ABOVE(Vth)")
+        assert isinstance(expr, ast.AttributeExpr)
+        assert expr.attribute == "above"
+        assert isinstance(expr.prefix, ast.Name)
+        assert len(expr.arguments) == 1
+
+    def test_attribute_dot(self):
+        expr = parse_expression("x'dot")
+        assert isinstance(expr, ast.AttributeExpr)
+        assert expr.attribute == "dot"
+        assert expr.arguments == []
+
+    def test_chained_attribute(self):
+        expr = parse_expression("x'dot'dot")
+        assert expr.attribute == "dot"
+        assert isinstance(expr.prefix, ast.AttributeExpr)
+
+    def test_attribute_comparison(self):
+        expr = parse_expression("line'above(0.2) = TRUE")
+        assert expr.operator == "="
+        assert isinstance(expr.left, ast.AttributeExpr)
+
+    def test_indexed_name(self):
+        expr = parse_expression("v(2)")
+        assert isinstance(expr, ast.IndexedName)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+
+ENTITY = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage;
+  QUANTITY vout : OUT real IS voltage
+);
+END ENTITY;
+"""
+
+
+class TestEntity:
+    def test_entity_name_and_ports(self):
+        sf = parse_source(ENTITY)
+        (entity,) = sf.entities
+        assert entity.name == "amp"
+        assert [p.name for p in entity.ports] == ["vin", "vout"]
+
+    def test_port_modes(self):
+        sf = parse_source(ENTITY)
+        entity = sf.entities[0]
+        assert entity.port("vin").mode is ast.PortMode.IN
+        assert entity.port("vout").mode is ast.PortMode.OUT
+
+    def test_port_classes(self):
+        sf = parse_source(ENTITY)
+        for port in sf.entities[0].ports:
+            assert port.object_class is ast.ObjectClass.QUANTITY
+
+    def test_kind_annotation(self):
+        sf = parse_source(ENTITY)
+        ann = sf.entities[0].port("vin").annotation(ast.KindAnnotation)
+        assert ann is not None
+        assert ann.kind is ast.SignalKind.VOLTAGE
+
+    def test_signal_port(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (SIGNAL clk : IN bit); END ENTITY;"
+        )
+        port = sf.entities[0].port("clk")
+        assert port.object_class is ast.ObjectClass.SIGNAL
+        assert port.type_mark.name == "bit"
+
+    def test_multiple_names_in_one_decl(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY a, b : IN real); END ENTITY;"
+        )
+        assert [p.name for p in sf.entities[0].ports] == ["a", "b"]
+
+    def test_entity_closing_name_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_source("ENTITY a IS END ENTITY b;")
+
+    def test_generics(self):
+        sf = parse_source(
+            "ENTITY e IS GENERIC (gain : real := 2.0); END ENTITY;"
+        )
+        assert sf.entities[0].generics[0].name == "gain"
+
+
+class TestAnnotations:
+    def test_limited_at_with_unit(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY o : OUT real LIMITED AT 1500.0 mv);"
+            " END ENTITY;"
+        )
+        ann = sf.entities[0].port("o").annotation(ast.LimitAnnotation)
+        assert ann.level == pytest.approx(1.5)
+
+    def test_limited_without_level(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY o : OUT real LIMITED); END ENTITY;"
+        )
+        ann = sf.entities[0].port("o").annotation(ast.LimitAnnotation)
+        assert ann.level is None
+
+    def test_drives_annotation(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY o : OUT real "
+            "DRIVES 270.0 ohm AT 285.0 mv PEAK); END ENTITY;"
+        )
+        ann = sf.entities[0].port("o").annotation(ast.DriveAnnotation)
+        assert ann.load_ohms == pytest.approx(270.0)
+        assert ann.amplitude == pytest.approx(0.285)
+
+    def test_range_annotation(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY i : IN real RANGE -1.0 TO 1.0);"
+            " END ENTITY;"
+        )
+        ann = sf.entities[0].port("i").annotation(ast.RangeAnnotation)
+        assert (ann.low, ann.high) == (-1.0, 1.0)
+
+    def test_frequency_annotation(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY i : IN real "
+            "FREQUENCY 300.0 hz TO 3.4 khz); END ENTITY;"
+        )
+        ann = sf.entities[0].port("i").annotation(ast.FrequencyAnnotation)
+        assert ann.high == pytest.approx(3400.0)
+
+    def test_impedance_annotation(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY i : IN real IMPEDANCE 10.0 kohm);"
+            " END ENTITY;"
+        )
+        ann = sf.entities[0].port("i").annotation(ast.ImpedanceAnnotation)
+        assert ann.ohms == pytest.approx(10000.0)
+
+    def test_stacked_annotations(self):
+        sf = parse_source(
+            "ENTITY e IS PORT (QUANTITY o : OUT real IS voltage "
+            "LIMITED AT 1.5 v DRIVES 270.0 o AT 285.0 mv PEAK); END ENTITY;"
+        )
+        port = sf.entities[0].port("o")
+        assert len(port.annotations) == 3
+
+
+ARCH = """
+ENTITY e IS PORT (QUANTITY a : IN real; QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE behav OF e IS
+  CONSTANT k : real := 2.0;
+  QUANTITY q : real;
+  SIGNAL s : bit;
+BEGIN
+  q == k * a;
+  y == q + 1.0;
+END ARCHITECTURE;
+"""
+
+
+class TestArchitecture:
+    def test_architecture_links_to_entity(self):
+        sf = parse_source(ARCH)
+        arch = sf.architectures[0]
+        assert arch.entity_name == "e"
+        assert arch.name == "behav"
+
+    def test_declarations(self):
+        sf = parse_source(ARCH)
+        decls = sf.architectures[0].declarations
+        assert [d.name for d in decls] == ["k", "q", "s"]
+        assert decls[0].object_class is ast.ObjectClass.CONSTANT
+
+    def test_simple_simultaneous_statements(self):
+        sf = parse_source(ARCH)
+        stmts = sf.architectures[0].statements
+        assert len(stmts) == 2
+        assert all(isinstance(s, ast.SimpleSimultaneous) for s in stmts)
+
+    def test_architecture_of_lookup(self):
+        sf = parse_source(ARCH)
+        assert sf.architecture_of("e") is sf.architectures[0]
+
+    def test_context_clauses_skipped(self):
+        sf = parse_source(
+            "LIBRARY ieee;\nUSE ieee.math_real.all;\n" + ARCH
+        )
+        assert len(sf.entities) == 1
+
+
+SIM_IF = """
+ENTITY e IS PORT (QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE a OF e IS
+  QUANTITY r : real;
+  SIGNAL c : bit;
+BEGIN
+  y == r;
+  IF (c = '1') USE
+    r == 1.0;
+  ELSIF (c = '0') USE
+    r == 2.0;
+  ELSE
+    r == 3.0;
+  END USE;
+END ARCHITECTURE;
+"""
+
+
+class TestSimultaneousIf:
+    def test_branches_parsed(self):
+        sf = parse_source(SIM_IF)
+        stmt = sf.architectures[0].statements[1]
+        assert isinstance(stmt, ast.SimultaneousIf)
+        assert len(stmt.branches) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_branch_bodies_are_equations(self):
+        sf = parse_source(SIM_IF)
+        stmt = sf.architectures[0].statements[1]
+        _, body = stmt.branches[0]
+        assert isinstance(body[0], ast.SimpleSimultaneous)
+
+
+PROCESS = """
+ENTITY e IS PORT (QUANTITY a : IN real; QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE b OF e IS
+  CONSTANT th : real := 0.5;
+  SIGNAL c : bit;
+BEGIN
+  y == a;
+  PROCESS (a'ABOVE(th)) IS
+    VARIABLE n : real;
+  BEGIN
+    n := 1.0;
+    IF (a'ABOVE(th) = TRUE) THEN
+      c <= '1';
+    ELSE
+      c <= '0';
+    END IF;
+  END PROCESS;
+END ARCHITECTURE;
+"""
+
+
+class TestProcess:
+    def test_sensitivity_list(self):
+        sf = parse_source(PROCESS)
+        proc = sf.architectures[0].statements[1]
+        assert isinstance(proc, ast.ProcessStmt)
+        assert len(proc.sensitivity) == 1
+        assert isinstance(proc.sensitivity[0], ast.AttributeExpr)
+
+    def test_local_variable_declaration(self):
+        sf = parse_source(PROCESS)
+        proc = sf.architectures[0].statements[1]
+        assert proc.declarations[0].name == "n"
+        assert proc.declarations[0].object_class is ast.ObjectClass.VARIABLE
+
+    def test_body_statements(self):
+        sf = parse_source(PROCESS)
+        proc = sf.architectures[0].statements[1]
+        assert isinstance(proc.body[0], ast.VariableAssignment)
+        assert isinstance(proc.body[1], ast.IfStmt)
+
+    def test_signal_assignment_target(self):
+        sf = parse_source(PROCESS)
+        proc = sf.architectures[0].statements[1]
+        if_stmt = proc.body[1]
+        _, then_body = if_stmt.branches[0]
+        assert isinstance(then_body[0], ast.SignalAssignment)
+        assert then_body[0].target == "c"
+
+
+PROCEDURAL = """
+ENTITY e IS PORT (QUANTITY a : IN real; QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE b OF e IS
+BEGIN
+  PROCEDURAL IS
+    VARIABLE t : real;
+  BEGIN
+    t := a * 2.0;
+    FOR i IN 1 TO 3 LOOP
+      t := t + 1.0;
+    END LOOP;
+    WHILE (abs(t) > 0.1) LOOP
+      t := t / 2.0;
+    END LOOP;
+    y := t;
+  END PROCEDURAL;
+END ARCHITECTURE;
+"""
+
+
+class TestProcedural:
+    def test_procedural_parses(self):
+        sf = parse_source(PROCEDURAL)
+        proc = sf.architectures[0].statements[0]
+        assert isinstance(proc, ast.ProceduralStmt)
+        assert len(proc.body) == 4
+
+    def test_for_loop(self):
+        sf = parse_source(PROCEDURAL)
+        loop = sf.architectures[0].statements[0].body[1]
+        assert isinstance(loop, ast.ForStmt)
+        assert loop.variable == "i"
+
+    def test_while_loop(self):
+        sf = parse_source(PROCEDURAL)
+        loop = sf.architectures[0].statements[0].body[2]
+        assert isinstance(loop, ast.WhileStmt)
+        assert len(loop.body) == 1
+
+
+class TestPackage:
+    def test_package_constants(self):
+        sf = parse_source(
+            "PACKAGE consts IS CONSTANT pi : real := 3.14159; END PACKAGE;"
+        )
+        (pkg,) = sf.packages
+        assert pkg.name == "consts"
+        assert pkg.declarations[0].name == "pi"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("ENTITY e IS END ENTITY")
+
+    def test_bad_design_unit(self):
+        with pytest.raises(ParseError):
+            parse_source("PROCESS foo;")
+
+    def test_assignment_operator_required(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "ENTITY e IS END ENTITY;"
+                "ARCHITECTURE a OF e IS BEGIN "
+                "PROCESS (x) IS BEGIN y == 2.0; END PROCESS;"
+                " END ARCHITECTURE;"
+            )

@@ -1,0 +1,324 @@
+"""Tests for the component library and the pattern matcher."""
+
+import pytest
+
+from repro.diagnostics import SynthesisError
+from repro.library import (
+    ComponentLibrary,
+    ComponentSpec,
+    PatternMatcher,
+    default_library,
+)
+from repro.vhif.sfg import BlockKind, CONTROL_PORT, SignalFlowGraph
+
+
+@pytest.fixture
+def matcher():
+    return PatternMatcher(default_library())
+
+
+class TestComponentLibrary:
+    def test_default_has_expected_classes(self):
+        lib = default_library()
+        for name in (
+            "inverting_amplifier",
+            "summing_amplifier",
+            "integrator",
+            "log_amplifier",
+            "antilog_amplifier",
+            "sample_hold",
+            "zero_cross_detector",
+            "schmitt_trigger",
+            "adc",
+            "output_stage",
+        ):
+            assert name in lib
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SynthesisError):
+            default_library().get("flux_capacitor")
+
+    def test_duplicate_spec_rejected(self):
+        lib = default_library()
+        with pytest.raises(SynthesisError):
+            lib.add(ComponentSpec(name="integrator", category="x", opamps=1))
+
+    def test_required_gain_scalar(self):
+        spec = default_library().get("inverting_amplifier")
+        assert spec.required_gain({"gain": -8.0}) == 8.0
+
+    def test_required_gain_weights(self):
+        spec = default_library().get("summing_amplifier")
+        assert spec.required_gain({"weights": [1.0, -3.0, 2.0]}) == 3.0
+
+    def test_required_gain_default(self):
+        spec = default_library().get("sample_hold")
+        assert spec.required_gain({}) == 1.0
+
+
+class TestSingleBlockMatches:
+    def match_single(self, matcher, g, block):
+        return matcher.match_cone(g, frozenset({block.block_id}), block)
+
+    def test_negative_scale_is_inverting(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=-3.0)
+        g.connect(x, s)
+        names = {m.component for m in self.match_single(matcher, g, s)}
+        assert "inverting_amplifier" in names
+
+    def test_positive_scale_is_noninverting(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=3.0)
+        g.connect(x, s)
+        names = {m.component for m in self.match_single(matcher, g, s)}
+        assert "noninverting_amplifier" in names
+
+    def test_cascade_transform_offered_for_high_gain(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=40.0)
+        g.connect(x, s)
+        matches = self.match_single(matcher, g, s)
+        cascades = [m for m in matches if m.component == "inverting_cascade"]
+        assert cascades and cascades[0].transform == "cascade_split"
+        assert cascades[0].opamps == 2
+
+    def test_transforms_can_be_disabled(self):
+        m = PatternMatcher(default_library(), enable_transforms=False)
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=40.0)
+        g.connect(x, s)
+        matches = m.match_cone(g, frozenset({s.block_id}), s)
+        assert all(match.transform is None for match in matches)
+
+    def test_comparator_without_hysteresis_is_zero_cross(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        c = g.add(BlockKind.COMPARATOR, threshold=0.2)
+        g.connect(x, c)
+        (match,) = self.match_single(matcher, g, c)
+        assert match.component == "zero_cross_detector"
+
+    def test_comparator_with_hysteresis_is_schmitt(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        c = g.add(BlockKind.COMPARATOR, threshold=0.0, hysteresis=0.5)
+        g.connect(x, c)
+        (match,) = self.match_single(matcher, g, c)
+        assert match.component == "schmitt_trigger"
+
+    def test_output_stage_role(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        lim = g.add(BlockKind.LIMIT, low=-1.5, high=1.5, role="output_stage")
+        g.connect(x, lim)
+        (match,) = self.match_single(matcher, g, lim)
+        assert match.component == "output_stage"
+
+    def test_plain_limit_is_limiter(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        lim = g.add(BlockKind.LIMIT, low=-1.0, high=1.0)
+        g.connect(x, lim)
+        (match,) = self.match_single(matcher, g, lim)
+        assert match.component == "limiter"
+
+    def test_switch_has_zero_opamps(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        sw = g.add(BlockKind.SWITCH)
+        g.connect(x, sw)
+        g.bind_control("c", sw)
+        (match,) = self.match_single(matcher, g, sw)
+        assert match.component == "analog_switch"
+        assert match.opamps == 0
+        assert match.control == "c"
+
+
+class TestWeightedSum:
+    def build_weighted_sum(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT, name="a")
+        b = g.add(BlockKind.INPUT, name="b")
+        s1 = g.add(BlockKind.SCALE, gain=2.0)
+        s2 = g.add(BlockKind.SCALE, gain=3.0)
+        adder = g.add(BlockKind.ADD, n_inputs=2)
+        g.connect(a, s1)
+        g.connect(b, s2)
+        g.connect(s1, adder, port=0)
+        g.connect(s2, adder, port=1)
+        return g, (a, b, s1, s2, adder)
+
+    def test_full_cone_collapses_to_summing_amp(self, matcher):
+        g, (a, b, s1, s2, adder) = self.build_weighted_sum()
+        cone = frozenset({adder.block_id, s1.block_id, s2.block_id})
+        matches = matcher.match_cone(g, cone, adder)
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.component == "summing_amplifier"
+        assert match.params["weights"] == [2.0, 3.0]
+        assert match.inputs == [a.block_id, b.block_id]
+
+    def test_partial_cone_mixes_weights(self, matcher):
+        g, (a, b, s1, s2, adder) = self.build_weighted_sum()
+        cone = frozenset({adder.block_id, s1.block_id})
+        (match,) = matcher.match_cone(g, cone, adder)
+        assert match.params["weights"] == [2.0, 1.0]
+        assert match.inputs == [a.block_id, s2.block_id]
+
+    def test_neg_folds_as_minus_one(self, matcher):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.INPUT)
+        neg = g.add(BlockKind.NEG)
+        adder = g.add(BlockKind.ADD, n_inputs=2)
+        g.connect(a, adder, port=0)
+        g.connect(b, neg)
+        g.connect(neg, adder, port=1)
+        cone = frozenset({adder.block_id, neg.block_id})
+        (match,) = matcher.match_cone(g, cone, adder)
+        assert match.params["weights"] == [1.0, -1.0]
+
+    def test_max_weighted_scales_restriction(self):
+        # Figure 6's comp1 folds exactly one scaled input.
+        m = PatternMatcher(default_library(), max_weighted_scales=1)
+        g, (a, b, s1, s2, adder) = TestWeightedSum().build_weighted_sum()
+        full = frozenset({adder.block_id, s1.block_id, s2.block_id})
+        assert m.match_cone(g, full, adder) == []
+        partial = frozenset({adder.block_id, s1.block_id})
+        assert len(m.match_cone(g, partial, adder)) == 1
+
+
+class TestIntegratorFusion:
+    def test_scaled_integrator(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=5.0)
+        i = g.add(BlockKind.INTEGRATE, gain=1.0, initial=0.5)
+        g.connect(x, s)
+        g.connect(s, i)
+        cone = frozenset({i.block_id, s.block_id})
+        (match,) = matcher.match_cone(g, cone, i)
+        assert match.component == "integrator"
+        assert match.params["gain"] == 5.0
+        assert match.params["initial"] == 0.5
+
+    def test_summing_integrator(self, matcher):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.INPUT)
+        s = g.add(BlockKind.SCALE, gain=2.0)
+        adder = g.add(BlockKind.ADD, n_inputs=2)
+        i = g.add(BlockKind.INTEGRATE, gain=1.0, initial=0.0)
+        g.connect(a, s)
+        g.connect(s, adder, port=0)
+        g.connect(b, adder, port=1)
+        g.connect(adder, i)
+        cone = frozenset({i.block_id, adder.block_id, s.block_id})
+        matches = matcher.match_cone(g, cone, i)
+        summing = [m for m in matches if m.component == "summing_integrator"]
+        assert summing
+        assert summing[0].params["weights"] == [2.0, 1.0]
+
+
+class TestLogAntilog:
+    def test_multiplier_recognized(self, matcher):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.INPUT)
+        la = g.add(BlockKind.LOG)
+        lb = g.add(BlockKind.LOG)
+        add = g.add(BlockKind.ADD, n_inputs=2)
+        exp = g.add(BlockKind.EXP)
+        g.connect(a, la)
+        g.connect(b, lb)
+        g.connect(la, add, port=0)
+        g.connect(lb, add, port=1)
+        g.connect(add, exp)
+        cone = frozenset({la.block_id, lb.block_id, add.block_id, exp.block_id})
+        matches = matcher.match_cone(g, cone, exp)
+        assert any(m.component == "multiplier" for m in matches)
+
+    def test_divider_recognized(self, matcher):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.INPUT)
+        la = g.add(BlockKind.LOG)
+        lb = g.add(BlockKind.LOG)
+        sub = g.add(BlockKind.SUB)
+        exp = g.add(BlockKind.EXP)
+        g.connect(a, la)
+        g.connect(b, lb)
+        g.connect(la, sub, port=0)
+        g.connect(lb, sub, port=1)
+        g.connect(sub, exp)
+        cone = frozenset({la.block_id, lb.block_id, sub.block_id, exp.block_id})
+        matches = matcher.match_cone(g, cone, exp)
+        assert any(m.component == "divider" for m in matches)
+
+
+class TestSwitchedGain:
+    def test_mul_of_const_mux_is_switched_gain(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        c1 = g.add(BlockKind.CONST, value=0.5)
+        c2 = g.add(BlockKind.CONST, value=1.25)
+        mux = g.add(BlockKind.MUX, n_inputs=2)
+        mul = g.add(BlockKind.MUL)
+        g.connect(c1, mux, port=0)
+        g.connect(c2, mux, port=1)
+        g.bind_control("c1", mux)
+        g.connect(x, mul, port=0)
+        g.connect(mux, mul, port=1)
+        cone = frozenset({mul.block_id, mux.block_id})
+        (match,) = matcher.match_cone(g, cone, mul)
+        assert match.component == "switched_gain_amplifier"
+        assert match.params["gains"] == [0.5, 1.25]
+        assert match.control == "c1"
+        assert match.inputs == [x.block_id]
+
+    def test_non_const_mux_not_matched(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        y = g.add(BlockKind.INPUT)
+        c = g.add(BlockKind.CONST, value=1.0)
+        mux = g.add(BlockKind.MUX, n_inputs=2)
+        mul = g.add(BlockKind.MUL)
+        g.connect(y, mux, port=0)
+        g.connect(c, mux, port=1)
+        g.bind_control("s", mux)
+        g.connect(x, mul, port=0)
+        g.connect(mux, mul, port=1)
+        cone = frozenset({mul.block_id, mux.block_id})
+        assert matcher.match_cone(g, cone, mul) == []
+
+
+class TestCandidateOrdering:
+    def test_largest_cones_first(self, matcher):
+        g, (a, b, s1, s2, adder) = TestWeightedSum().build_weighted_sum()
+        candidates = matcher.candidates(g, adder)
+        sizes = [c.size for c in candidates]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_signature_equality_for_sharing(self, matcher):
+        g = SignalFlowGraph()
+        x = g.add(BlockKind.INPUT)
+        s1 = g.add(BlockKind.SCALE, gain=2.0)
+        s2 = g.add(BlockKind.SCALE, gain=2.0)
+        g.connect(x, s1)
+        g.connect(x, s2)
+        (m1,) = [
+            m
+            for m in matcher.match_cone(g, frozenset({s1.block_id}), s1)
+            if m.component == "noninverting_amplifier"
+        ]
+        (m2,) = [
+            m
+            for m in matcher.match_cone(g, frozenset({s2.block_id}), s2)
+            if m.component == "noninverting_amplifier"
+        ]
+        assert m1.signature() == m2.signature()

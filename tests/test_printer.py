@@ -1,0 +1,185 @@
+"""Round-trip tests for the VASS pretty-printer.
+
+The defining property: ``parse(print(ast))`` produces a structurally
+identical AST (source locations excluded from comparison).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import ALL_APPLICATIONS, EXTRA_APPLICATIONS
+from repro.vass import ast_nodes as ast
+from repro.vass.parser import parse_expression, parse_source
+from repro.vass.printer import print_expression, print_source
+
+
+def roundtrip_expr(text):
+    expr = parse_expression(text)
+    printed = print_expression(expr)
+    reparsed = parse_expression(printed)
+    assert reparsed == expr, f"{text!r} -> {printed!r}"
+    return printed
+
+
+class TestExpressionRoundtrip:
+    CASES = [
+        "a",
+        "42",
+        "2.5",
+        "'1'",
+        "TRUE",
+        "a + b",
+        "a - b - c",
+        "a * (b + c)",
+        "-a",
+        "-(a * b)",
+        "a ** 2",
+        "2.0 ** a",
+        "abs (a)",
+        "not (a = b)",
+        "log(x) + exp(y)",
+        "a / b / c",
+        "(a + b) * (c - d)",
+        "line'above(0.2)",
+        "x'dot",
+        "x'dot + y'dot",
+        "a = b and c = d",
+        "a < b or c >= d",
+        "v(3)",
+        "a mod b",
+        "(a = b) = TRUE",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip(self, text):
+        roundtrip_expr(text)
+
+    def test_left_associativity_preserved(self):
+        # a - b - c must stay (a-b)-c, not a-(b-c).
+        printed = roundtrip_expr("a - b - c")
+        assert printed == "a - b - c"
+
+    def test_right_operand_parenthesized(self):
+        expr = ast.BinaryOp(
+            operator="-",
+            left=ast.Name(identifier="a"),
+            right=ast.BinaryOp(
+                operator="-",
+                left=ast.Name(identifier="b"),
+                right=ast.Name(identifier="c"),
+            ),
+        )
+        printed = print_expression(expr)
+        assert parse_expression(printed) == expr
+        assert "(" in printed
+
+
+names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        choice = draw(st.integers(min_value=0, max_value=1))
+        if choice == 0:
+            return ast.Name(identifier=draw(names))
+        return ast.RealLiteral(
+            value=float(draw(st.integers(min_value=0, max_value=99)))
+        )
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return ast.Name(identifier=draw(names))
+    if kind == 1:
+        return ast.RealLiteral(
+            value=float(draw(st.integers(min_value=0, max_value=99)))
+        )
+    if kind == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        return ast.BinaryOp(
+            operator=op,
+            left=draw(expressions(depth=depth + 1)),
+            right=draw(expressions(depth=depth + 1)),
+        )
+    if kind == 3:
+        return ast.UnaryOp(
+            operator="-", operand=draw(expressions(depth=depth + 1))
+        )
+    if kind == 4:
+        fn = draw(st.sampled_from(["log", "exp", "sqrt"]))
+        return ast.FunctionCall(
+            name=fn, arguments=[draw(expressions(depth=depth + 1))]
+        )
+    return ast.AttributeExpr(
+        prefix=ast.Name(identifier=draw(names)),
+        attribute="dot",
+        arguments=[],
+    )
+
+
+class TestExpressionProperty:
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_print_parse_roundtrip(self, expr):
+        printed = print_expression(expr)
+        reparsed = parse_expression(printed)
+        assert reparsed == expr
+
+
+class TestSourceRoundtrip:
+    @pytest.mark.parametrize(
+        "name", list(ALL_APPLICATIONS) + list(EXTRA_APPLICATIONS)
+    )
+    def test_applications_roundtrip(self, name):
+        module = {**ALL_APPLICATIONS, **EXTRA_APPLICATIONS}[name]
+        original = parse_source(module.VASS_SOURCE)
+        printed = print_source(original)
+        reparsed = parse_source(printed)
+        assert reparsed.units == original.units
+
+    def test_double_print_is_stable(self):
+        source = ALL_APPLICATIONS["receiver"].VASS_SOURCE
+        once = print_source(parse_source(source))
+        twice = print_source(parse_source(once))
+        assert once == twice
+
+    def test_package_roundtrip(self):
+        text = "PACKAGE p IS CONSTANT k : real := 2.0; END PACKAGE;"
+        original = parse_source(text)
+        assert parse_source(print_source(original)).units == original.units
+
+    def test_generic_roundtrip(self):
+        text = (
+            "ENTITY e IS GENERIC (g : real := 1.5); "
+            "PORT (QUANTITY y : OUT real); END ENTITY;"
+            "ARCHITECTURE a OF e IS BEGIN y == g; END ARCHITECTURE;"
+        )
+        original = parse_source(text)
+        assert parse_source(print_source(original)).units == original.units
+
+    def test_aggregate_roundtrip(self):
+        roundtrip_expr("u'ltf((1.0, 0.5), (1.0, 0.01, 0.0001))")
+
+    def test_ltf_source_roundtrip(self):
+        text = """
+ENTITY f IS PORT (QUANTITY u : IN real; QUANTITY y : OUT real);
+END ENTITY;
+ARCHITECTURE tf OF f IS
+BEGIN
+  y == u'ltf((1.0), (1.0, 0.001));
+END ARCHITECTURE;
+"""
+        original = parse_source(text)
+        assert parse_source(print_source(original)).units == original.units
+
+    def test_compiled_semantics_preserved(self):
+        """The printed receiver compiles to an equivalent design."""
+        from repro.compiler import compile_design
+
+        source = ALL_APPLICATIONS["receiver"].VASS_SOURCE
+        printed = print_source(parse_source(source))
+        original = compile_design(source)
+        reprinted = compile_design(printed)
+        assert (
+            original.statistics().as_row()
+            == reprinted.statistics().as_row()
+        )

@@ -1,0 +1,259 @@
+"""Tests for procedural compilation: dataflow sequencing, if-merge,
+for-unrolling and the Figure-4 while-loop structure."""
+
+import math
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.compiler import compile_design
+from repro.vhif import BlockKind, Interpreter
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+def procedural(inner, ports="QUANTITY u : IN real; QUANTITY y : OUT real",
+               decls=""):
+    return wrap(
+        ports,
+        decls=decls,
+        body=f"""
+  PROCEDURAL IS
+{inner[0]}
+  BEGIN
+{inner[1]}
+  END PROCEDURAL;
+""",
+    )
+
+
+class TestSequencing:
+    def test_assignment_chain_becomes_dataflow(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := 2.0 * u;
+    t := t + 1.0;
+    y := t * 3.0;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 1.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx((2.0 + 1.0) * 3.0)
+
+    def test_instruction_order_preserved_by_dependence(self):
+        # Same names, different order => different result; the compiler
+        # must honor the written sequence (Figure 3's rule).
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := u + 1.0;
+    t := t * t;
+    y := t;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 2.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(9.0)
+
+    def test_stateless_rule_enforced_by_frontend(self):
+        with pytest.raises(Exception, match="read before"):
+            compile_design(procedural((
+                "    VARIABLE t : real;",
+                "    y := t;\n",
+            )))
+
+
+class TestIfMerge:
+    def test_quantity_condition_creates_mux_and_comparator(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := 0.0;
+    IF (u > 1.0) THEN
+      t := 2.0 * u;
+    ELSE
+      t := u;
+    END IF;
+    y := t;
+""",
+        ))
+        design = compile_design(source)
+        sfg = design.main_sfg
+        assert len(sfg.blocks_of_kind(BlockKind.MUX)) == 1
+        assert len(sfg.blocks_of_kind(BlockKind.COMPARATOR)) == 1
+
+    def test_if_behavior(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := 0.0;
+    IF (u > 1.0) THEN
+      t := 2.0 * u;
+    ELSE
+      t := u;
+    END IF;
+    y := t;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 3.0})
+        interp.step()
+        interp.step()  # comparator control settles after one step
+        assert interp.probe("y") == pytest.approx(6.0)
+
+    def test_branch_without_prior_value_rejected(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    IF (u > 0.0) THEN
+      t := 1.0;
+    END IF;
+    y := t;
+""",
+        ))
+        with pytest.raises(Exception):
+            compile_design(source)
+
+
+class TestForUnrolling:
+    def test_unrolled_sum(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := u;
+    FOR i IN 1 TO 3 LOOP
+      t := t + 1.0;
+    END LOOP;
+    y := t;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 0.5})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(3.5)
+
+    def test_loop_variable_usable_as_constant(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := 0.0;
+    FOR i IN 1 TO 4 LOOP
+      t := t + i;
+    END LOOP;
+    y := t;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-5, inputs={"u": lambda t: 0.0})
+        interp.step()
+        assert interp.probe("y") == pytest.approx(10.0)
+
+    def test_huge_unroll_rejected(self):
+        source = procedural((
+            "    VARIABLE t : real;",
+            """
+    t := 0.0;
+    FOR i IN 1 TO 1000 LOOP
+      t := t + 1.0;
+    END LOOP;
+    y := t;
+""",
+        ))
+        with pytest.raises(CompileError, match="unroll"):
+            compile_design(source)
+
+
+class TestWhileLoop:
+    SQRT_SOURCE = procedural((
+        "    VARIABLE x : real;",
+        """
+    x := u;
+    WHILE (abs(x * x - u) > 0.001) LOOP
+      x := 0.5 * (x + u / x);
+    END LOOP;
+    y := x;
+""",
+    ))
+
+    def test_figure4_blocks_present(self):
+        design = compile_design(self.SQRT_SOURCE)
+        sfg = design.main_sfg
+        holds = sfg.blocks_of_kind(BlockKind.SAMPLE_HOLD)
+        switches = sfg.blocks_of_kind(BlockKind.SWITCH)
+        comparators = sfg.blocks_of_kind(BlockKind.COMPARATOR)
+        # S/H1 + S/H2 per carried variable, sw1 + sw3, icontr + contr
+        # (+ the inverted-contr detector).
+        assert len(holds) == 2
+        assert len(switches) == 2
+        assert len(comparators) >= 2
+
+    def test_two_conditional_blocks(self):
+        """The transformation duplicates the conditional (Figure 4)."""
+        design = compile_design(self.SQRT_SOURCE)
+        names = [b.name for b in design.main_sfg.blocks]
+        assert any(n.startswith("icontr") for n in names)
+        assert any(n.startswith("contr") for n in names)
+
+    def test_newton_iteration_converges(self):
+        design = compile_design(self.SQRT_SOURCE)
+        interp = Interpreter(design, dt=1e-4, inputs={"u": lambda t: 9.0})
+        traces = interp.run(0.02, probes=["y"])
+        assert traces.final("y") == pytest.approx(3.0, abs=0.01)
+
+    def test_loop_with_no_assignment_rejected(self):
+        source = procedural((
+            "    VARIABLE x : real;",
+            """
+    x := u;
+    WHILE (x > 0.0) LOOP
+      NULL;
+    END LOOP;
+    y := x;
+""",
+        ))
+        with pytest.raises(Exception):
+            compile_design(source)
+
+    def test_loop_variable_without_initial_value_rejected(self):
+        source = procedural((
+            "    VARIABLE x : real;\n    VARIABLE w : real;",
+            """
+    x := u;
+    WHILE (abs(x) > 1.0) LOOP
+      x := x / 2.0;
+      w := x;
+    END LOOP;
+    y := x;
+""",
+        ))
+        with pytest.raises(CompileError, match="no value before"):
+            compile_design(source)
+
+    def test_halving_loop(self):
+        source = procedural((
+            "    VARIABLE x : real;",
+            """
+    x := u;
+    WHILE (abs(x) > 1.0) LOOP
+      x := x / 2.0;
+    END LOOP;
+    y := x;
+""",
+        ))
+        design = compile_design(source)
+        interp = Interpreter(design, dt=1e-4, inputs={"u": lambda t: 10.0})
+        traces = interp.run(0.01, probes=["y"])
+        # 10 -> 5 -> 2.5 -> 1.25 -> 0.625
+        assert traces.final("y") == pytest.approx(0.625, abs=1e-6)

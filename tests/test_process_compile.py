@@ -1,0 +1,248 @@
+"""Tests for process-to-FSM compilation (paper Figure 3 rules)."""
+
+import pytest
+
+from repro.compiler import compile_design
+from repro.vhif import BlockKind, Interpreter, START_STATE
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+RECEIVER_LIKE = wrap(
+    "QUANTITY u : IN real; QUANTITY y : OUT real",
+    decls="SIGNAL c : bit; CONSTANT th : real := 0.5;",
+    body="""
+  y == u;
+  PROCESS (u'ABOVE(th)) IS
+  BEGIN
+    IF (u'ABOVE(th) = TRUE) THEN c <= '1'; ELSE c <= '0'; END IF;
+  END PROCESS;
+""",
+)
+
+
+class TestResumeSemantics:
+    def test_start_state_present(self):
+        design = compile_design(RECEIVER_LIKE)
+        fsm = design.fsm
+        assert fsm is not None
+        assert START_STATE in fsm
+
+    def test_resume_transitions_from_start(self):
+        design = compile_design(RECEIVER_LIKE)
+        arcs = design.fsm.transitions_from(START_STATE)
+        assert len(arcs) == 2  # one per if branch, both guarded by resume
+
+    def test_above_event_creates_comparator(self):
+        design = compile_design(RECEIVER_LIKE)
+        comparators = design.main_sfg.blocks_of_kind(BlockKind.COMPARATOR)
+        assert len(comparators) == 1
+        assert comparators[0].params["threshold"] == pytest.approx(0.5)
+
+    def test_event_source_registered(self):
+        design = compile_design(RECEIVER_LIKE)
+        assert "u'above(0.5)" in design.event_sources
+
+    def test_sensitivity_or_of_events(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY a : IN real; QUANTITY b : IN real; "
+                "QUANTITY y : OUT real",
+                decls="SIGNAL s : bit;",
+                body="""
+  y == a + b;
+  PROCESS (a'ABOVE(0.1), b'ABOVE(0.2)) IS
+  BEGIN
+    s <= '1';
+  END PROCESS;
+""",
+            )
+        )
+        names = design.fsm.event_names()
+        assert "a'above(0.1)" in names
+        assert "b'above(0.2)" in names
+
+
+class TestConcurrencyGrouping:
+    def test_independent_assignments_share_state(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="SIGNAL p : bit; SIGNAL q : bit;",
+                body="""
+  y == u;
+  PROCESS (u'ABOVE(0.0)) IS
+  BEGIN
+    p <= '1';
+    q <= '0';
+  END PROCESS;
+""",
+            )
+        )
+        assert design.fsm.n_states() == 1
+        assert len(design.fsm.state("state1").operations) == 2
+
+    def test_dependent_assignments_split_states(self):
+        # Figure 3a: assignment 6 depends on assignment 5 through n.
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="SIGNAL s : bit;",
+                body="""
+  y == u;
+  PROCESS (u'ABOVE(0.0)) IS
+    VARIABLE m : real;
+    VARIABLE n : real;
+  BEGIN
+    m := 1.0;
+    n := 2.0;
+    m := n + 1.0;
+    s <= '1';
+  END PROCESS;
+""",
+            )
+        )
+        # m:=1 and n:=2 group; m:=n+1 depends on n (and rewrites m);
+        # s<='1' is independent of m but lands after.
+        fsm = design.fsm
+        assert fsm.n_states() == 2
+        state1 = fsm.state("state1")
+        assert {op.target for op in state1.operations} == {"m", "n"}
+
+    def test_write_after_write_splits(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="",
+                body="""
+  y == u;
+  PROCESS (u'ABOVE(0.0)) IS
+    VARIABLE v : real;
+  BEGIN
+    v := 1.0;
+    v := 2.0;
+  END PROCESS;
+""",
+            )
+        )
+        assert design.fsm.n_states() == 2
+
+
+class TestBranching:
+    def test_if_creates_conditional_arcs(self):
+        design = compile_design(RECEIVER_LIKE)
+        fsm = design.fsm
+        assert fsm.n_states() == 2
+        conditions = [str(t.condition) for t in fsm.transitions]
+        assert any("above" in c for c in conditions)
+
+    def test_elsif_chain(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="SIGNAL s : bit;",
+                body="""
+  y == u;
+  PROCESS (u'ABOVE(1.0), u'ABOVE(2.0)) IS
+  BEGIN
+    IF (u'ABOVE(2.0) = TRUE) THEN s <= '1';
+    ELSIF (u'ABOVE(1.0) = TRUE) THEN s <= '0';
+    END IF;
+  END PROCESS;
+""",
+            )
+        )
+        assert design.fsm.n_states() == 2
+
+    def test_statements_after_if_join(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real; QUANTITY y : OUT real",
+                decls="SIGNAL s : bit; SIGNAL t : bit;",
+                body="""
+  y == u;
+  PROCESS (u'ABOVE(0.0)) IS
+  BEGIN
+    IF (u'ABOVE(0.0) = TRUE) THEN s <= '1'; ELSE s <= '0'; END IF;
+    t <= '1';
+  END PROCESS;
+""",
+            )
+        )
+        fsm = design.fsm
+        # Both branch states plus a join state for t.
+        assert fsm.n_states() == 3
+        join_writers = [
+            s.name for s in fsm.states if "t" in s.writes()
+        ]
+        assert len(join_writers) == 1
+
+    def test_fsm_behavior_through_interpreter(self):
+        design = compile_design(RECEIVER_LIKE)
+        interp = Interpreter(
+            design, dt=1e-4,
+            inputs={"u": lambda t: 1.0 if t > 0.01 else 0.0},
+        )
+        interp.run(0.005, probes=[])
+        assert interp.env["c"] == "0"
+        interp.run(0.02, probes=[])
+        assert interp.env["c"] == "1"
+
+
+class TestSamplingLowering:
+    SAMPLED = wrap(
+        "QUANTITY u : IN real; SIGNAL sclk : IN bit; "
+        "SIGNAL code : OUT bit_vector(0 TO 7); SIGNAL held : OUT real",
+        body="""
+  PROCESS (sclk) IS
+  BEGIN
+    IF (sclk = '1') THEN
+      code <= u;
+      held <= u;
+    END IF;
+  END PROCESS;
+""",
+    )
+
+    def test_bit_vector_target_gets_sh_and_adc(self):
+        design = compile_design(self.SAMPLED)
+        sfg = design.main_sfg
+        assert len(sfg.blocks_of_kind(BlockKind.SAMPLE_HOLD)) == 2
+        assert len(sfg.blocks_of_kind(BlockKind.ADC)) == 1
+
+    def test_adc_bits_from_vector_bounds(self):
+        design = compile_design(self.SAMPLED)
+        (adc,) = design.main_sfg.blocks_of_kind(BlockKind.ADC)
+        assert adc.params["bits"] == 8
+
+    def test_sample_control_is_trigger_signal(self):
+        design = compile_design(self.SAMPLED)
+        sfg = design.main_sfg
+        for sh in sfg.blocks_of_kind(BlockKind.SAMPLE_HOLD):
+            assert sfg.control_signal_of(sh) == "sclk"
+
+    def test_sampled_value_visible_to_fsm(self):
+        design = compile_design(self.SAMPLED)
+        assert "held_sampled" in design.quantity_taps
+
+    def test_sampling_behavior(self):
+        design = compile_design(self.SAMPLED)
+        interp = Interpreter(
+            design, dt=1e-3,
+            inputs={
+                "u": lambda t: t,
+                "sclk": lambda t: 0.04 < t < 0.06,
+            },
+        )
+        interp.run(0.1, probes=[])
+        held = float(interp.env["held"])
+        assert 0.03 < held < 0.07  # sampled around the strobe window

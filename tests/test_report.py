@@ -1,0 +1,67 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.apps import receiver
+from repro.cli import main
+from repro.flow import synthesize
+from repro.report import generate_report
+from repro.spice import sin_wave
+from repro.verify import verify_equivalence
+
+
+@pytest.fixture(scope="module")
+def result():
+    return synthesize(receiver.VASS_SOURCE)
+
+
+class TestReport:
+    def test_sections_present(self, result):
+        report = generate_report(result)
+        for heading in (
+            "# Synthesis report",
+            "## Specification and intermediate representation",
+            "## Synthesized architecture",
+            "## Search effort",
+            "## SPICE deck",
+        ):
+            assert heading in report
+
+    def test_port_annotations_table(self, result):
+        report = generate_report(result)
+        assert "earph" in report
+        assert "270 ohm" in report
+
+    def test_instances_listed(self, result):
+        report = generate_report(result)
+        assert "switched_gain_amplifier" in report
+        assert "output_stage" in report
+
+    def test_fsm_realizations_listed(self, result):
+        report = generate_report(result)
+        assert "zero-cross" in report
+
+    def test_spice_optional(self, result):
+        without = generate_report(result, include_spice=False)
+        assert "SPICE deck" not in without
+
+    def test_verification_section(self, result):
+        verdict = verify_equivalence(
+            result,
+            inputs={"line": sin_wave(0.5, 1e3), "local": lambda t: 0.1},
+            t_end=1e-3,
+            tolerance=0.10,
+        )
+        report = generate_report(result, verification=verdict)
+        assert "## Verification" in report
+        assert "EQUIVALENT" in report
+
+    def test_title_override(self, result):
+        report = generate_report(result, title="My Receiver")
+        assert "My Receiver" in report
+
+    def test_cli_report(self, capsys):
+        assert main(["report", "function_generator", "--no-spice"]) == 0
+        out = capsys.readouterr().out
+        assert "# Synthesis report" in out
+        assert "schmitt_trigger" in out

@@ -1,0 +1,387 @@
+"""Unit tests for semantic analysis and VASS restriction checks."""
+
+import pytest
+
+from repro.diagnostics import SemanticError
+from repro.vass import analyze_source
+from repro.vass.parser import parse_expression, parse_source
+from repro.vass.semantics import ValueType, analyze, eval_static, is_static
+
+
+def wrap(ports="", decls="", body=""):
+    return f"""
+ENTITY e IS {('PORT (' + ports + ');') if ports else ''} END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+class TestSymbolTable:
+    def test_ports_declared(self):
+        design = analyze_source(
+            wrap("QUANTITY x : IN real; QUANTITY y : OUT real", body="y == x;")
+        )
+        assert design.symbol("x").is_port
+        assert design.symbol("y").value_type is ValueType.REAL
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            analyze_source(
+                wrap(
+                    "QUANTITY x : IN real",
+                    decls="QUANTITY x : real;",
+                    body="x == 1.0;",
+                )
+            )
+
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze_source(
+                wrap("QUANTITY y : OUT real", body="y == missing;")
+            )
+
+    def test_constant_folding(self):
+        design = analyze_source(
+            wrap(
+                "QUANTITY y : OUT real",
+                decls="CONSTANT k : real := 2.0 * 3.0;",
+                body="y == k;",
+            )
+        )
+        assert design.symbol("k").static_value == pytest.approx(6.0)
+
+    def test_constant_referencing_constant(self):
+        design = analyze_source(
+            wrap(
+                "QUANTITY y : OUT real",
+                decls="CONSTANT a : real := 2.0; CONSTANT b : real := a + 1.0;",
+                body="y == b;",
+            )
+        )
+        assert design.symbol("b").static_value == pytest.approx(3.0)
+
+    def test_constant_without_value_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    decls="CONSTANT k : real;",
+                    body="y == 1.0;",
+                )
+            )
+
+    def test_package_constants_visible(self):
+        source = """
+PACKAGE p IS CONSTANT kp : real := 4.0; END PACKAGE;
+ENTITY e IS PORT (QUANTITY y : OUT real); END ENTITY;
+ARCHITECTURE a OF e IS BEGIN y == kp; END ARCHITECTURE;
+"""
+        design = analyze(parse_source(source))
+        assert design.symbol("kp").static_value == pytest.approx(4.0)
+
+    def test_quantity_must_be_nature_type(self):
+        with pytest.raises(SemanticError, match="nature"):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    decls="QUANTITY q : bit;",
+                    body="y == 1.0;",
+                )
+            )
+
+    def test_entity_selection_by_name(self):
+        source = """
+ENTITY one IS PORT (QUANTITY y : OUT real); END ENTITY;
+ENTITY two IS PORT (QUANTITY z : OUT real); END ENTITY;
+ARCHITECTURE a OF one IS BEGIN y == 1.0; END ARCHITECTURE;
+ARCHITECTURE b OF two IS BEGIN z == 2.0; END ARCHITECTURE;
+"""
+        design = analyze(parse_source(source), entity_name="two")
+        assert design.name == "two"
+
+    def test_two_entities_require_selection(self):
+        source = """
+ENTITY one IS END ENTITY;
+ENTITY two IS END ENTITY;
+ARCHITECTURE a OF one IS BEGIN END ARCHITECTURE;
+"""
+        with pytest.raises(SemanticError, match="entities"):
+            analyze(parse_source(source))
+
+    def test_missing_architecture(self):
+        with pytest.raises(SemanticError, match="architecture"):
+            analyze(parse_source("ENTITY lonely IS END ENTITY;"))
+
+
+class TestStaticEvaluation:
+    def test_arithmetic(self):
+        assert eval_static(parse_expression("2.0 * 3.0 + 1.0")) == 7.0
+
+    def test_functions(self):
+        assert eval_static(parse_expression("exp(0.0)")) == pytest.approx(1.0)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(SemanticError):
+            eval_static(parse_expression("1.0 / 0.0"))
+
+    def test_nonstatic_name(self):
+        assert not is_static(parse_expression("x + 1.0"))
+
+    def test_unary(self):
+        assert eval_static(parse_expression("-(2.0)")) == -2.0
+        assert eval_static(parse_expression("abs(-3.0)")) == 3.0
+
+    def test_comparison(self):
+        assert eval_static(parse_expression("2.0 > 1.0")) is True
+
+
+class TestTypeChecking:
+    def test_arithmetic_on_bit_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="y == s + 1.0;",
+                )
+            )
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(SemanticError, match="boolean"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    body="""
+  y == a;
+  PROCESS (a'ABOVE(0.0)) IS BEGIN
+    IF a THEN NULL; END IF;
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_above_requires_quantity(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="""
+  y == 1.0;
+  PROCESS (s'ABOVE(0.0)) IS BEGIN
+    NULL;
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_signal_assign_target_must_be_signal(self):
+        with pytest.raises(SemanticError, match="signal"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    decls="QUANTITY q : real;",
+                    body="""
+  y == a;
+  q == a;
+  PROCESS (a'ABOVE(0.0)) IS BEGIN
+    q <= 1.0;
+  END PROCESS;
+""",
+                )
+            )
+
+
+class TestRestrictions:
+    def test_process_needs_sensitivity(self):
+        with pytest.raises(SemanticError, match="sensitivity"):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="""
+  y == 1.0;
+  PROCESS IS BEGIN
+    s <= '1';
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_wait_rejected(self):
+        with pytest.raises(SemanticError, match="wait"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="""
+  y == a;
+  PROCESS (a'ABOVE(0.0)) IS BEGIN
+    s <= '1';
+    WAIT FOR 1.0;
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_signal_read_after_write_rejected(self):
+        with pytest.raises(SemanticError, match="referenced after"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit; SIGNAL t : bit;",
+                    body="""
+  y == a;
+  PROCESS (a'ABOVE(0.0)) IS BEGIN
+    s <= '1';
+    IF (s = '1') THEN t <= '1'; END IF;
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_signal_write_then_independent_ok(self):
+        design = analyze_source(
+            wrap(
+                "QUANTITY a : IN real; QUANTITY y : OUT real",
+                decls="SIGNAL s : bit; SIGNAL t : bit;",
+                body="""
+  y == a;
+  PROCESS (a'ABOVE(0.0)) IS BEGIN
+    s <= '1';
+    t <= '0';
+  END PROCESS;
+""",
+            )
+        )
+        assert design is not None
+
+    def test_for_loop_needs_static_bounds(self):
+        with pytest.raises(SemanticError, match="static"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    body="""
+  PROCEDURAL IS
+    VARIABLE t : real;
+    VARIABLE n : real;
+  BEGIN
+    n := a;
+    t := 0.0;
+    FOR i IN 1 TO n LOOP
+      t := t + 1.0;
+    END LOOP;
+    y := t;
+  END PROCEDURAL;
+""",
+                )
+            )
+
+    def test_quantity_in_sensitivity_rejected(self):
+        with pytest.raises(SemanticError, match="above"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="""
+  y == a;
+  PROCESS (a) IS BEGIN
+    s <= '1';
+  END PROCESS;
+""",
+                )
+            )
+
+    def test_terminal_port_needs_facet(self):
+        with pytest.raises(SemanticError, match="facet"):
+            analyze_source(
+                "ENTITY e IS PORT (TERMINAL t : electrical); END ENTITY;"
+                "ARCHITECTURE a OF e IS BEGIN END ARCHITECTURE;"
+            )
+
+    def test_terminal_port_with_facet_ok(self):
+        design = analyze_source(
+            "ENTITY e IS PORT (TERMINAL t : electrical ACROSS);"
+            " END ENTITY;"
+            "ARCHITECTURE a OF e IS BEGIN END ARCHITECTURE;"
+        )
+        assert design is not None
+
+    def test_procedural_read_before_assign_rejected(self):
+        with pytest.raises(SemanticError, match="read before"):
+            analyze_source(
+                wrap(
+                    "QUANTITY y : OUT real",
+                    body="""
+  PROCEDURAL IS
+    VARIABLE t : real;
+  BEGIN
+    y := t + 1.0;
+  END PROCEDURAL;
+""",
+                )
+            )
+
+    def test_while_loop_signal_input_rejected(self):
+        with pytest.raises(SemanticError, match="while"):
+            analyze_source(
+                wrap(
+                    "QUANTITY a : IN real; QUANTITY y : OUT real",
+                    decls="SIGNAL s : bit;",
+                    body="""
+  PROCEDURAL IS
+    VARIABLE t : real;
+  BEGIN
+    t := a;
+    WHILE (abs(t) > 1.0) LOOP
+      t := t / 2.0;
+      IF (s = '1') THEN t := t + 0.1; END IF;
+    END LOOP;
+    y := t;
+  END PROCEDURAL;
+""",
+                )
+            )
+
+    def test_while_loop_with_quantity_inputs_ok(self):
+        design = analyze_source(
+            wrap(
+                "QUANTITY a : IN real; QUANTITY y : OUT real",
+                body="""
+  PROCEDURAL IS
+    VARIABLE t : real;
+  BEGIN
+    t := a;
+    WHILE (abs(t) > 1.0) LOOP
+      t := t / 2.0;
+    END LOOP;
+    y := t;
+  END PROCEDURAL;
+""",
+            )
+        )
+        assert design is not None
+
+    def test_constant_condition_while_warns(self):
+        design = analyze_source(
+            wrap(
+                "QUANTITY a : IN real; QUANTITY y : OUT real",
+                body="""
+  PROCEDURAL IS
+    VARIABLE t : real;
+    VARIABLE u : real;
+  BEGIN
+    t := a;
+    u := a;
+    WHILE (abs(u) > 1.0) LOOP
+      t := t / 2.0;
+    END LOOP;
+    y := t;
+  END PROCEDURAL;
+""",
+            )
+        )
+        assert any("never" in str(w) for w in design.sink.warnings)

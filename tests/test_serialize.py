@@ -1,0 +1,107 @@
+"""Round-trip tests for VHIF JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+from repro.compiler import compile_design
+from repro.diagnostics import VaseError
+from repro.synth import map_sfg
+from repro.vhif import Interpreter
+from repro.vhif.serialize import (
+    design_from_json,
+    design_to_json,
+    dumps,
+    loads,
+)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return {
+        name: compile_design(mod.VASS_SOURCE)
+        for name, mod in ALL_APPLICATIONS.items()
+    }
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", list(ALL_APPLICATIONS))
+    def test_structure_preserved(self, designs, name):
+        original = designs[name]
+        restored = loads(dumps(original))
+        assert restored.name == original.name
+        assert (
+            restored.statistics().as_row() == original.statistics().as_row()
+        )
+        assert len(restored.main_sfg) == len(original.main_sfg)
+
+    @pytest.mark.parametrize("name", list(ALL_APPLICATIONS))
+    def test_validates_after_roundtrip(self, designs, name):
+        restored = loads(dumps(designs[name]))
+        restored.validate()
+
+    def test_block_ids_preserved(self, designs):
+        original = designs["receiver"]
+        restored = loads(dumps(original))
+        assert {b.block_id for b in restored.main_sfg.blocks} == {
+            b.block_id for b in original.main_sfg.blocks
+        }
+
+    def test_ports_preserved(self, designs):
+        restored = loads(dumps(designs["receiver"]))
+        assert restored.ports["earph"].limit_level == 1.5
+        assert restored.ports["earph"].drive_load_ohms == 270.0
+
+    def test_event_sources_preserved(self, designs):
+        restored = loads(dumps(designs["receiver"]))
+        assert "line'above(0.2)" in restored.event_sources
+
+    def test_taps_and_constants_preserved(self, designs):
+        restored = loads(dumps(designs["receiver"]))
+        assert "rvar" in restored.quantity_taps
+        assert restored.constants["aline"] == 2.0
+
+    def test_double_roundtrip_stable(self, designs):
+        once = dumps(designs["function_generator"])
+        twice = dumps(loads(once))
+        assert once == twice
+
+    def test_json_is_plain(self, designs):
+        document = design_to_json(designs["receiver"])
+        json.dumps(document)  # must not raise
+
+
+class TestSemanticPreservation:
+    def test_restored_design_simulates_identically(self, designs):
+        original = designs["receiver"]
+        restored = loads(dumps(original))
+        inputs = {
+            "line": lambda t: math.sin(2 * math.pi * 1e3 * t),
+            "local": lambda t: 0.1,
+        }
+        a = Interpreter(original, dt=1e-5, inputs=inputs).run(
+            1e-3, probes=["earph"]
+        )
+        b = Interpreter(restored, dt=1e-5, inputs=inputs).run(
+            1e-3, probes=["earph"]
+        )
+        assert a["earph"] == pytest.approx(b["earph"])
+
+    def test_restored_design_maps_identically(self, designs):
+        original = designs["function_generator"]
+        restored = loads(dumps(original))
+        result_a = map_sfg(original.main_sfg)
+        result_b = map_sfg(restored.main_sfg)
+        assert result_a.netlist.summary() == result_b.netlist.summary()
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(VaseError, match="not a VHIF"):
+            design_from_json({"format": "other"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(VaseError, match="version"):
+            design_from_json({"format": "vhif", "version": 999})

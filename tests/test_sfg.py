@@ -1,0 +1,284 @@
+"""Unit tests for signal-flow graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnostics import VaseError
+from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT, SignalFlowGraph
+
+
+def build_chain():
+    """in -> scale -> add <- const; add -> out"""
+    g = SignalFlowGraph("chain")
+    inp = g.add(BlockKind.INPUT, name="x")
+    scale = g.add(BlockKind.SCALE, gain=2.0)
+    const = g.add(BlockKind.CONST, value=1.0)
+    adder = g.add(BlockKind.ADD, n_inputs=2)
+    out = g.add(BlockKind.OUTPUT, name="y")
+    g.connect(inp, scale)
+    g.connect(scale, adder, port=0)
+    g.connect(const, adder, port=1)
+    g.connect(adder, out)
+    return g, (inp, scale, const, adder, out)
+
+
+class TestConstruction:
+    def test_block_ids_unique(self):
+        g, blocks = build_chain()
+        ids = [b.block_id for b in blocks]
+        assert len(set(ids)) == len(ids)
+
+    def test_block_default_names(self):
+        g = SignalFlowGraph()
+        b = g.add(BlockKind.ADD)
+        assert b.name.startswith("add")
+
+    def test_arity_fixed_kinds(self):
+        g = SignalFlowGraph()
+        assert g.add(BlockKind.SUB).n_inputs == 2
+        assert g.add(BlockKind.SCALE, gain=1.0).n_inputs == 1
+        assert g.add(BlockKind.INPUT).n_inputs == 0
+
+    def test_variadic_add(self):
+        g = SignalFlowGraph()
+        assert g.add(BlockKind.ADD, n_inputs=5).n_inputs == 5
+        assert g.add(BlockKind.ADD).n_inputs == 2  # minimum
+
+    def test_connect_invalid_port(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.SCALE, gain=1.0)
+        with pytest.raises(VaseError):
+            g.connect(a, b, port=3)
+
+    def test_double_drive_rejected(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.INPUT)
+        c = g.add(BlockKind.SCALE, gain=1.0)
+        g.connect(a, c)
+        with pytest.raises(VaseError, match="already driven"):
+            g.connect(b, c)
+
+    def test_control_port_requires_controllable_kind(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        b = g.add(BlockKind.SCALE, gain=1.0)
+        with pytest.raises(VaseError, match="control"):
+            g.connect(a, b, port=CONTROL_PORT)
+
+    def test_control_port_on_switch(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        cmp_ = g.add(BlockKind.COMPARATOR, threshold=0.0)
+        sw = g.add(BlockKind.SWITCH)
+        g.connect(a, cmp_)
+        g.connect(a, sw)
+        g.connect(cmp_, sw, port=CONTROL_PORT)
+        assert g.control_driver_of(sw) is cmp_
+
+    def test_bind_control_signal(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.INPUT)
+        mux = g.add(BlockKind.MUX, n_inputs=2)
+        g.bind_control("c1", mux)
+        assert g.control_signal_of(mux) == "c1"
+
+
+class TestQueries:
+    def test_driver_and_successors(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        assert g.driver_of(scale, 0) is inp
+        assert g.driver_of(adder, 1) is const
+        assert g.successors(scale) == [(adder, 0)]
+        assert g.fanout(adder) == 1
+
+    def test_data_predecessors(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        assert g.data_predecessors(adder) == [scale, const]
+
+    def test_inputs_outputs(self):
+        g, blocks = build_chain()
+        assert [b.name for b in g.inputs] == ["x"]
+        assert [b.name for b in g.outputs] == ["y"]
+
+    def test_processing_blocks_exclude_io_const(self):
+        g, blocks = build_chain()
+        names = {b.kind for b in g.processing_blocks()}
+        assert names == {BlockKind.SCALE, BlockKind.ADD}
+
+    def test_transitive_fanin(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        fanin = g.transitive_fanin(out)
+        assert inp.block_id in fanin
+        assert const.block_id in fanin
+
+
+class TestTopologicalOrder:
+    def test_respects_dataflow(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        order = [b.block_id for b in g.topological_order()]
+        assert order.index(inp.block_id) < order.index(scale.block_id)
+        assert order.index(scale.block_id) < order.index(adder.block_id)
+        assert order.index(adder.block_id) < order.index(out.block_id)
+
+    def test_integrator_breaks_cycle(self):
+        g = SignalFlowGraph()
+        integ = g.add(BlockKind.INTEGRATE, gain=1.0, initial=0.0)
+        neg = g.add(BlockKind.NEG)
+        g.connect(integ, neg)
+        g.connect(neg, integ)  # feedback loop x' = -x
+        order = g.topological_order()
+        assert len(order) == 2
+
+    def test_pure_combinational_cycle_rejected(self):
+        g = SignalFlowGraph()
+        a = g.add(BlockKind.NEG)
+        b = g.add(BlockKind.NEG)
+        g.connect(a, b)
+        g.connect(b, a)
+        with pytest.raises(VaseError, match="loop"):
+            g.topological_order()
+        assert g.has_algebraic_loop()
+
+    def test_control_edges_do_not_order(self):
+        # mux -> comparator -> mux(control) must not be a loop.
+        g = SignalFlowGraph()
+        inp = g.add(BlockKind.INPUT)
+        mux = g.add(BlockKind.MUX, n_inputs=2)
+        cmp_ = g.add(BlockKind.COMPARATOR, threshold=0.0)
+        g.connect(inp, mux, port=0)
+        g.connect(inp, mux, port=1)
+        g.connect(mux, cmp_)
+        g.connect(cmp_, mux, port=CONTROL_PORT)
+        assert not g.has_algebraic_loop()
+
+
+class TestCones:
+    def test_single_block_cone_always_present(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        cones = list(g.iter_cones(adder))
+        assert frozenset({adder.block_id}) in cones
+
+    def test_cone_includes_single_fanout_pred(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        cones = list(g.iter_cones(adder))
+        assert frozenset({adder.block_id, scale.block_id}) in cones
+
+    def test_cone_never_includes_sources(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        for cone in g.iter_cones(adder):
+            assert inp.block_id not in cone
+            assert const.block_id not in cone
+
+    def test_multi_fanout_pred_excluded(self):
+        g = SignalFlowGraph()
+        inp = g.add(BlockKind.INPUT)
+        scale = g.add(BlockKind.SCALE, gain=2.0)
+        a = g.add(BlockKind.NEG)
+        b = g.add(BlockKind.NEG)
+        g.connect(inp, scale)
+        g.connect(scale, a)
+        g.connect(scale, b)  # scale fans out to both
+        cones_a = list(g.iter_cones(a))
+        assert all(scale.block_id not in cone for cone in cones_a)
+
+    def test_cones_sorted_largest_first(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        sizes = [len(c) for c in g.iter_cones(adder)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_size_respected(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        for cone in g.iter_cones(adder, max_size=1):
+            assert len(cone) == 1
+
+    def test_cone_inputs(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        cone = frozenset({adder.block_id, scale.block_id})
+        external = g.cone_inputs(cone)
+        drivers = {driver.block_id for driver, _, _ in external}
+        assert drivers == {inp.block_id, const.block_id}
+
+
+class TestMutation:
+    def test_remove_block(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        g.remove_block(scale)
+        assert scale not in g
+        assert g.driver_of(adder, 0) is None
+
+    def test_copy_is_independent(self):
+        g, blocks = build_chain()
+        clone = g.copy()
+        clone.add(BlockKind.NEG)
+        assert len(clone) == len(g) + 1
+
+    def test_copy_preserves_structure(self):
+        g, (inp, scale, const, adder, out) = build_chain()
+        clone = g.copy()
+        assert clone.driver_of(clone.block(adder.block_id), 0).block_id == (
+            scale.block_id
+        )
+
+    def test_describe_mentions_blocks(self):
+        g, blocks = build_chain()
+        text = g.describe()
+        assert "scale" in text and "add" in text
+
+
+@st.composite
+def random_dag(draw):
+    """Random layered DAG of arithmetic blocks over one input."""
+    g = SignalFlowGraph("random")
+    inp = g.add(BlockKind.INPUT, name="x")
+    available = [inp]
+    n = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            [BlockKind.SCALE, BlockKind.NEG, BlockKind.ADD]))
+        if kind is BlockKind.ADD:
+            block = g.add(kind, n_inputs=2)
+            for port in range(2):
+                src = draw(st.sampled_from(available))
+                g.connect(src, block, port=port)
+        else:
+            block = g.add(kind, gain=2.0)
+            src = draw(st.sampled_from(available))
+            g.connect(src, block)
+        available.append(block)
+    return g
+
+
+class TestProperties:
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_is_consistent(self, g):
+        order = g.topological_order()
+        position = {b.block_id: i for i, b in enumerate(order)}
+        for block in g.blocks:
+            for port in range(block.n_inputs):
+                pred = g.driver_of(block, port)
+                if pred is not None and not block.kind.is_stateful():
+                    assert position[pred.block_id] < position[block.block_id]
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_cones_are_closed(self, g):
+        """Non-root cone members never fan out of the cone."""
+        for root in g.processing_blocks():
+            for cone in g.iter_cones(root, max_size=3):
+                for member_id in cone:
+                    if member_id == root.block_id:
+                        continue
+                    member = g.block(member_id)
+                    for sink, _port in g.successors(member):
+                        assert sink.block_id in cone
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_roundtrip_preserves_topology(self, g):
+        clone = g.copy()
+        original = [(b.block_id, b.kind) for b in g.topological_order()]
+        copied = [(b.block_id, b.kind) for b in clone.topological_order()]
+        assert original == copied

@@ -1,0 +1,264 @@
+"""Unit tests for the symbolic algebra used by the DAE compiler."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.diagnostics import CompileError
+from repro.vass.parser import parse_expression
+from repro.compiler import symbolic
+from repro.compiler.symbolic import (
+    NonlinearError,
+    canonical,
+    collect_linear,
+    count_occurrences,
+    equal,
+    isolate,
+    simplify,
+    solve_for,
+    substitute,
+)
+
+
+def evaluate(expr, **env):
+    """Numeric evaluation of an expression tree for checking identities."""
+    from repro.vhif.interp import eval_discrete
+
+    return float(eval_discrete(expr, env))
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        expr = simplify(parse_expression("2.0 * 3.0 + 4.0"))
+        assert symbolic.literal_value(expr) == 10.0
+
+    def test_add_zero(self):
+        expr = simplify(parse_expression("x + 0.0"))
+        assert canonical(expr) == "x"
+
+    def test_mul_one(self):
+        expr = simplify(parse_expression("1.0 * x"))
+        assert canonical(expr) == "x"
+
+    def test_mul_zero(self):
+        expr = simplify(parse_expression("x * 0.0"))
+        assert symbolic.literal_value(expr) == 0.0
+
+    def test_sub_self(self):
+        expr = simplify(parse_expression("x - x"))
+        assert symbolic.literal_value(expr) == 0.0
+
+    def test_double_negation(self):
+        expr = simplify(parse_expression("-(-x)"))
+        assert canonical(expr) == "x"
+
+    def test_log_exp_cancellation(self):
+        expr = simplify(parse_expression("log(exp(x))"))
+        assert canonical(expr) == "x"
+
+    def test_exp_log_cancellation(self):
+        expr = simplify(parse_expression("exp(log(x))"))
+        assert canonical(expr) == "x"
+
+    def test_div_by_one(self):
+        expr = simplify(parse_expression("x / 1.0"))
+        assert canonical(expr) == "x"
+
+    def test_mul_minus_one(self):
+        expr = simplify(parse_expression("x * (-1.0)"))
+        assert canonical(expr) == "(- x)"
+
+
+class TestCanonical:
+    def test_commutative_normalization(self):
+        assert canonical(parse_expression("a + b")) == canonical(
+            parse_expression("b + a")
+        )
+
+    def test_noncommutative_preserved(self):
+        assert canonical(parse_expression("a - b")) != canonical(
+            parse_expression("b - a")
+        )
+
+    def test_equal_helper(self):
+        assert equal(parse_expression("a * b"), parse_expression("b * a"))
+
+
+class TestSubstitute:
+    def test_simple(self):
+        expr = substitute(parse_expression("x + y"), "x", parse_expression("2.0"))
+        assert evaluate(expr, y=3.0) == 5.0
+
+    def test_inside_function(self):
+        expr = substitute(parse_expression("log(x)"), "x", parse_expression("y"))
+        assert "y" in canonical(expr)
+
+
+class TestCollectLinear:
+    def test_simple_linear(self):
+        a, b = collect_linear(parse_expression("2.0 * x + 3.0"), "x")
+        assert symbolic.literal_value(simplify(a)) == 2.0
+        assert symbolic.literal_value(simplify(b)) == 3.0
+
+    def test_repeated_occurrences(self):
+        a, b = collect_linear(parse_expression("x + 2.0 * x"), "x")
+        assert evaluate(simplify(a)) == 3.0
+
+    def test_symbolic_coefficient(self):
+        a, _ = collect_linear(parse_expression("k * x"), "x")
+        assert evaluate(a, k=5.0) == 5.0
+
+    def test_division_by_free_expr(self):
+        a, _ = collect_linear(parse_expression("x / k"), "x")
+        assert evaluate(a, k=4.0) == 0.25
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NonlinearError):
+            collect_linear(parse_expression("x * x"), "x")
+
+    def test_target_in_denominator_rejected(self):
+        with pytest.raises(NonlinearError):
+            collect_linear(parse_expression("1.0 / x"), "x")
+
+    def test_target_under_function_rejected(self):
+        with pytest.raises(NonlinearError):
+            collect_linear(parse_expression("log(x)"), "x")
+
+
+class TestIsolate:
+    def test_add(self):
+        solution = isolate(
+            parse_expression("x + a"), parse_expression("b"), "x"
+        )
+        assert evaluate(solution, a=1.0, b=5.0) == 4.0
+
+    def test_sub_right(self):
+        solution = isolate(
+            parse_expression("a - x"), parse_expression("b"), "x"
+        )
+        assert evaluate(solution, a=5.0, b=2.0) == 3.0
+
+    def test_mul(self):
+        solution = isolate(
+            parse_expression("a * x"), parse_expression("b"), "x"
+        )
+        assert evaluate(solution, a=2.0, b=8.0) == 4.0
+
+    def test_div_denominator(self):
+        # a / x == b  =>  x = a / b
+        solution = isolate(
+            parse_expression("a / x"), parse_expression("b"), "x"
+        )
+        assert evaluate(solution, a=8.0, b=2.0) == 4.0
+
+    def test_log(self):
+        solution = isolate(
+            parse_expression("log(x)"), parse_expression("y"), "x"
+        )
+        assert evaluate(solution, y=0.0) == pytest.approx(1.0)
+
+    def test_exp(self):
+        solution = isolate(
+            parse_expression("exp(x)"), parse_expression("y"), "x"
+        )
+        assert evaluate(solution, y=math.e) == pytest.approx(1.0)
+
+    def test_target_on_rhs(self):
+        solution = isolate(
+            parse_expression("y"), parse_expression("2.0 * x"), "x"
+        )
+        assert evaluate(solution, y=6.0) == 3.0
+
+    def test_nested_path(self):
+        # log(2x + 1) == y  =>  x = (exp(y) - 1)/2
+        solution = isolate(
+            parse_expression("log(2.0 * x + 1.0)"), parse_expression("y"), "x"
+        )
+        assert evaluate(solution, y=math.log(7.0)) == pytest.approx(3.0)
+
+    def test_multiple_occurrences_rejected(self):
+        with pytest.raises(CompileError):
+            isolate(parse_expression("x + x"), parse_expression("y"), "x")
+
+
+class TestSolveFor:
+    def test_explicit_form(self):
+        solution = solve_for(
+            parse_expression("y"), parse_expression("a + b"), "y"
+        )
+        assert evaluate(solution, a=1.0, b=2.0) == 3.0
+
+    def test_linear_rearrangement(self):
+        # a == (k1*x + k2*x) + c  =>  x = (a - c)/(k1+k2)
+        solution = solve_for(
+            parse_expression("a"),
+            parse_expression("k1 * x + k2 * x + c"),
+            "x",
+        )
+        assert evaluate(solution, a=10.0, c=1.0, k1=2.0, k2=1.0) == pytest.approx(
+            3.0
+        )
+
+    def test_nonlinear_single_occurrence(self):
+        # y == exp(x) + c  =>  x = log(y - c)
+        solution = solve_for(
+            parse_expression("y"), parse_expression("exp(x) + c"), "x"
+        )
+        assert evaluate(solution, y=1.0 + math.e, c=1.0) == pytest.approx(1.0)
+
+    def test_receiver_equation(self):
+        # earph == (Aline*line + Alocal*local) * rvar, solved for rvar.
+        solution = solve_for(
+            parse_expression("earph"),
+            parse_expression("(al * line + ao * local) * rvar"),
+            "rvar",
+        )
+        value = evaluate(solution, earph=4.2, al=2.0, line=1.0, ao=1.0, local=0.1)
+        assert value == pytest.approx(4.2 / 2.1)
+
+    def test_unsolvable(self):
+        with pytest.raises(CompileError):
+            solve_for(parse_expression("x * x"), parse_expression("y"), "x")
+
+    def test_uninvolved_name(self):
+        with pytest.raises(CompileError):
+            solve_for(parse_expression("a"), parse_expression("b"), "x")
+
+    def test_vanishing_coefficient(self):
+        with pytest.raises(CompileError):
+            solve_for(parse_expression("x - x"), parse_expression("y"), "x")
+
+
+@st.composite
+def linear_coeffs(draw):
+    a = draw(st.floats(min_value=-100, max_value=100).filter(lambda v: abs(v) > 1e-3))
+    b = draw(st.floats(min_value=-100, max_value=100))
+    c = draw(st.floats(min_value=-100, max_value=100))
+    return a, b, c
+
+
+class TestSolveForProperties:
+    @given(linear_coeffs())
+    def test_linear_solution_satisfies_equation(self, coeffs):
+        """For a*x + b == c the solved x must satisfy the equation."""
+        a, b, c = coeffs
+        import repro.vass.ast_nodes as ast
+
+        lhs = parse_expression("a * x + b")
+        rhs = parse_expression("c")
+        solution = solve_for(lhs, rhs, "x")
+        x = evaluate(solution, a=a, b=b, c=c)
+        assert a * x + b == pytest.approx(c, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.floats(min_value=0.1, max_value=50),
+        st.floats(min_value=-5, max_value=5),
+    )
+    def test_isolation_roundtrip_through_log(self, x_true, c):
+        """log(x) + c == y  =>  solving for x recovers x_true."""
+        lhs = parse_expression("log(x) + c")
+        rhs = parse_expression("y")
+        y = math.log(x_true) + c
+        solution = solve_for(lhs, rhs, "x")
+        assert evaluate(solution, c=c, y=y) == pytest.approx(x_true, rel=1e-9)

@@ -1,0 +1,199 @@
+"""Tests for interfacing transformations and FSM-to-analog mapping."""
+
+import pytest
+
+from repro.compiler import compile_design
+from repro.library import default_library
+from repro.synth import InterfacingOptions, apply_interfacing, map_sfg
+from repro.synth.fsm_mapping import realize_event_controls
+from repro.synth.netlist import Netlist
+from repro.vhif import BlockKind, Interpreter
+
+
+def wrap(ports, decls="", body=""):
+    return f"""
+ENTITY e IS PORT ({ports}); END ENTITY;
+ARCHITECTURE a OF e IS
+{decls}
+BEGIN
+{body}
+END ARCHITECTURE;
+"""
+
+
+class TestInterfacing:
+    def make_fanout_netlist(self, loads):
+        netlist = Netlist(name="t", library=default_library())
+        netlist.inputs["x"] = 0
+        netlist.add_instance(
+            "inverting_amplifier", params={"gain": -1.0}, inputs=[0],
+            output=1, covers=[1],
+        )
+        for index in range(loads):
+            netlist.add_instance(
+                "voltage_follower", inputs=[1], output=100 + index,
+                covers=[100 + index],
+            )
+        return netlist
+
+    def test_no_buffer_below_limit(self):
+        netlist = self.make_fanout_netlist(loads=3)
+        added = apply_interfacing(netlist, options=InterfacingOptions())
+        assert added == []
+
+    def test_buffer_inserted_above_limit(self):
+        netlist = self.make_fanout_netlist(loads=5)
+        added = apply_interfacing(netlist, options=InterfacingOptions())
+        assert len(added) == 1
+        assert added[0].spec.name == "voltage_follower"
+
+    def test_excess_loads_moved_to_buffer(self):
+        netlist = self.make_fanout_netlist(loads=5)
+        (buffer,) = apply_interfacing(netlist, options=InterfacingOptions())
+        moved = [
+            inst
+            for inst in netlist.instances
+            if buffer.output in inst.inputs and inst is not buffer
+        ]
+        assert len(moved) == 2  # 5 loads - max_fanout 3
+
+    def test_netlist_still_valid_after_buffering(self):
+        netlist = self.make_fanout_netlist(loads=6)
+        apply_interfacing(netlist, options=InterfacingOptions())
+        netlist.validate()
+
+    def test_high_impedance_input_buffered(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real IMPEDANCE 1.0 mohm; "
+                "QUANTITY y : OUT real",
+                body="y == 2.0 * u;",
+            )
+        )
+        result = map_sfg(design.main_sfg)
+        added = apply_interfacing(result.netlist, design)
+        assert any(i.name.startswith("INBUF") for i in added)
+
+    def test_low_impedance_input_not_buffered(self):
+        design = compile_design(
+            wrap(
+                "QUANTITY u : IN real IMPEDANCE 100.0 ohm; "
+                "QUANTITY y : OUT real",
+                body="y == 2.0 * u;",
+            )
+        )
+        result = map_sfg(design.main_sfg)
+        added = apply_interfacing(result.netlist, design)
+        assert not added
+
+
+RECEIVER_STYLE = wrap(
+    "QUANTITY u : IN real; QUANTITY y : OUT real",
+    decls="QUANTITY r : real; SIGNAL c : bit;",
+    body="""
+  y == u * r;
+  IF (c = '1') USE r == 1.0; ELSE r == 2.0; END USE;
+  PROCESS (u'ABOVE(0.3)) IS
+  BEGIN
+    IF (u'ABOVE(0.3) = TRUE) THEN c <= '1'; ELSE c <= '0'; END IF;
+  END PROCESS;
+""",
+)
+
+SCHMITT_STYLE = wrap(
+    "QUANTITY ramp : OUT real",
+    decls="""
+  CONSTANT vhi : real := 1.0;
+  CONSTANT vlo : real := -1.0;
+  QUANTITY vsel : real;
+  SIGNAL dir : bit;
+""",
+    body="""
+  ramp'dot == 100.0 * vsel;
+  IF (dir = '1') USE vsel == 1.0; ELSE vsel == -1.0; END USE;
+  PROCESS (ramp'ABOVE(vhi), ramp'ABOVE(vlo)) IS
+  BEGIN
+    IF (ramp'ABOVE(vhi) = TRUE) THEN dir <= '0';
+    ELSIF (ramp'ABOVE(vlo) = FALSE) THEN dir <= '1';
+    END IF;
+  END PROCESS;
+""",
+)
+
+
+class TestZeroCrossRealization:
+    def test_control_signal_realized(self):
+        design = compile_design(RECEIVER_STYLE)
+        realized = realize_event_controls(design)
+        assert len(realized) == 1
+        assert realized[0].kind == "zero_cross"
+        assert realized[0].signal == "c"
+
+    def test_binding_replaced_by_net(self):
+        design = compile_design(RECEIVER_STYLE)
+        realize_event_controls(design)
+        sfg = design.main_sfg
+        assert "c" not in sfg.control_bindings
+        (mux,) = sfg.blocks_of_kind(BlockKind.MUX)
+        assert sfg.control_driver_of(mux) is not None
+
+    def test_inverted_polarity(self):
+        source = wrap(
+            "QUANTITY u : IN real; QUANTITY y : OUT real",
+            decls="QUANTITY r : real; SIGNAL c : bit;",
+            body="""
+  y == u * r;
+  IF (c = '1') USE r == 1.0; ELSE r == 2.0; END USE;
+  PROCESS (u'ABOVE(0.3)) IS
+  BEGIN
+    IF (u'ABOVE(0.3) = TRUE) THEN c <= '0'; ELSE c <= '1'; END IF;
+  END PROCESS;
+""",
+        )
+        design = compile_design(source)
+        realize_event_controls(design)
+        (cmp_,) = design.main_sfg.blocks_of_kind(BlockKind.COMPARATOR)
+        assert cmp_.params.get("invert") is True
+
+    def test_behavior_preserved_after_realization(self):
+        design = compile_design(RECEIVER_STYLE)
+        realize_event_controls(design)
+        interp = Interpreter(design, dt=1e-4, inputs={"u": lambda t: 1.0})
+        interp.run(0.01, probes=[])
+        # u=1 > 0.3: r should be 1 -> y = 1.
+        assert interp.probe("y") == pytest.approx(1.0)
+        interp.inputs["u"] = lambda t: 0.1
+        interp.run(0.01, probes=[])
+        assert interp.probe("y") == pytest.approx(0.2)
+
+
+class TestSchmittRealization:
+    def test_two_thresholds_fuse(self):
+        design = compile_design(SCHMITT_STYLE)
+        realized = realize_event_controls(design)
+        kinds = {r.kind for r in realized}
+        assert "schmitt" in kinds
+
+    def test_single_hysteretic_comparator_left(self):
+        design = compile_design(SCHMITT_STYLE)
+        realize_event_controls(design)
+        comparators = design.main_sfg.blocks_of_kind(BlockKind.COMPARATOR)
+        assert len(comparators) == 1
+        (schmitt,) = comparators
+        assert schmitt.params["hysteresis"] == pytest.approx(1.0)
+        assert schmitt.params["threshold"] == pytest.approx(0.0)
+
+    def test_oscillation_after_fusion(self):
+        design = compile_design(SCHMITT_STYLE)
+        realize_event_controls(design)
+        interp = Interpreter(design, dt=1e-4)
+        traces = interp.run(0.5, probes=["ramp"])
+        assert traces["ramp"].max() > 0.9
+        assert traces["ramp"].min() < -0.9
+
+    def test_maps_to_schmitt_component(self):
+        design = compile_design(SCHMITT_STYLE)
+        realize_event_controls(design)
+        result = map_sfg(design.main_sfg)
+        categories = result.netlist.category_counts()
+        assert categories["Schmitt trigger"] == 1

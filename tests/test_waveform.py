@@ -1,0 +1,109 @@
+"""Tests for waveform measurements."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import waveform
+
+
+def sine(freq=1000.0, amp=1.0, t_end=5e-3, dt=1e-6):
+    t = np.arange(0, t_end, dt)
+    return t, amp * np.sin(2 * math.pi * freq * t)
+
+
+class TestBasicMeasures:
+    def test_peak(self):
+        _, v = sine(amp=2.0)
+        assert waveform.peak(v) == pytest.approx(2.0, rel=1e-3)
+
+    def test_peak_to_peak(self):
+        _, v = sine(amp=1.5)
+        assert waveform.peak_to_peak(v) == pytest.approx(3.0, rel=1e-3)
+
+    def test_rms_of_sine(self):
+        _, v = sine(amp=1.0)
+        assert waveform.rms(v) == pytest.approx(1 / math.sqrt(2), rel=1e-2)
+
+    def test_final_value(self):
+        v = np.concatenate([np.linspace(0, 1, 100), np.full(100, 1.0)])
+        assert waveform.final_value(v) == pytest.approx(1.0)
+
+
+class TestClipping:
+    def test_clean_sine_not_clipped(self):
+        _, v = sine()
+        report = waveform.detect_clipping(v)
+        assert not report.clipped
+
+    def test_hard_clipped_sine_detected(self):
+        _, v = sine(amp=3.0)
+        clipped = np.clip(v, -1.5, 1.5)
+        report = waveform.detect_clipping(clipped)
+        assert report.clipped
+        assert report.level == pytest.approx(1.5)
+
+    def test_dwell_fraction_grows_with_overdrive(self):
+        _, v = sine(amp=2.0)
+        light = waveform.detect_clipping(np.clip(v, -1.9, 1.9))
+        _, v2 = sine(amp=5.0)
+        hard = waveform.detect_clipping(np.clip(v2, -1.9, 1.9))
+        assert hard.dwell_fraction > light.dwell_fraction
+
+    def test_zero_signal(self):
+        report = waveform.detect_clipping(np.zeros(100))
+        assert not report.clipped
+
+
+class TestFrequency:
+    def test_fundamental_of_sine(self):
+        t, v = sine(freq=2000.0)
+        assert waveform.fundamental_frequency(t, v) == pytest.approx(
+            2000.0, rel=2e-2
+        )
+
+    def test_fundamental_of_triangle(self):
+        t = np.arange(0, 10e-3, 1e-6)
+        tri = 2 * np.abs(((t * 500) % 1.0) - 0.5) - 0.5
+        assert waveform.fundamental_frequency(t, tri) == pytest.approx(
+            500.0, rel=2e-2
+        )
+
+    def test_dc_has_no_fundamental(self):
+        t = np.arange(0, 1e-3, 1e-6)
+        v = np.full_like(t, 2.0)
+        # All spectral content at DC is removed; remaining peak is noise.
+        assert waveform.fundamental_frequency(t, v) >= 0.0
+
+    def test_short_trace(self):
+        assert waveform.fundamental_frequency(np.array([0.0]),
+                                              np.array([1.0])) == 0.0
+
+
+class TestCrossingsAndSettling:
+    def test_crossing_count(self):
+        _, v = sine(freq=1000.0, t_end=3e-3)
+        # 3 periods -> 6 crossings (2 per period), +/- discretization.
+        assert waveform.crossing_count(v) in (5, 6, 7)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 1.0, 1000)
+        v = 1.0 - np.exp(-t / 0.1)
+        settle = waveform.settling_time(t, v, target=1.0, tolerance=0.02)
+        # exp(-t/0.1) < 0.02 after t = 0.39.
+        assert settle == pytest.approx(0.39, abs=0.05)
+
+    def test_settled_from_start(self):
+        t = np.linspace(0, 1.0, 100)
+        v = np.ones_like(t)
+        assert waveform.settling_time(t, v) == t[0]
+
+    def test_gain_between(self):
+        _, vin = sine(amp=0.5)
+        _, vout = sine(amp=1.5)
+        assert waveform.gain_between(vin, vout) == pytest.approx(3.0,
+                                                                 rel=1e-3)
+
+    def test_gain_zero_input(self):
+        assert waveform.gain_between(np.zeros(10), np.ones(10)) == 0.0
