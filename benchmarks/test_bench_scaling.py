@@ -76,8 +76,9 @@ def run_scaling_series():
     return rows
 
 
-def test_scaling_series(benchmark):
+def test_scaling_series(benchmark, bench_metrics):
     rows = benchmark.pedantic(run_scaling_series, rounds=1, iterations=1)
+    bench_metrics["rows"] = rows
     banner("Section 7: search-effort scaling (B&B vs bounded B&B vs greedy)")
     header = (
         f"{'stages':>6} {'blocks':>6} {'B&B nodes':>10} {'bounded':>8} "

@@ -83,7 +83,7 @@ def test_table1_row(benchmark, name):
         assert cats["Schmitt trigger"] == 1
 
 
-def test_table1_full(benchmark):
+def test_table1_full(benchmark, bench_metrics):
     """The whole table in one run (the paper's experiment set)."""
 
     def run_all():
@@ -93,6 +93,10 @@ def test_table1_full(benchmark):
         }
 
     results = benchmark(run_all)
+    bench_metrics["search"] = {
+        name: result.mapping.statistics.as_dict()
+        for name, result in results.items()
+    }
     banner("Table 1 (complete)")
     header = (
         f"{'Application':<20} {'blocks':>6} {'states':>6} {'datapath':>8}  "

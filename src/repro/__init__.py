@@ -16,6 +16,7 @@ The public API mirrors the paper's design flow (Figure 1):
 
 from repro.compiler import CompilerOptions, compile_design
 from repro.flow import FlowOptions, SynthesisResult, synthesize
+from repro.instrument import Tracer, metrics, trace_phase, tracing
 from repro.vass import analyze_source, parse_source
 from repro.verify import EquivalenceReport, verify_equivalence
 
@@ -25,10 +26,14 @@ __all__ = [
     "CompilerOptions",
     "FlowOptions",
     "SynthesisResult",
+    "Tracer",
     "analyze_source",
     "compile_design",
+    "metrics",
     "parse_source",
     "synthesize",
+    "trace_phase",
+    "tracing",
     "verify_equivalence",
     "EquivalenceReport",
     "__version__",

@@ -4,9 +4,11 @@ Subcommands::
 
     vase compile  FILE [--entity NAME] [--dot]   # VASS -> VHIF report
     vase synth    FILE [--entity NAME]           # full flow -> netlist
+                  [--trace] [--trace-json FILE]  #   + per-phase timing
     vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
     vase verify   FILE [--amplitude A] [...]     # spec-vs-circuit check
     vase ac       FILE [--f-start F] [...]       # AC sweep of the circuit
+    vase profile  FILE [--repeat N] [...]        # where does the time go
     vase table1                                  # reproduce Table 1
     vase examples                                # list bundled applications
 
@@ -29,6 +31,13 @@ from repro.spice import to_spice_deck
 from repro.vhif.dot import design_to_dot
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _load_source(spec: str) -> str:
     if spec in ALL_APPLICATIONS:
         return ALL_APPLICATIONS[spec].VASS_SOURCE
@@ -49,18 +58,54 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.flow import FlowOptions
+
     source = _load_source(args.file)
-    result = synthesize(source, entity_name=args.entity)
+    want_trace = bool(args.trace or args.trace_json)
+    options = FlowOptions(trace=want_trace)
+    result = synthesize(source, entity_name=args.entity, options=options)
+    for diagnostic in result.diagnostics:
+        print(str(diagnostic), file=sys.stderr)
     print(result.describe())
     print()
     print(result.netlist.describe())
-    stats = result.mapping.statistics
-    print(
-        f"\nsearch: {stats.nodes_visited} nodes visited, "
-        f"{stats.nodes_pruned} pruned, "
-        f"{stats.complete_mappings} complete mappings, "
-        f"{stats.runtime_s * 1e3:.1f} ms"
+    if result.trace is not None:
+        from repro.instrument import metrics
+
+        print("\ntiming tree:")
+        print(result.trace.format_tree())
+        table = metrics().format_table()
+        if table:
+            print("\nmetrics:")
+            print(table)
+        if args.trace_json:
+            with open(args.trace_json, "w", encoding="utf-8") as handle:
+                handle.write(
+                    result.trace.chrome_json(
+                        metadata={"design": result.design.name}
+                    )
+                )
+            print(f"\nChrome trace written to {args.trace_json}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.instrument import profile_flow
+
+    source = _load_source(args.file)
+    report = profile_flow(
+        source, entity_name=args.entity, repeat=args.repeat
     )
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nprofile JSON written to {args.json}", file=sys.stderr)
+    if args.trace_json and report.last_trace is not None:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(report.last_trace.chrome_json())
+        print(f"Chrome trace written to {args.trace_json}", file=sys.stderr)
     return 0
 
 
@@ -199,7 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth = sub.add_parser("synth", help="run the full synthesis flow")
     p_synth.add_argument("file", help="VASS file or bundled app name")
     p_synth.add_argument("--entity", default=None)
+    p_synth.add_argument("--trace", action="store_true",
+                         help="print a per-phase timing tree and metrics")
+    p_synth.add_argument("--trace-json", default=None, metavar="FILE",
+                         help="write a Chrome trace_event JSON file")
     p_synth.set_defaults(func=_cmd_synth)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile the flow: per-phase timings over repeated runs",
+    )
+    p_profile.add_argument("file", help="VASS file or bundled app name")
+    p_profile.add_argument("--entity", default=None)
+    p_profile.add_argument("--repeat", type=_positive_int, default=3)
+    p_profile.add_argument("--json", default=None, metavar="FILE",
+                           help="write the aggregated profile as JSON")
+    p_profile.add_argument("--trace-json", default=None, metavar="FILE",
+                           help="write the last run's Chrome trace")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_spice = sub.add_parser("spice", help="synthesize and print SPICE deck")
     p_spice.add_argument("file", help="VASS file or bundled app name")

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
 from repro.estimation.opamp import OpAmpSpec, design_two_stage, min_opamp_area
 from repro.estimation.technology import MOSIS_SCN20, Technology
+from repro.instrument import metrics
 
 if TYPE_CHECKING:  # imported lazily to avoid an estimation <-> synth cycle
     from repro.synth.netlist import ComponentInstance, Netlist
@@ -66,6 +67,7 @@ class Estimator:
         key = (spec.ugf_hz, spec.slew_rate, spec.cload)
         design = self._cache.get(key)
         if design is None:
+            metrics().inc("estimator.opamp_sizings")
             design = design_two_stage(spec, self.technology)
             self._cache[key] = design
         return design
@@ -74,6 +76,7 @@ class Estimator:
 
     def estimate_instance(self, instance: ComponentInstance) -> PerformanceEstimate:
         """Area/power/speed estimate of one component instance."""
+        metrics().inc("estimator.instance_estimates")
         tech = self.technology
         estimate = PerformanceEstimate()
         gain = instance.spec.required_gain(instance.params)
@@ -122,6 +125,7 @@ class Estimator:
 
     def estimate(self, netlist: Netlist) -> PerformanceEstimate:
         """Estimate a complete mapping (the paper's • step)."""
+        metrics().inc("estimator.netlist_estimates")
         total = PerformanceEstimate()
         for instance in netlist.instances:
             one = self.estimate_instance(instance)

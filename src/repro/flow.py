@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compiler import CompilerOptions, compile_design
+from repro.diagnostics import Diagnostic
 from repro.estimation import ConstraintSet, Estimator, PerformanceEstimate
+from repro.instrument import Tracer, active_tracer, trace_phase, tracing
 from repro.library import ComponentLibrary, PatternMatcher, default_library
 from repro.synth import (
     InterfacingOptions,
@@ -52,6 +54,11 @@ class FlowOptions:
     #: run the technology-independent peephole passes on the VHIF
     #: (scale fusion, negation absorption) before mapping
     optimize_vhif: bool = True
+    #: collect a per-phase span trace of this run; the tracer lands on
+    #: ``SynthesisResult.trace`` (``vase synth --trace`` renders it).
+    #: When tracing is already active process-wide, spans always join
+    #: the active tracer regardless of this knob.
+    trace: bool = False
 
 
 @dataclass
@@ -65,14 +72,22 @@ class SynthesisResult:
     realized_controls: List[RealizedControl] = field(default_factory=list)
     #: per-FSM realization summary (analog vs digital fallback [8])
     fsm_summaries: List[FsmRealizationSummary] = field(default_factory=list)
+    #: span trace of this run (when tracing was enabled)
+    trace: Optional[Tracer] = None
 
     @property
     def summary(self) -> str:
         """Table-1 style component summary."""
         return self.netlist.summary()
 
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """Non-fatal problems collected across the flow stages."""
+        return list(self.mapping.diagnostics)
+
     def describe(self) -> str:
         stats = self.design.statistics()
+        search = self.mapping.statistics
         lines = [
             f"design {self.design.name!r}:",
             f"  VHIF: {stats.n_blocks} blocks, {stats.n_states} states, "
@@ -88,6 +103,17 @@ class SynthesisResult:
         for summary in self.fsm_summaries:
             if summary.mode != "analog":
                 lines.append(f"  {summary.describe()}")
+        search_line = (
+            f"  search: {search.nodes_visited} nodes visited, "
+            f"{search.nodes_pruned} pruned, "
+            f"{search.complete_mappings} complete "
+            f"({search.feasible_mappings} feasible), "
+            f"{search.shared_branches} shared, "
+            f"{search.runtime_s * 1e3:.1f} ms"
+        )
+        if search.truncated:
+            search_line += " — TRUNCATED at node budget"
+        lines.append(search_line)
         return "\n".join(lines)
 
     @property
@@ -146,38 +172,74 @@ def synthesize(
     options = options or FlowOptions()
     library = library or default_library()
 
-    design = compile_design(
-        source,
-        entity_name=entity_name,
-        options=options.compiler,
-        architecture_name=architecture_name,
+    # Honour the trace knob: start a tracer unless one is already
+    # active (in which case this run's spans nest under it).
+    tracer = active_tracer()
+    if options.trace and tracer is None:
+        with tracing() as tracer:
+            result = _synthesize_traced(
+                source, entity_name, library, options, architecture_name
+            )
+        result.trace = tracer
+        return result
+    result = _synthesize_traced(
+        source, entity_name, library, options, architecture_name
     )
-    realized: List[RealizedControl] = []
-    if options.realize_fsm_controls:
-        realized = realize_event_controls(design)
-    if options.optimize_vhif:
-        from repro.vhif.optimize import optimize_design
+    result.trace = tracer
+    return result
 
-        optimize_design(design)
 
-    constraints = options.constraints
-    if options.derive_constraints_from_annotations:
-        constraints = derive_constraints(design, constraints)
-    estimator = Estimator(constraints=constraints)
-    matcher = PatternMatcher(
-        library, enable_transforms=options.mapper.enable_transforms
-    )
-    mapping = map_sfg(
-        design.main_sfg,
-        library=library,
-        estimator=estimator,
-        options=options.mapper,
-        matcher=matcher,
-    )
-    netlist = mapping.netlist
-    if options.interfacing is not None:
-        apply_interfacing(netlist, design, options.interfacing)
-    estimate = estimator.estimate(netlist)
+def _synthesize_traced(
+    source: str,
+    entity_name: Optional[str],
+    library: ComponentLibrary,
+    options: FlowOptions,
+    architecture_name: Optional[str],
+) -> SynthesisResult:
+    """The flow proper, one span per Figure-1 phase."""
+    with trace_phase("synthesize") as flow_span:
+        with trace_phase("compile"):
+            design = compile_design(
+                source,
+                entity_name=entity_name,
+                options=options.compiler,
+                architecture_name=architecture_name,
+            )
+        flow_span.annotate(design=design.name)
+        realized: List[RealizedControl] = []
+        if options.realize_fsm_controls:
+            with trace_phase("realize_fsm_controls") as span:
+                realized = realize_event_controls(design)
+                span.annotate(realized=len(realized))
+        if options.optimize_vhif:
+            from repro.vhif.optimize import optimize_design
+
+            with trace_phase("optimize_vhif"):
+                optimize_design(design)
+
+        constraints = options.constraints
+        if options.derive_constraints_from_annotations:
+            constraints = derive_constraints(design, constraints)
+        estimator = Estimator(constraints=constraints)
+        matcher = PatternMatcher(
+            library, enable_transforms=options.mapper.enable_transforms
+        )
+        with trace_phase("map") as span:
+            mapping = map_sfg(
+                design.main_sfg,
+                library=library,
+                estimator=estimator,
+                options=options.mapper,
+                matcher=matcher,
+            )
+            span.annotate(**mapping.statistics.as_dict())
+        netlist = mapping.netlist
+        if options.interfacing is not None:
+            with trace_phase("interfacing"):
+                apply_interfacing(netlist, design, options.interfacing)
+        with trace_phase("estimate") as span:
+            estimate = estimator.estimate(netlist)
+            span.annotate(area=estimate.area, opamps=estimate.opamps)
     return SynthesisResult(
         design=design,
         netlist=netlist,

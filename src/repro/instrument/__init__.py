@@ -1,0 +1,58 @@
+"""Flow-wide observability: tracing, metrics and profiling.
+
+The VASE flow is a pipeline of very different engines (lexer, parser,
+DAE causalization, branch-and-bound search, op-amp sizing, MNA
+simulation); this package gives all of them one measurement layer:
+
+* :mod:`repro.instrument.tracer` — hierarchical spans.  Stages wrap
+  their work in ``with trace_phase("map"):`` blocks; when no tracer is
+  active the call returns a shared no-op span, so instrumented code
+  pays (almost) nothing in production.  An active
+  :class:`~repro.instrument.tracer.Tracer` renders its spans as a
+  human-readable timing tree or as Chrome ``trace_event`` JSON
+  (load it in ``chrome://tracing`` / Perfetto).
+* :mod:`repro.instrument.metrics` — a process-wide registry of
+  counters, gauges and histograms.  Hot paths (mapper search, pattern
+  matching, op-amp sizing, MNA factorizations, the VASS frontend)
+  publish effort counters here.
+* :mod:`repro.instrument.profile` — repeat-run profiling of the whole
+  flow, exposed as ``vase profile`` on the command line.
+"""
+
+from repro.instrument.metrics import (
+    Histogram,
+    MetricsRegistry,
+    metrics,
+)
+from repro.instrument.tracer import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_phase,
+    tracing,
+)
+from repro.instrument.profile import (
+    PhaseProfile,
+    ProfileReport,
+    aggregate_spans,
+    profile_flow,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "trace_phase",
+    "tracing",
+    "PhaseProfile",
+    "ProfileReport",
+    "aggregate_spans",
+    "profile_flow",
+]

@@ -1,0 +1,149 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Hot paths of the flow publish effort counters here so a run can answer
+"why was this slow" questions without a debugger:
+
+* ``mapper.*`` — branch-and-bound decision nodes visited / pruned /
+  shared, complete and feasible mappings, truncation events;
+* ``patterns.*`` — candidate enumerations, cones examined, matches
+  produced by the pattern matcher;
+* ``estimator.*`` — per-instance estimates and two-stage op-amp sizing
+  runs (cache misses);
+* ``spice.*`` — MNA system factorizations and AC sweep points;
+* ``frontend.*`` — lexer tokens and parser AST nodes.
+
+The registry is deliberately primitive — plain dict updates guarded by
+an ``enabled`` flag — so publishing from a hot loop is cheap, and
+:func:`MetricsRegistry.disable` turns every publish into one attribute
+test.  Use ``metrics()`` for the process-wide instance; tests create
+private registries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one process (or test)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- publishing (hot path) ---------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- switches ----------------------------------------------------------------
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reading -----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data copy of everything, ready for ``json.dumps``."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def format_table(self) -> str:
+        """Aligned text table of all metrics (for CLI output)."""
+        lines = []
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"{name:<40} {value:>12g}")
+        for name, value in sorted(self._gauges.items()):
+            lines.append(f"{name:<40} {value:>12g}  (gauge)")
+        for name, histogram in sorted(self._histograms.items()):
+            snap = histogram.snapshot()
+            lines.append(
+                f"{name:<40} {snap['count']:>12g}  "
+                f"(mean {snap['mean']:g}, min {snap['min']:g}, "
+                f"max {snap['max']:g})"
+            )
+        return "\n".join(lines)
+
+
+#: The process-wide registry the flow publishes into.
+_GLOBAL = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _GLOBAL

@@ -1,0 +1,164 @@
+"""Repeat-run profiling of the synthesis flow (``vase profile``).
+
+Runs the complete flow several times with tracing enabled, aggregates
+the per-phase wall times (min/mean/max over the repeats, keyed by the
+span's path in the tree) and snapshots the metrics registry, giving a
+quick answer to "where does a synthesis run spend its time".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.metrics import metrics
+from repro.instrument.tracer import Span, Tracer, tracing
+
+
+@dataclass
+class PhaseProfile:
+    """Aggregated timing of one phase across repeats."""
+
+    path: Tuple[str, ...]
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``vase profile`` reports for one design."""
+
+    design: str
+    repeat: int
+    phases: List[PhaseProfile]
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: the tracer of the last repeat, for Chrome-JSON export
+    last_trace: Optional[Tracer] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"profile of {self.design!r} over {self.repeat} run(s):",
+            "",
+            f"{'phase':<34} {'calls':>6} {'mean':>10} {'min':>10} {'max':>10}",
+        ]
+        for phase in self.phases:
+            label = "  " * phase.depth + phase.name
+            lines.append(
+                f"{label:<34} {phase.calls:>6d} "
+                f"{phase.mean_s * 1e3:>8.3f} ms "
+                f"{phase.min_s * 1e3:>7.3f} ms "
+                f"{phase.max_s * 1e3:>7.3f} ms"
+            )
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append(f"{'metric (cumulative over repeats)':<40} {'value':>12}")
+            for name, value in counters.items():
+                lines.append(f"{name:<40} {value:>12g}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "design": self.design,
+                "repeat": self.repeat,
+                "phases": [
+                    {
+                        "path": list(phase.path),
+                        "calls": phase.calls,
+                        "mean_s": phase.mean_s,
+                        "min_s": phase.min_s,
+                        "max_s": phase.max_s,
+                        "total_s": phase.total_s,
+                    }
+                    for phase in self.phases
+                ],
+                "metrics": self.metrics,
+            },
+            indent=2,
+        )
+
+
+def _collect(span: Span, path: Tuple[str, ...], into: Dict[Tuple[str, ...], PhaseProfile], order: List[Tuple[str, ...]]) -> None:
+    key = path + (span.name,)
+    profile = into.get(key)
+    if profile is None:
+        profile = into[key] = PhaseProfile(path=key)
+        order.append(key)
+    profile.calls += 1
+    profile.total_s += span.duration_s
+    profile.min_s = min(profile.min_s, span.duration_s)
+    profile.max_s = max(profile.max_s, span.duration_s)
+    for child in span.children:
+        _collect(child, key, into, order)
+
+
+def aggregate_spans(roots: List[Span]) -> List[PhaseProfile]:
+    """Aggregate a span forest into per-phase profiles (by tree path)."""
+    profiles: Dict[Tuple[str, ...], PhaseProfile] = {}
+    order: List[Tuple[str, ...]] = []
+    for root in roots:
+        _collect(root, (), profiles, order)
+    return [profiles[key] for key in order]
+
+
+def profile_flow(
+    source: str,
+    entity_name: Optional[str] = None,
+    repeat: int = 3,
+    options=None,
+    library=None,
+) -> ProfileReport:
+    """Run the flow ``repeat`` times under tracing and aggregate."""
+    from repro.flow import FlowOptions, synthesize
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    registry = metrics()
+    before = registry.snapshot()["counters"]
+
+    profiles: Dict[Tuple[str, ...], PhaseProfile] = {}
+    order: List[Tuple[str, ...]] = []
+    design_name = "?"
+    last_trace: Optional[Tracer] = None
+    for _ in range(repeat):
+        with tracing() as tracer:
+            result = synthesize(
+                source,
+                entity_name=entity_name,
+                library=library,
+                options=options or FlowOptions(),
+            )
+        design_name = result.design.name
+        last_trace = tracer
+        for root in tracer.roots:
+            _collect(root, (), profiles, order)
+
+    after = registry.snapshot()["counters"]
+    delta = {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
+    return ProfileReport(
+        design=design_name,
+        repeat=repeat,
+        phases=[profiles[key] for key in order],
+        metrics={"counters": delta},
+        last_trace=last_trace,
+    )

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from repro.instrument import metrics
 from repro.library.components import ComponentLibrary, ComponentSpec
 from repro.vhif.sfg import Block, BlockKind, SignalFlowGraph
 
@@ -550,7 +551,14 @@ class PatternMatcher:
         component are visited first.
         """
         out: List[PatternMatch] = []
+        n_cones = 0
         for cone in sfg.iter_cones(root, max_size=max_size):
+            n_cones += 1
             out.extend(self.match_cone(sfg, cone, root))
         out.sort(key=lambda m: (-m.size, m.opamps, m.component))
+        registry = metrics()
+        if registry.enabled:
+            registry.inc("patterns.candidate_calls")
+            registry.inc("patterns.cones_examined", n_cones)
+            registry.inc("patterns.matches", len(out))
         return out

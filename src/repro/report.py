@@ -105,7 +105,7 @@ def generate_report(
             lines.append(f"- {summary.describe()}")
         lines.append("")
 
-    lines.append("## Search effort")
+    lines.append("## Timing and search effort")
     lines.append("")
     lines.append(
         f"- decision nodes visited: {search.nodes_visited} "
@@ -117,7 +117,24 @@ def generate_report(
     )
     lines.append(f"- sharing branches taken: {search.shared_branches}")
     lines.append(f"- runtime: {search.runtime_s * 1e3:.2f} ms")
+    if search.truncated:
+        lines.append(
+            "- **search truncated**: the node budget was exhausted before "
+            "the tree was fully explored; the mapping above is the best "
+            "found, not proven optimal"
+        )
     lines.append("")
+    for diagnostic in result.diagnostics:
+        lines.append(f"> **{diagnostic.severity}**: {diagnostic.message}")
+        lines.append("")
+
+    if result.trace is not None and result.trace.roots:
+        lines.append("### Per-phase timing")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.trace.format_tree())
+        lines.append("```")
+        lines.append("")
 
     if verification is not None:
         lines.append("## Verification")

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.diagnostics import SimulationError
+from repro.instrument import metrics, trace_phase
 from repro.spice.mna import (
     Capacitor,
     Circuit,
@@ -242,14 +243,19 @@ class AcSolver:
         )
         bias = self._bias()
         records: Dict[str, List[complex]] = {name: [] for name in names}
-        for f in frequencies:
-            A, b = self._assemble(2.0 * math.pi * f, bias)
-            try:
-                x = np.linalg.solve(A, b)
-            except np.linalg.LinAlgError as err:
-                raise SimulationError(f"singular AC matrix at {f} Hz: {err}")
-            for name in names:
-                records[name].append(complex(x[self._mna._index(name)]))
+        with trace_phase("spice.ac_sweep", points=n_points):
+            registry = metrics()
+            registry.inc("spice.ac.sweeps")
+            registry.inc("spice.ac.points", n_points)
+            for f in frequencies:
+                A, b = self._assemble(2.0 * math.pi * f, bias)
+                try:
+                    registry.inc("spice.mna.factorizations")
+                    x = np.linalg.solve(A, b)
+                except np.linalg.LinAlgError as err:
+                    raise SimulationError(f"singular AC matrix at {f} Hz: {err}")
+                for name in names:
+                    records[name].append(complex(x[self._mna._index(name)]))
         return AcResult(
             frequencies=frequencies,
             voltages={k: np.asarray(v) for k, v in records.items()},

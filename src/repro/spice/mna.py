@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.diagnostics import SimulationError
+from repro.instrument import metrics
 
 GROUND_NAMES = ("0", "gnd", "ground")
 
@@ -561,6 +562,7 @@ class MnaSolver:
         for _ in range(max_iter):
             A, b = self._assemble(x, t, dt, prev, switch_controls)
             try:
+                metrics().inc("spice.mna.factorizations")
                 x_new = np.linalg.solve(A, b)
             except np.linalg.LinAlgError as err:
                 raise SimulationError(f"singular MNA matrix: {err}")

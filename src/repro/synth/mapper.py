@@ -30,9 +30,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.diagnostics import SynthesisError
+from repro.diagnostics import Diagnostic, Severity, SynthesisError
 from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
 from repro.estimation.estimator import Estimator
+from repro.instrument import metrics, trace_phase
 from repro.library.components import ComponentLibrary, default_library
 from repro.library.patterns import PatternMatch, PatternMatcher
 from repro.synth.netlist import ComponentInstance, Netlist
@@ -90,6 +91,20 @@ class MappingStatistics:
     feasible_mappings: int = 0
     shared_branches: int = 0
     runtime_s: float = 0.0
+    #: the search stopped at ``max_nodes`` before exhausting the tree,
+    #: so the reported mapping is best-found, not proven optimal
+    truncated: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nodes_visited": self.nodes_visited,
+            "nodes_pruned": self.nodes_pruned,
+            "complete_mappings": self.complete_mappings,
+            "feasible_mappings": self.feasible_mappings,
+            "shared_branches": self.shared_branches,
+            "runtime_s": self.runtime_s,
+            "truncated": self.truncated,
+        }
 
 
 @dataclass
@@ -102,13 +117,18 @@ class MappingResult:
     tree: List[DecisionNode] = field(default_factory=list)
     #: op-amp counts of every complete mapping, in discovery order
     solution_opamps: List[int] = field(default_factory=list)
+    #: non-fatal problems of the search (e.g. node-budget truncation)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.netlist.summary()} | {self.estimate.describe()} | "
             f"{self.statistics.nodes_visited} nodes, "
             f"{self.statistics.nodes_pruned} pruned"
         )
+        if self.statistics.truncated:
+            text += " | TRUNCATED (node budget hit; result may be suboptimal)"
+        return text
 
 
 class ArchitectureMapper:
@@ -313,6 +333,7 @@ class ArchitectureMapper:
         if self._abort:
             return
         if self._stats.nodes_visited >= self.options.max_nodes:
+            self._stats.truncated = True
             self._abort = True
             return
         if not pending:
@@ -451,16 +472,34 @@ class ArchitectureMapper:
 
     # -- public API -----------------------------------------------------------------------
 
+    def _publish_metrics(self) -> None:
+        registry = metrics()
+        if not registry.enabled:
+            return
+        stats = self._stats
+        registry.inc("mapper.runs")
+        registry.inc("mapper.nodes_visited", stats.nodes_visited)
+        registry.inc("mapper.nodes_pruned", stats.nodes_pruned)
+        registry.inc("mapper.shared_branches", stats.shared_branches)
+        registry.inc("mapper.complete_mappings", stats.complete_mappings)
+        registry.inc("mapper.feasible_mappings", stats.feasible_mappings)
+        if stats.truncated:
+            registry.inc("mapper.truncations")
+        registry.observe("mapper.runtime_s", stats.runtime_s)
+
     def run(self) -> MappingResult:
         """Search for the minimum-area feasible mapping."""
         start = time.perf_counter()
-        root_node = self._trace(None, "root", 0)
-        self._map(self._initial_pending(), 0, root_node)
-        self._stats.runtime_s = time.perf_counter() - start
+        with trace_phase("mapper.search", sfg=self.sfg.name) as span:
+            root_node = self._trace(None, "root", 0)
+            self._map(self._initial_pending(), 0, root_node)
+            self._stats.runtime_s = time.perf_counter() - start
+            span.annotate(**self._stats.as_dict())
+        self._publish_metrics()
         if self._best_netlist is None or self._best_estimate is None:
             reason = (
                 "node budget exhausted"
-                if self._stats.nodes_visited >= self.options.max_nodes
+                if self._stats.truncated
                 else "no feasible complete mapping"
             )
             raise SynthesisError(
@@ -469,12 +508,24 @@ class ArchitectureMapper:
                 f"{self._stats.nodes_visited} nodes)"
             )
         self._best_netlist.validate()
+        diagnostics: List[Diagnostic] = []
+        if self._stats.truncated:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    f"architecture search for {self.sfg.name!r} stopped at "
+                    f"the {self.options.max_nodes}-node budget; the mapping "
+                    f"is the best of {self._stats.feasible_mappings} "
+                    "feasible solution(s) found, not proven optimal",
+                )
+            )
         return MappingResult(
             netlist=self._best_netlist,
             estimate=self._best_estimate,
             statistics=self._stats,
             tree=self._tree,
             solution_opamps=self._solutions,
+            diagnostics=diagnostics,
         )
 
 

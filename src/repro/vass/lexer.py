@@ -393,4 +393,13 @@ class Lexer:
 
 def tokenize(text: str, filename: str = "<string>") -> List[Token]:
     """Convenience wrapper: tokenize ``text`` into a token list."""
-    return Lexer(text, filename).tokenize()
+    from repro.instrument import metrics, trace_phase
+
+    with trace_phase("lex", filename=filename) as span:
+        tokens = Lexer(text, filename).tokenize()
+        span.annotate(tokens=len(tokens))
+    registry = metrics()
+    if registry.enabled:
+        registry.inc("frontend.lexer.runs")
+        registry.inc("frontend.lexer.tokens", len(tokens))
+    return tokens

@@ -900,9 +900,44 @@ class Parser:
         return expr
 
 
+def count_ast_nodes(node: object) -> int:
+    """Number of AST nodes in a (sub)tree, by generic dataclass walk."""
+    import dataclasses
+
+    total = 0
+    stack = [node]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+            continue
+        if dataclasses.is_dataclass(obj) and type(obj).__module__ == ast.__name__:
+            total += 1
+            for f in dataclasses.fields(obj):
+                stack.append(getattr(obj, f.name))
+    return total
+
+
 def parse_source(text: str, filename: str = "<string>") -> ast.SourceFile:
     """Tokenize and parse VASS source text into an AST."""
-    return Parser(tokenize(text, filename), filename).parse_source_file()
+    from repro.instrument import metrics, trace_phase
+
+    tokens = tokenize(text, filename)
+    with trace_phase("parse", filename=filename) as span:
+        source_file = Parser(tokens, filename).parse_source_file()
+        registry = metrics()
+        if registry.enabled or _tracing_active():
+            n_nodes = count_ast_nodes(source_file)
+            span.annotate(ast_nodes=n_nodes)
+            registry.inc("frontend.parser.runs")
+            registry.inc("frontend.parser.ast_nodes", n_nodes)
+    return source_file
+
+
+def _tracing_active() -> bool:
+    from repro.instrument import active_tracer
+
+    return active_tracer() is not None
 
 
 def parse_expression(text: str) -> ast.Expression:

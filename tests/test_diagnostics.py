@@ -71,6 +71,45 @@ class TestDiagnosticSink:
         with pytest.raises(SemanticError, match=r"\+5 more"):
             sink.check("stage")
 
+    def test_check_no_overflow_marker_at_exactly_ten(self):
+        sink = DiagnosticSink()
+        for i in range(10):
+            sink.error(f"e{i}")
+        with pytest.raises(SemanticError) as exc_info:
+            sink.check("stage")
+        assert "more" not in str(exc_info.value)
+        assert "e9" in str(exc_info.value)
+
+    def test_check_overflow_counts_only_errors(self):
+        sink = DiagnosticSink()
+        for i in range(12):
+            sink.error(f"e{i}")
+        for i in range(20):
+            sink.warn(f"w{i}")  # warnings never overflow the summary
+        with pytest.raises(SemanticError, match=r"\+2 more"):
+            sink.check("stage")
+
+    def test_check_with_location_carrying_error_class(self):
+        sink = DiagnosticSink()
+        sink.error("bad parse", SourceLocation(3, 7, "f.vhd"))
+        with pytest.raises(ParseError) as exc_info:
+            sink.check("parsing", ParseError)
+        assert exc_info.value.location == SourceLocation(3, 7, "f.vhd")
+        assert "parsing failed" in str(exc_info.value)
+
+    def test_check_with_non_location_error_class(self):
+        from repro.diagnostics import SimulationError, SynthesisError
+
+        for error_class in (SynthesisError, SimulationError):
+            sink = DiagnosticSink()
+            sink.error("no feasible mapping", SourceLocation(1, 1))
+            with pytest.raises(error_class) as exc_info:
+                sink.check("mapping", error_class)
+            # These classes take no location argument; the summary
+            # message still carries the formatted location text.
+            assert "mapping failed" in str(exc_info.value)
+            assert "no feasible mapping" in str(exc_info.value)
+
     def test_extend(self):
         a = DiagnosticSink()
         a.error("one")

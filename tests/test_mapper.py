@@ -308,6 +308,53 @@ class TestConstraints:
             map_sfg(g, options=MapperOptions(max_nodes=0))
 
 
+class TestTruncation:
+    def test_untruncated_run_has_clean_flags(self):
+        g = weighted_sum_graph()
+        result = map_sfg(g)
+        assert result.statistics.truncated is False
+        assert result.diagnostics == []
+        assert "TRUNCATED" not in result.describe()
+
+    def test_budget_hit_after_solution_sets_truncated(self):
+        g = weighted_sum_graph(shared_input=True)
+        # Learn how many nodes the deterministic search needs to reach
+        # its first complete mapping, then cap the full search there:
+        # the mapping is found, but exploration stops at the budget.
+        first = map_sfg(
+            g, options=MapperOptions(first_solution_only=True)
+        )
+        # +1: the budget check runs on node entry, before completion,
+        # so the cap must leave room for the completing call itself.
+        budget = first.statistics.nodes_visited + 1
+        result = map_sfg(g, options=MapperOptions(max_nodes=budget))
+        assert result.statistics.truncated is True
+        assert result.netlist.instances  # a mapping was still produced
+        assert "TRUNCATED" in result.describe()
+
+    def test_truncation_emits_warning_diagnostic(self):
+        from repro.diagnostics import Severity
+
+        g = weighted_sum_graph(shared_input=True)
+        first = map_sfg(
+            g, options=MapperOptions(first_solution_only=True)
+        )
+        budget = first.statistics.nodes_visited + 1
+        result = map_sfg(g, options=MapperOptions(max_nodes=budget))
+        assert len(result.diagnostics) == 1
+        diagnostic = result.diagnostics[0]
+        assert diagnostic.severity is Severity.WARNING
+        assert "node budget" in diagnostic.message
+        assert "not proven optimal" in diagnostic.message
+
+    def test_statistics_as_dict_includes_truncated(self):
+        g = weighted_sum_graph()
+        result = map_sfg(g)
+        as_dict = result.statistics.as_dict()
+        assert as_dict["truncated"] is False
+        assert as_dict["nodes_visited"] == result.statistics.nodes_visited
+
+
 class TestGreedy:
     def test_greedy_completes(self):
         g = weighted_sum_graph()

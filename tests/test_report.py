@@ -22,7 +22,7 @@ class TestReport:
             "# Synthesis report",
             "## Specification and intermediate representation",
             "## Synthesized architecture",
-            "## Search effort",
+            "## Timing and search effort",
             "## SPICE deck",
         ):
             assert heading in report
