@@ -11,6 +11,7 @@ import pytest
 
 from repro.apps import ALL_APPLICATIONS
 from repro.flow import synthesize
+from repro.instrument import metrics
 
 from conftest import banner
 
@@ -93,6 +94,12 @@ def test_table1_full(benchmark, bench_metrics):
         }
 
     results = benchmark(run_all)
+    # The timed rounds above inflate the process-wide counters by a
+    # machine-dependent round count; re-run once on a fresh registry so
+    # the dumped snapshot (which ``vase bench-check`` gates against the
+    # committed baselines) covers exactly one deterministic pass.
+    metrics().reset()
+    results = run_all()
     bench_metrics["search"] = {
         name: result.mapping.statistics.as_dict()
         for name, result in results.items()

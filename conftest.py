@@ -1,0 +1,56 @@
+"""Repo-wide pytest configuration.
+
+``VASE_EXPLOG`` smoke mode: when the environment variable is set, the
+whole suite runs with a process-wide exploration recorder active, so
+every synthesis run in every test exercises the instrumented decision
+paths (CI uses this to prove the explog layer stays healthy under
+load).  Set it to ``1`` to record in memory, or to a path ending in
+``.jsonl`` to also stream the events to disk.
+"""
+
+import os
+
+import pytest
+
+
+class _BoundedLog:
+    """Session-wide recorder that trims its in-memory buffer.
+
+    The suite performs thousands of synthesis runs; streaming keeps the
+    full record on disk while the in-memory event list stays bounded.
+    """
+
+    LIMIT = 20_000
+
+    @staticmethod
+    def make(stream):
+        from repro.instrument import ExplorationLog
+
+        class Bounded(ExplorationLog):
+            def emit(self, event, **fields):
+                record = super().emit(event, **fields)
+                if len(self.events) > _BoundedLog.LIMIT:
+                    del self.events[: _BoundedLog.LIMIT // 2]
+                return record
+
+        return Bounded(stream=stream)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _explog_smoke():
+    target = os.environ.get("VASE_EXPLOG")
+    if not target:
+        yield
+        return
+    from repro.instrument import disable_explog, enable_explog
+
+    handle = None
+    if target != "1" and target.endswith(".jsonl"):
+        handle = open(target, "w", encoding="utf-8")
+    enable_explog(_BoundedLog.make(handle))
+    try:
+        yield
+    finally:
+        disable_explog()
+        if handle is not None:
+            handle.close()

@@ -1,0 +1,19 @@
+-- Second-order low-pass filter, state-variable form.
+ENTITY biquad_filter IS
+PORT (
+  QUANTITY vin : IN real IS voltage FREQUENCY 0.0 TO 1000.0
+                 RANGE -1.0 TO 1.0;
+  QUANTITY vlp : OUT real IS voltage
+);
+END ENTITY;
+
+ARCHITECTURE state_variable OF biquad_filter IS
+  CONSTANT w0 : real := 6283.185307;
+  CONSTANT q  : real := 0.707;
+  QUANTITY xbp : real := 0.0;  -- band-pass state
+  QUANTITY xlp : real := 0.0;  -- low-pass state
+BEGIN
+  xbp'dot == w0 * (vin - xbp / q - xlp);
+  xlp'dot == w0 * xbp;
+  vlp == xlp;
+END ARCHITECTURE;

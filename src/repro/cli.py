@@ -9,6 +9,9 @@ Subcommands::
     vase verify   FILE [--amplitude A] [...]     # spec-vs-circuit check
     vase ac       FILE [--f-start F] [...]       # AC sweep of the circuit
     vase profile  FILE [--repeat N] [...]        # where does the time go
+    vase explain  FILE [--jsonl F] [--dot F]     # why this architecture:
+                  [--html F]                     #   decision-level replay
+    vase bench-check [--update] [...]            # metrics regression gate
     vase table1                                  # reproduce Table 1
     vase examples                                # list bundled applications
 
@@ -107,6 +110,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             handle.write(report.last_trace.chrome_json())
         print(f"Chrome trace written to {args.trace_json}", file=sys.stderr)
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.flow import FlowOptions
+    from repro.instrument.explain import narrate, render_exploration_html
+    from repro.synth import MapperOptions
+    from repro.vhif.dot import decision_tree_to_dot
+
+    source = _load_source(args.file)
+    options = FlowOptions(
+        explog=True,
+        trace=True,
+        mapper=MapperOptions(collect_tree=True),
+    )
+    result = synthesize(source, entity_name=args.entity, options=options)
+    for diagnostic in result.diagnostics:
+        print(str(diagnostic), file=sys.stderr)
+    print(narrate(result))
+    jsonl_path = args.jsonl or f"{result.design.name}.explog.jsonl"
+    result.explog.write(jsonl_path)
+    print(f"\nexploration JSONL written to {jsonl_path}", file=sys.stderr)
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(decision_tree_to_dot(result.mapping.tree))
+        print(f"decision-tree DOT written to {args.dot}", file=sys.stderr)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_exploration_html(result, title=args.file))
+        print(f"exploration report written to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.instrument.baseline import (
+        DEFAULT_REL_TOLERANCE,
+        check_baselines,
+    )
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else DEFAULT_REL_TOLERANCE
+    )
+    report = check_baselines(
+        args.baselines,
+        args.metrics,
+        rel_tolerance=tolerance,
+        update=args.update,
+        strict=args.strict,
+    )
+    print(report.describe())
+    return 0 if report.passed else 1
 
 
 def _cmd_spice(args: argparse.Namespace) -> int:
@@ -262,6 +316,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--trace-json", default=None, metavar="FILE",
                            help="write the last run's Chrome trace")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="replay the mapper's exploration: why this architecture, "
+        "why not the alternatives",
+    )
+    p_explain.add_argument("file", help="VASS file or bundled app name")
+    p_explain.add_argument("--entity", default=None)
+    p_explain.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="where to write the exploration JSONL "
+        "(default <design>.explog.jsonl)",
+    )
+    p_explain.add_argument("--dot", default=None, metavar="FILE",
+                           help="write the Figure-6 decision tree as DOT")
+    p_explain.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="write a self-contained HTML exploration report",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_bench = sub.add_parser(
+        "bench-check",
+        help="diff benchmark metrics JSON against committed baselines",
+    )
+    p_bench.add_argument("--baselines", default="benchmarks/baselines",
+                         metavar="DIR")
+    p_bench.add_argument("--metrics", default="benchmarks/out",
+                         metavar="DIR")
+    p_bench.add_argument("--tolerance", type=float, default=None,
+                         help="relative tolerance override (default 0.05)")
+    p_bench.add_argument("--update", action="store_true",
+                         help="re-pin the baselines from the current dumps")
+    p_bench.add_argument("--strict", action="store_true",
+                         help="fail when a baseline has no current dump")
+    p_bench.set_defaults(func=_cmd_bench_check)
 
     p_spice = sub.add_parser("spice", help="synthesize and print SPICE deck")
     p_spice.add_argument("file", help="VASS file or bundled app name")

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import CompileError
+from repro.instrument import active_explog
 from repro.vass import ast_nodes as ast
 from repro.compiler import symbolic
 from repro.compiler.expressions import ExprCompiler
@@ -266,12 +267,16 @@ class DaeCompiler:
         self,
         compiler: ExprCompiler,
         causalization: Optional[Causalization] = None,
+        chosen_index: Optional[int] = None,
+        n_alternatives: Optional[int] = None,
     ) -> Dict[str, Block]:
         """Emit the solver's blocks into ``compiler``'s graph.
 
         All names that the equations *read* (inputs, quantities computed
         by other constructs) must already be bound in ``compiler``.
         Returns the new bindings: one block per unknown and per state.
+        ``chosen_index``/``n_alternatives`` document which enumerated
+        causalization this is for the exploration log.
         """
         if causalization is None:
             candidates = self.enumerate_causalizations()
@@ -281,6 +286,22 @@ class DaeCompiler:
                     + "; ".join(str(eq) for eq in self.equations)
                 )
             causalization = candidates[0]
+            chosen_index = 0
+            n_alternatives = len(candidates)
+        explog = active_explog()
+        if explog is not None:
+            explog.emit(
+                "causalization",
+                sfg=compiler.sfg.name,
+                chosen_index=chosen_index,
+                n_alternatives=n_alternatives,
+                states=sorted(causalization.states),
+                order=list(causalization.order),
+                solutions={
+                    unknown: str(expr)
+                    for unknown, expr in causalization.solutions.items()
+                },
+            )
 
         produced: Dict[str, Block] = {}
         # 1. Integrators first: their outputs are the known states, and

@@ -322,7 +322,12 @@ class DesignCompiler:
                         "set"
                     )
                 index = min(self.options.solver_index, len(causalizations) - 1)
-                produced = dae.emit(self.compiler, causalizations[index])
+                produced = dae.emit(
+                    self.compiler,
+                    causalizations[index],
+                    chosen_index=index,
+                    n_alternatives=len(causalizations),
+                )
                 for name, block in produced.items():
                     self.bindings[name] = block
 

@@ -1,6 +1,10 @@
 """Analog performance estimation (substitute for [17] and [4])."""
 
-from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
+from repro.estimation.constraints import (
+    ConstraintSet,
+    ConstraintViolation,
+    PerformanceEstimate,
+)
 from repro.estimation.estimator import Estimator
 from repro.estimation.montecarlo import (
     MismatchTrial,
@@ -17,6 +21,7 @@ from repro.estimation.technology import MOSIS_SCN20, Technology
 
 __all__ = [
     "ConstraintSet",
+    "ConstraintViolation",
     "Estimator",
     "MismatchTrial",
     "YieldReport",

@@ -40,6 +40,23 @@ class PerformanceEstimate:
         )
 
 
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated constraint: a stable name plus a human message.
+
+    The ``name`` identifies *which* constraint failed (``sizing``,
+    ``max_area``, ``max_power``, ``min_ugf``, ``min_slew_rate``,
+    ``max_opamps``) so the mapper can tally failures per constraint
+    across an exploration; the ``message`` carries the values.
+    """
+
+    name: str
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
 @dataclass
 class ConstraintSet:
     """Limits a synthesized architecture must respect."""
@@ -61,43 +78,57 @@ class ConstraintSet:
     #: required slew rate derived from max signal amplitude * bandwidth
     signal_amplitude: float = 1.5
 
-    def check(self, estimate: PerformanceEstimate) -> List[str]:
-        """Constraint violations of ``estimate`` (empty when satisfied)."""
-        violations: List[str] = []
+    def check_detailed(
+        self, estimate: PerformanceEstimate
+    ) -> List[ConstraintViolation]:
+        """Named constraint violations (empty when satisfied)."""
+        violations: List[ConstraintViolation] = []
         if not estimate.feasible:
-            violations.append("infeasible op-amp sizing: " + "; ".join(
-                estimate.notes) if estimate.notes else "infeasible sizing")
+            violations.append(ConstraintViolation(
+                "sizing",
+                "infeasible op-amp sizing: " + "; ".join(estimate.notes)
+                if estimate.notes else "infeasible sizing",
+            ))
         if self.max_area is not None and estimate.area > self.max_area:
-            violations.append(
+            violations.append(ConstraintViolation(
+                "max_area",
                 f"area {estimate.area_um2:,.0f} um^2 exceeds "
-                f"{self.max_area * 1e12:,.0f} um^2"
-            )
+                f"{self.max_area * 1e12:,.0f} um^2",
+            ))
         if self.max_power is not None and estimate.power > self.max_power:
-            violations.append(
+            violations.append(ConstraintViolation(
+                "max_power",
                 f"power {estimate.power*1e3:.2f} mW exceeds "
-                f"{self.max_power*1e3:.2f} mW"
-            )
+                f"{self.max_power*1e3:.2f} mW",
+            ))
         if (
             self.min_ugf_hz is not None
             and estimate.min_ugf_hz < self.min_ugf_hz
         ):
-            violations.append(
+            violations.append(ConstraintViolation(
+                "min_ugf",
                 f"UGF {estimate.min_ugf_hz/1e6:.2f} MHz below "
-                f"{self.min_ugf_hz/1e6:.2f} MHz"
-            )
+                f"{self.min_ugf_hz/1e6:.2f} MHz",
+            ))
         if (
             self.min_slew_rate is not None
             and estimate.min_slew_rate < self.min_slew_rate
         ):
-            violations.append(
+            violations.append(ConstraintViolation(
+                "min_slew_rate",
                 f"slew rate {estimate.min_slew_rate/1e6:.2f} V/us below "
-                f"{self.min_slew_rate/1e6:.2f} V/us"
-            )
+                f"{self.min_slew_rate/1e6:.2f} V/us",
+            ))
         if self.max_opamps is not None and estimate.opamps > self.max_opamps:
-            violations.append(
-                f"{estimate.opamps} op amps exceed limit {self.max_opamps}"
-            )
+            violations.append(ConstraintViolation(
+                "max_opamps",
+                f"{estimate.opamps} op amps exceed limit {self.max_opamps}",
+            ))
         return violations
+
+    def check(self, estimate: PerformanceEstimate) -> List[str]:
+        """Constraint violations of ``estimate`` (empty when satisfied)."""
+        return [v.message for v in self.check_detailed(estimate)]
 
     def satisfied_by(self, estimate: PerformanceEstimate) -> bool:
         return not self.check(estimate)

@@ -10,13 +10,22 @@ tools price the result.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compiler import CompilerOptions, compile_design
-from repro.diagnostics import Diagnostic
+from repro.diagnostics import Diagnostic, Severity
 from repro.estimation import ConstraintSet, Estimator, PerformanceEstimate
-from repro.instrument import Tracer, active_tracer, trace_phase, tracing
+from repro.instrument import (
+    ExplorationLog,
+    Tracer,
+    active_explog,
+    active_tracer,
+    explogging,
+    trace_phase,
+    tracing,
+)
 from repro.library import ComponentLibrary, PatternMatcher, default_library
 from repro.synth import (
     InterfacingOptions,
@@ -59,6 +68,11 @@ class FlowOptions:
     #: When tracing is already active process-wide, spans always join
     #: the active tracer regardless of this knob.
     trace: bool = False
+    #: record the decision-level exploration log of this run; the
+    #: recorder lands on ``SynthesisResult.explog`` (``vase explain``
+    #: renders it).  When a recorder is already active process-wide,
+    #: events always join it regardless of this knob.
+    explog: bool = False
 
 
 @dataclass
@@ -74,6 +88,10 @@ class SynthesisResult:
     fsm_summaries: List[FsmRealizationSummary] = field(default_factory=list)
     #: span trace of this run (when tracing was enabled)
     trace: Optional[Tracer] = None
+    #: decision-level exploration log (when explog was enabled)
+    explog: Optional[ExplorationLog] = None
+    #: follower instances inserted by the interfacing transformations
+    interfacing_added: List[object] = field(default_factory=list)
 
     @property
     def summary(self) -> str:
@@ -82,8 +100,36 @@ class SynthesisResult:
 
     @property
     def diagnostics(self) -> List[Diagnostic]:
-        """Non-fatal problems collected across the flow stages."""
-        return list(self.mapping.diagnostics)
+        """Non-fatal problems collected across the flow stages.
+
+        One consolidated list: the mapper's own diagnostics (e.g.
+        node-budget truncation), a WARNING per FSM that fell back to
+        digital synthesis [8] (its area lives outside the analog
+        mapping), and a NOTE per follower the interfacing
+        transformations inserted.
+        """
+        diagnostics = list(self.mapping.diagnostics)
+        for summary in self.fsm_summaries:
+            if summary.mode == "analog":
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    f"FSM {summary.fsm!r} uses the digital fallback "
+                    f"({summary.describe()}); its standard-cell area "
+                    "is estimated, not synthesized by the analog flow",
+                )
+            )
+        for instance in self.interfacing_added:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.NOTE,
+                    f"interfacing: inserted {instance.spec.name} "
+                    f"{instance.name!r} buffering net "
+                    f"{instance.inputs[0]!r}",
+                )
+            )
+        return diagnostics
 
     def describe(self) -> str:
         stats = self.design.statistics()
@@ -114,6 +160,11 @@ class SynthesisResult:
         if search.truncated:
             search_line += " — TRUNCATED at node budget"
         lines.append(search_line)
+        if search.constraint_violations:
+            lines.append(
+                "  infeasible mappings killed by: "
+                f"{search.violation_summary()}"
+            )
         return "\n".join(lines)
 
     @property
@@ -172,20 +223,20 @@ def synthesize(
     options = options or FlowOptions()
     library = library or default_library()
 
-    # Honour the trace knob: start a tracer unless one is already
-    # active (in which case this run's spans nest under it).
+    # Honour the trace/explog knobs: start a recorder unless one is
+    # already active (in which case this run's records join it).
     tracer = active_tracer()
-    if options.trace and tracer is None:
-        with tracing() as tracer:
-            result = _synthesize_traced(
-                source, entity_name, library, options, architecture_name
-            )
-        result.trace = tracer
-        return result
-    result = _synthesize_traced(
-        source, entity_name, library, options, architecture_name
-    )
+    explog = active_explog()
+    with ExitStack() as stack:
+        if options.trace and tracer is None:
+            tracer = stack.enter_context(tracing())
+        if options.explog and explog is None:
+            explog = stack.enter_context(explogging())
+        result = _synthesize_traced(
+            source, entity_name, library, options, architecture_name
+        )
     result.trace = tracer
+    result.explog = explog
     return result
 
 
@@ -234,9 +285,13 @@ def _synthesize_traced(
             )
             span.annotate(**mapping.statistics.as_dict())
         netlist = mapping.netlist
+        interfacing_added: List[object] = []
         if options.interfacing is not None:
-            with trace_phase("interfacing"):
-                apply_interfacing(netlist, design, options.interfacing)
+            with trace_phase("interfacing") as span:
+                interfacing_added = apply_interfacing(
+                    netlist, design, options.interfacing
+                )
+                span.annotate(followers_added=len(interfacing_added))
         with trace_phase("estimate") as span:
             estimate = estimator.estimate(netlist)
             span.annotate(area=estimate.area, opamps=estimate.opamps)
@@ -247,4 +302,5 @@ def _synthesize_traced(
         mapping=mapping,
         realized_controls=realized,
         fsm_summaries=summarize_fsm_realizations(design, realized),
+        interfacing_added=interfacing_added,
     )

@@ -17,8 +17,37 @@ simulation); this package gives all of them one measurement layer:
   publish effort counters here.
 * :mod:`repro.instrument.profile` — repeat-run profiling of the whole
   flow, exposed as ``vase profile`` on the command line.
+* :mod:`repro.instrument.explog` — a decision-level exploration
+  recorder: while active, the branch-and-bound mapper streams one
+  structured event per decision (candidates, alloc/share, prune with
+  both bound values and the incumbent area, complete/infeasible with
+  the violated constraints) and the DAE compiler records the chosen
+  causalization.  Rendered by ``vase explain``
+  (:mod:`repro.instrument.explain`) as a narrative, a Figure-6 DOT
+  tree and a self-contained HTML exploration report.
+* :mod:`repro.instrument.baseline` — a metrics regression gate over
+  the benchmark metrics JSON dumps, exposed as ``vase bench-check``.
 """
 
+from repro.instrument.baseline import (
+    BenchCheckReport,
+    Regression,
+    check_baselines,
+    compare_metrics,
+    extract_metrics,
+)
+from repro.instrument.explain import (
+    events_summary,
+    narrate,
+    render_exploration_html,
+)
+from repro.instrument.explog import (
+    ExplorationLog,
+    active_explog,
+    disable_explog,
+    enable_explog,
+    explogging,
+)
 from repro.instrument.metrics import (
     Histogram,
     MetricsRegistry,
@@ -41,6 +70,19 @@ from repro.instrument.profile import (
 )
 
 __all__ = [
+    "BenchCheckReport",
+    "Regression",
+    "check_baselines",
+    "compare_metrics",
+    "extract_metrics",
+    "events_summary",
+    "narrate",
+    "render_exploration_html",
+    "ExplorationLog",
+    "active_explog",
+    "disable_explog",
+    "enable_explog",
+    "explogging",
     "Histogram",
     "MetricsRegistry",
     "metrics",

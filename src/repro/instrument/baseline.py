@@ -1,0 +1,262 @@
+"""Metrics regression gate over the benchmark JSON dumps.
+
+The benchmarks already dump machine-readable metrics JSON under
+``benchmarks/out/`` (payload + a snapshot of the process-wide metrics
+registry).  Until now nothing compared run N against run N-1; this
+module closes the loop: committed baseline files under
+``benchmarks/baselines/`` pin the *deterministic* metrics of each
+benchmark (search-effort counters, mapping statistics — never wall
+times), and ``vase bench-check`` diffs a fresh run against them with
+per-metric tolerances, exiting non-zero and naming the offending
+metric on any drift.
+
+Workflow::
+
+    pytest benchmarks/test_bench_table1.py -q   # produce benchmarks/out/
+    vase bench-check                            # gate against baselines
+    vase bench-check --update                   # re-pin after an
+                                                # intentional change
+
+Timing values are excluded by key pattern (``*_s``, ``*_ms``,
+``runtime*``, the per-phase timing lists), because the gate must be
+machine-independent; everything that survives extraction is expected
+to be deterministic, so the default relative tolerance is tight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: payload keys that never enter a baseline (machine-dependent timing)
+_TIMING_SUFFIXES = ("_s", "_ms", "_ns", "_seconds")
+_TIMING_KEYS = {"phases", "runtime", "time", "timestamp"}
+
+#: default relative tolerance; the gated metrics are deterministic in
+#: one environment but may shift slightly across Python versions
+DEFAULT_REL_TOLERANCE = 0.05
+
+
+def _is_timing_key(key: str) -> bool:
+    lowered = key.lower()
+    if lowered in _TIMING_KEYS:
+        return True
+    return any(lowered.endswith(suffix) for suffix in _TIMING_SUFFIXES)
+
+
+def _flatten(prefix: str, value: object, out: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        out[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            if _is_timing_key(str(key)):
+                continue
+            _flatten(f"{prefix}.{key}" if prefix else str(key), item, out)
+    # Strings and lists carry no gated metrics (phase lists are timing).
+
+
+def extract_metrics(document: Dict[str, object]) -> Dict[str, float]:
+    """The gate-able metrics of one benchmark dump, flattened.
+
+    Takes the counters and gauges of the registry snapshot, histogram
+    *counts* (their sums/means are timings), and every numeric scalar
+    of the benchmark payload — excluding timing-named keys throughout.
+    """
+    out: Dict[str, float] = {}
+    snapshot = document.get("metrics")
+    if isinstance(snapshot, dict):
+        for name, value in (snapshot.get("counters") or {}).items():
+            if not _is_timing_key(name.rsplit(".", 1)[-1]):
+                out[f"counters.{name}"] = float(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if not _is_timing_key(name.rsplit(".", 1)[-1]):
+                out[f"gauges.{name}"] = float(value)
+        for name, hist in (snapshot.get("histograms") or {}).items():
+            if isinstance(hist, dict) and "count" in hist:
+                out[f"histograms.{name}.count"] = float(hist["count"])
+    payload = document.get("payload")
+    if isinstance(payload, dict):
+        _flatten("payload", payload, out)
+    return out
+
+
+@dataclass
+class Regression:
+    """One out-of-tolerance metric."""
+
+    benchmark: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: float
+
+    def __str__(self) -> str:
+        if self.baseline is None:
+            return (
+                f"{self.benchmark}: no current metrics dump to compare "
+                "against (run the benchmarks first)"
+            )
+        if self.current is None:
+            return (
+                f"{self.benchmark}: metric {self.metric!r} missing from "
+                f"the current run (baseline {self.baseline:g})"
+            )
+        delta = self.current - self.baseline
+        rel = (
+            abs(delta) / abs(self.baseline) * 100.0
+            if self.baseline else float("inf")
+        )
+        return (
+            f"{self.benchmark}: metric {self.metric!r} drifted: "
+            f"baseline {self.baseline:g} -> current {self.current:g} "
+            f"({delta:+g}, {rel:.1f}% vs tolerance "
+            f"{self.tolerance * 100:.1f}%)"
+        )
+
+
+@dataclass
+class BenchCheckReport:
+    """Outcome of one ``vase bench-check`` run."""
+
+    checked: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    updated: List[str] = field(default_factory=list)
+    regressions: List[Regression] = field(default_factory=list)
+    metrics_compared: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for name in self.updated:
+            lines.append(f"updated baseline: {name}")
+        for name in self.skipped:
+            lines.append(f"skipped (no current metrics dump): {name}")
+        for regression in self.regressions:
+            lines.append(f"REGRESSION: {regression}")
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"bench-check {verdict}: {len(self.checked)} benchmark(s), "
+            f"{self.metrics_compared} metric(s) compared, "
+            f"{len(self.regressions)} regression(s)"
+            + (f", {len(self.skipped)} skipped" if self.skipped else "")
+        )
+        return "\n".join(lines)
+
+
+def compare_metrics(
+    benchmark: str,
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> Tuple[List[Regression], int]:
+    """Diff ``current`` against ``baseline``; returns (regressions, n).
+
+    A metric regresses when it is missing from the current run or when
+    ``|current - baseline| > tolerance * |baseline|`` (any change at
+    all for a zero baseline).  ``tolerances`` overrides the relative
+    tolerance per metric name.
+    """
+    regressions: List[Regression] = []
+    compared = 0
+    overrides = tolerances or {}
+    for metric, base_value in sorted(baseline.items()):
+        tolerance = float(overrides.get(metric, rel_tolerance))
+        if metric not in current:
+            regressions.append(
+                Regression(benchmark, metric, base_value, None, tolerance)
+            )
+            continue
+        compared += 1
+        cur_value = current[metric]
+        if abs(cur_value - base_value) > tolerance * abs(base_value):
+            regressions.append(
+                Regression(benchmark, metric, base_value, cur_value,
+                           tolerance)
+            )
+    return regressions, compared
+
+
+def _read_json(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_baselines(
+    baseline_dir: str,
+    metrics_dir: str,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+    update: bool = False,
+    strict: bool = False,
+) -> BenchCheckReport:
+    """Gate every committed baseline against the current metrics dumps.
+
+    With ``update``, the current values are written back as the new
+    baselines instead (creating files for benchmarks that have a dump
+    but no baseline yet).  With ``strict``, a baseline without a
+    current dump is a regression rather than a skip.
+    """
+    report = BenchCheckReport()
+    baselines = sorted(
+        f for f in (os.listdir(baseline_dir) if os.path.isdir(baseline_dir) else [])
+        if f.endswith(".json")
+    )
+    current_files = sorted(
+        f for f in (os.listdir(metrics_dir) if os.path.isdir(metrics_dir) else [])
+        if f.endswith(".json")
+    )
+
+    if update:
+        os.makedirs(baseline_dir, exist_ok=True)
+        for filename in current_files:
+            document = _read_json(os.path.join(metrics_dir, filename))
+            name = str(document.get("benchmark") or filename[:-5])
+            existing_tolerances: Dict[str, float] = {}
+            baseline_path = os.path.join(baseline_dir, filename)
+            if os.path.exists(baseline_path):
+                previous = _read_json(baseline_path)
+                existing_tolerances = dict(previous.get("tolerances") or {})
+            baseline_doc = {
+                "benchmark": name,
+                "metrics": extract_metrics(document),
+                "tolerances": existing_tolerances,
+            }
+            with open(baseline_path, "w", encoding="utf-8") as handle:
+                json.dump(baseline_doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            report.updated.append(filename)
+        return report
+
+    for filename in baselines:
+        baseline_doc = _read_json(os.path.join(baseline_dir, filename))
+        name = str(baseline_doc.get("benchmark") or filename[:-5])
+        current_path = os.path.join(metrics_dir, filename)
+        if not os.path.exists(current_path):
+            if strict:
+                report.regressions.append(
+                    Regression(name, "<metrics dump>", None, None, 0.0)
+                )
+            report.skipped.append(filename)
+            continue
+        current = extract_metrics(_read_json(current_path))
+        regressions, compared = compare_metrics(
+            name,
+            {k: float(v) for k, v in (baseline_doc.get("metrics") or {}).items()},
+            current,
+            rel_tolerance=rel_tolerance,
+            tolerances={
+                k: float(v)
+                for k, v in (baseline_doc.get("tolerances") or {}).items()
+            },
+        )
+        report.checked.append(filename)
+        report.metrics_compared += compared
+        report.regressions.extend(regressions)
+    return report

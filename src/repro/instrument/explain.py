@@ -1,0 +1,500 @@
+"""Rendering the exploration log: narrative and HTML report.
+
+``vase explain`` replays a :class:`~repro.instrument.explog.ExplorationLog`
+into a human-readable "why this architecture / why not the alternatives"
+story, and optionally into a self-contained HTML exploration report
+(no external assets): the search timeline from the PR-1 tracer, the
+prune-reason breakdown, and an area-vs-op-amp scatter of every complete
+mapping the search reached.
+
+Both renderers are pure functions of a finished
+:class:`~repro.flow.SynthesisResult` (duck-typed — this module imports
+nothing from the flow, so ``repro.instrument`` stays import-cycle
+free).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+# -- narrative ------------------------------------------------------------
+
+
+def narrate(result) -> str:
+    """The exploration log as a "why this architecture" narrative.
+
+    ``result`` is a :class:`~repro.flow.SynthesisResult` whose
+    ``explog`` was recorded (``FlowOptions(explog=True)``).
+    """
+    log = result.explog
+    if log is None or not len(log):
+        return (
+            "no exploration log was recorded for this run "
+            "(enable with FlowOptions(explog=True) or `vase explain`)"
+        )
+    stats = result.mapping.statistics
+    lines: List[str] = []
+
+    lines.append(f"## Why this architecture — {result.design.name}")
+    lines.append("")
+    lines.append(f"chosen mapping: {result.netlist.summary()}")
+    lines.append(f"estimate: {result.estimate.describe()}")
+    lines.append("")
+
+    # -- the causalization decision (one per DAE solver SFG) --------------
+    for event in log.of_kind("causalization"):
+        chosen = event.get("chosen_index")
+        total = event.get("n_alternatives")
+        lines.append(
+            f"causalization: solver {chosen} of {total} enumerated "
+            f"alternative(s) for SFG {event.get('sfg')!r}; states "
+            f"{event.get('states')}, evaluation order {event.get('order')}"
+        )
+    if log.of_kind("causalization"):
+        lines.append("")
+
+    # -- the sequencing order actually used --------------------------------
+    first_candidates = log.of_kind("candidates")[:1]
+    for event in first_candidates:
+        order = event.get("order") or []
+        shown = ", ".join(
+            f"{c['component']} (cone {c['cone']}, {c['opamps']} op amps)"
+            for c in order[:4]
+        )
+        if len(order) > 4:
+            shown += f", ... (+{len(order) - 4} more)"
+        lines.append(
+            f"sequencing ({event.get('sequencing')}): first frontier "
+            f"block {event.get('root_name')!r} offered {len(order)} "
+            f"candidate cone(s), tried in order: {shown}"
+        )
+        lines.append("")
+
+    # -- the solution trail ------------------------------------------------
+    completes = log.of_kind("complete")
+    lines.append(
+        f"search: {stats.nodes_visited} decision nodes visited, "
+        f"{stats.complete_mappings} complete mapping(s) reached "
+        f"({stats.feasible_mappings} feasible)"
+    )
+    for event in completes:
+        area_um2 = float(event["area"]) * 1e12
+        if event.get("feasible"):
+            tag = "NEW BEST" if event.get("new_best") else "not better"
+            lines.append(
+                f"  - complete with {event['opamps']} op amps, "
+                f"area {area_um2:,.0f} um^2 — feasible ({tag})"
+            )
+        else:
+            names = ", ".join(event.get("violations") or [])
+            lines.append(
+                f"  - complete with {event['opamps']} op amps, "
+                f"area {area_um2:,.0f} um^2 — INFEASIBLE "
+                f"(violates: {names})"
+            )
+    lines.append("")
+
+    # -- why not the others: the bounding rule -----------------------------
+    breakdown = log.prune_breakdown()
+    if stats.nodes_pruned:
+        parts = []
+        if breakdown.get("minarea"):
+            parts.append(
+                f"{breakdown['minarea']} by the paper's "
+                "op-amp-count x MinArea bound"
+            )
+        if breakdown.get("exact"):
+            parts.append(
+                f"{breakdown['exact']} by the exact accumulated area"
+            )
+        if breakdown.get("tie"):
+            parts.append(f"{breakdown['tie']} with both bounds equal")
+        lines.append(
+            f"why not the alternatives: {stats.nodes_pruned} partial "
+            f"mapping(s) pruned ({', '.join(parts)}) — each one's lower "
+            "bound already matched or exceeded the incumbent area"
+        )
+    else:
+        lines.append(
+            "why not the alternatives: nothing was pruned — every "
+            "branch was explored to an outcome"
+        )
+    dead_ends = log.of_kind("dead_end")
+    if dead_ends:
+        lines.append(
+            f"dead ends: {len(dead_ends)} frontier state(s) had no "
+            "library cone covering the current block"
+        )
+    if stats.constraint_violations:
+        lines.append(
+            "constraints that killed complete mappings: "
+            + stats.violation_summary()
+        )
+    if stats.truncated:
+        lines.append(
+            "WARNING: the search was truncated at the node budget; "
+            "the chosen mapping is the best found, not proven optimal"
+        )
+    shares = log.of_kind("share")
+    if shares:
+        lines.append(
+            f"hardware sharing: {len(shares)} branch(es) reused an "
+            "existing identical component instead of allocating"
+        )
+    lines.append("")
+    lines.append(
+        f"runtime: {stats.runtime_s * 1e3:.1f} ms over "
+        f"{len(log)} recorded decision event(s)"
+    )
+    return "\n".join(lines)
+
+
+# -- HTML report ----------------------------------------------------------
+
+# Palette roles (validated default palette; status colors carry state,
+# sequential blue carries magnitude, text wears ink tokens only).
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #e3e2de;
+  --seq: #2a78d6;
+  --status-good: #008300; --status-serious: #e34948;
+  --status-warn: #eb6834; --neutral: #a8a79e;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--surface-1); color: var(--text-primary);
+  margin: 0 auto; max-width: 960px; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --surface-2: #262625;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #383835;
+    --seq: #3987e5;
+    --status-good: #1baf7a; --status-serious: #e66767;
+    --status-warn: #d95926; --neutral: #75746c;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 20px; }
+.viz-root .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.viz-root .tile {
+  background: var(--surface-2); border-radius: 8px; padding: 10px 14px;
+  min-width: 110px;
+}
+.viz-root .tile .v { font-size: 22px; font-weight: 600; }
+.viz-root .tile .k { font-size: 11px; color: var(--text-secondary);
+  text-transform: uppercase; letter-spacing: 0.04em; }
+.viz-root svg { display: block; }
+.viz-root svg text { font-family: inherit; }
+.viz-root table { border-collapse: collapse; font-size: 12px; margin: 8px 0 0; }
+.viz-root th, .viz-root td {
+  text-align: left; padding: 3px 10px 3px 0;
+  border-bottom: 1px solid var(--grid); }
+.viz-root th { color: var(--text-secondary); font-weight: 500; }
+.viz-root details { margin-top: 6px; font-size: 12px; }
+.viz-root details summary { color: var(--text-secondary); cursor: pointer; }
+.viz-root .legend { font-size: 12px; color: var(--text-secondary);
+  display: flex; gap: 16px; margin: 4px 0 8px; }
+.viz-root .legend .swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.viz-root .warn { color: var(--status-warn); font-size: 13px; }
+"""
+
+
+def _svg_text(x: float, y: float, text: str, *, size: int = 11,
+              anchor: str = "start", muted: bool = False) -> str:
+    fill = "var(--text-secondary)" if muted else "var(--text-primary)"
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'text-anchor="{anchor}" fill="{fill}">{html.escape(text)}</text>'
+    )
+
+
+def _timeline_svg(spans: Sequence[Tuple[int, str, float, float]],
+                  total_s: float) -> str:
+    """Horizontal span bars: (depth, name, start_s, duration_s) rows."""
+    left, right, row_h = 190, 70, 22
+    width = 900
+    plot_w = width - left - right
+    height = len(spans) * row_h + 30
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        'aria-label="search timeline, one bar per flow phase">'
+    ]
+    scale = plot_w / total_s if total_s > 0 else 0.0
+    # Recessive grid: quarter marks of the total runtime.
+    for i in range(5):
+        gx = left + plot_w * i / 4
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="8" x2="{gx:.1f}" '
+            f'y2="{height - 22}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(_svg_text(
+            gx, height - 8, f"{total_s * 1e3 * i / 4:.1f} ms",
+            size=10, anchor="middle", muted=True,
+        ))
+    for row, (depth, name, start_s, dur_s) in enumerate(spans):
+        y = 12 + row * row_h
+        x = left + start_s * scale
+        w = max(dur_s * scale, 1.5)
+        label = (" " * depth) + name
+        parts.append(_svg_text(4, y + 10, label, muted=depth > 0))
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="12" '
+            f'rx="2" fill="var(--seq)" opacity="{1.0 - 0.14 * min(depth, 3):.2f}">'
+            f"<title>{html.escape(name)}: {dur_s * 1e3:.3f} ms</title></rect>"
+        )
+        parts.append(_svg_text(
+            min(x + w + 6, width - 4), y + 10, f"{dur_s * 1e3:.2f} ms",
+            size=10, muted=True,
+        ))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _prune_bars_svg(breakdown: Dict[str, int]) -> str:
+    """Horizontal bars: prune counts per decisive bound."""
+    labels = {
+        "minarea": "op-amp count x MinArea (paper's rule)",
+        "exact": "exact accumulated area",
+        "tie": "both bounds equal",
+    }
+    rows = [(labels[k], breakdown.get(k, 0)) for k in ("minarea", "exact", "tie")]
+    top = max((count for _l, count in rows), default=0)
+    left, right, row_h, width = 260, 70, 26, 900
+    plot_w = width - left - right
+    height = len(rows) * row_h + 10
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        'aria-label="prune counts by decisive bound">'
+    ]
+    for row, (label, count) in enumerate(rows):
+        y = 6 + row * row_h
+        w = (plot_w * count / top) if top else 0.0
+        parts.append(_svg_text(4, y + 11, label))
+        parts.append(
+            f'<rect x="{left}" y="{y}" width="{max(w, 1.5):.1f}" height="14" '
+            f'rx="2" fill="var(--status-warn)">'
+            f"<title>{html.escape(label)}: {count} prunes</title></rect>"
+        )
+        parts.append(_svg_text(left + max(w, 1.5) + 6, y + 11, str(count),
+                               size=10, muted=True))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _scatter_svg(points: Sequence[Dict[str, object]]) -> str:
+    """Area vs. op-amp scatter of every complete mapping."""
+    left, right, top, bottom = 70, 20, 14, 40
+    width, height = 900, 280
+    plot_w, plot_h = width - left - right, height - top - bottom
+    xs = [int(p["opamps"]) for p in points]
+    ys = [float(p["area"]) * 1e12 for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_min, x_max = x_min - 1, x_max + 1
+    if y_max == y_min:
+        y_min, y_max = y_min * 0.9, y_max * 1.1 or 1.0
+
+    def sx(v: float) -> float:
+        return left + plot_w * (v - x_min) / (x_max - x_min)
+
+    def sy(v: float) -> float:
+        return top + plot_h * (1 - (v - y_min) / (y_max - y_min))
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        'aria-label="area versus op-amp count of all complete mappings">'
+    ]
+    for i in range(5):
+        gy = top + plot_h * i / 4
+        value = y_max - (y_max - y_min) * i / 4
+        parts.append(
+            f'<line x1="{left}" y1="{gy:.1f}" x2="{width - right}" '
+            f'y2="{gy:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(_svg_text(left - 8, gy + 3, f"{value:,.0f}",
+                               size=10, anchor="end", muted=True))
+    for tick in sorted(set(xs)):
+        tx = sx(tick)
+        parts.append(_svg_text(tx, height - 22, str(tick),
+                               size=10, anchor="middle", muted=True))
+    parts.append(_svg_text(left - 8, 10, "area [um^2]", size=10,
+                           anchor="end", muted=True))
+    parts.append(_svg_text((left + width - right) / 2, height - 6,
+                           "op amps in the mapping", size=10,
+                           anchor="middle", muted=True))
+    for p in points:
+        cx, cy = sx(int(p["opamps"])), sy(float(p["area"]) * 1e12)
+        feasible = bool(p.get("feasible"))
+        fill = "var(--status-good)" if feasible else "var(--status-serious)"
+        tip = (
+            f"{p['opamps']} op amps, {float(p['area']) * 1e12:,.0f} um^2 — "
+            + ("feasible" if feasible else
+               "infeasible: " + ", ".join(p.get("violations") or []))
+        )
+        # 2px surface ring keeps overlapping markers separable; the
+        # infeasible series carries a cross as its non-color encoding.
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="6" fill="{fill}" '
+            f'stroke="var(--surface-1)" stroke-width="2">'
+            f"<title>{html.escape(tip)}</title></circle>"
+        )
+        if not feasible:
+            parts.append(
+                f'<path d="M{cx - 2.6:.1f} {cy - 2.6:.1f} l5.2 5.2 '
+                f'm0 -5.2 l-5.2 5.2" stroke="var(--surface-1)" '
+                'stroke-width="1.4" fill="none"/>'
+            )
+        if p.get("new_best"):
+            parts.append(_svg_text(cx + 10, cy + 4,
+                                   f"{float(p['area']) * 1e12:,.0f}",
+                                   size=10, muted=True))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_exploration_html(result, title: Optional[str] = None) -> str:
+    """A self-contained HTML exploration report for one synthesis run.
+
+    Needs ``result.explog`` (the decision events) and uses
+    ``result.trace`` for the search timeline when available.
+    """
+    log = result.explog
+    stats = result.mapping.statistics
+    name = title or result.design.name
+    doc: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>exploration report — {html.escape(name)}</title>",
+        f"<style>{_CSS}</style></head>",
+        '<body class="viz-root">',
+        f"<h1>Exploration report — {html.escape(name)}</h1>",
+        f'<p class="sub">chosen mapping: '
+        f"{html.escape(result.netlist.summary())} &middot; "
+        f"{html.escape(result.estimate.describe())}</p>",
+    ]
+
+    tiles = [
+        (f"{stats.nodes_visited:,}", "nodes visited"),
+        (f"{stats.nodes_pruned:,}", "pruned"),
+        (f"{stats.complete_mappings}", "complete"),
+        (f"{stats.feasible_mappings}", "feasible"),
+        (f"{result.estimate.area_um2:,.0f}", "best area [um2]"),
+        (f"{stats.runtime_s * 1e3:.1f}", "runtime [ms]"),
+    ]
+    doc.append('<div class="tiles">')
+    for value, key in tiles:
+        doc.append(
+            f'<div class="tile"><div class="v">{value}</div>'
+            f'<div class="k">{key}</div></div>'
+        )
+    doc.append("</div>")
+    if stats.truncated:
+        doc.append(
+            '<p class="warn">search truncated at the node budget — '
+            "the mapping is best-found, not proven optimal</p>"
+        )
+
+    # -- search timeline (PR-1 tracer spans) -------------------------------
+    if result.trace is not None and result.trace.roots:
+        spans: List[Tuple[int, str, float, float]] = []
+        t0 = min(s.start_s for s in result.trace.roots)
+
+        def walk(span, depth: int) -> None:
+            spans.append((depth, span.name, span.start_s - t0,
+                          span.duration_s))
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in result.trace.roots:
+            walk(root, 0)
+        total = max(s.start_s - t0 + s.duration_s
+                    for s in result.trace.roots)
+        doc.append("<h2>Search timeline</h2>")
+        doc.append(_timeline_svg(spans, total))
+
+    # -- prune-reason breakdown --------------------------------------------
+    doc.append("<h2>Prune-reason breakdown</h2>")
+    if log is not None and stats.nodes_pruned:
+        breakdown = log.prune_breakdown()
+        doc.append(_prune_bars_svg(breakdown))
+        doc.append(
+            '<details><summary>data table</summary><table>'
+            "<tr><th>decisive bound</th><th>prunes</th></tr>"
+            + "".join(
+                f"<tr><td>{k}</td><td>{v}</td></tr>"
+                for k, v in sorted(breakdown.items())
+            )
+            + "</table></details>"
+        )
+    else:
+        doc.append(
+            '<p class="sub">nothing was pruned in this run</p>'
+        )
+
+    # -- area-vs-op-amp scatter --------------------------------------------
+    doc.append("<h2>Complete mappings — area vs. op amps</h2>")
+    completes = log.of_kind("complete") if log is not None else []
+    if completes:
+        doc.append(
+            '<div class="legend">'
+            '<span><span class="swatch" '
+            'style="background:var(--status-good)"></span>feasible</span>'
+            '<span><span class="swatch" '
+            'style="background:var(--status-serious)"></span>'
+            "infeasible (crossed)</span></div>"
+        )
+        doc.append(_scatter_svg(completes))
+        rows = "".join(
+            "<tr><td>{}</td><td>{:,.0f}</td><td>{}</td><td>{}</td></tr>".format(
+                e["opamps"], float(e["area"]) * 1e12,
+                "feasible" if e.get("feasible") else "infeasible",
+                html.escape(", ".join(e.get("violations") or []) or "-"),
+            )
+            for e in completes
+        )
+        doc.append(
+            '<details><summary>data table</summary><table>'
+            "<tr><th>op amps</th><th>area [um2]</th><th>status</th>"
+            "<th>violated constraints</th></tr>" + rows
+            + "</table></details>"
+        )
+    else:
+        doc.append('<p class="sub">no complete mappings recorded</p>')
+
+    # -- narrative ---------------------------------------------------------
+    doc.append("<h2>Narrative</h2>")
+    doc.append(
+        "<pre style=\"font-size:12px; white-space:pre-wrap\">"
+        + html.escape(narrate(result)) + "</pre>"
+    )
+    if log is not None:
+        doc.append(
+            f'<p class="sub">{len(log)} exploration events; '
+            "prune/complete events carry bounds and violations "
+            "(see the JSONL log)</p>"
+        )
+    doc.append("</body></html>")
+    return "\n".join(doc)
+
+
+def events_summary(log) -> Dict[str, int]:
+    """Event counts by kind (for quick CLI sanity output)."""
+    counts: Dict[str, int] = {}
+    for event in log:
+        kind = str(event["event"])
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+__all__ = ["narrate", "render_exploration_html", "events_summary"]

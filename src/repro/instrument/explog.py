@@ -1,0 +1,194 @@
+"""Decision-level exploration recorder for the synthesis search.
+
+PR 1 gave the flow phase-level spans and counters; this module records
+*why* the Figure-5 branch-and-bound search did what it did.  While a
+recorder is active, the mapper streams one structured event per
+decision — candidate enumeration (with the sequencing order actually
+used), allocate vs. share branches, prune events carrying both bound
+values and the incumbent area they lost to, complete/infeasible
+outcomes with the concrete constraint violations, truncation — and the
+DAE compiler records which causalization alternative each solver SFG
+uses.  The log renders as JSON Lines (one event per line) and is the
+input of ``vase explain``.
+
+The activation pattern mirrors the tracer: hot call sites capture
+``active_explog()`` once per run and guard every emit with an
+``is None`` test, so the disabled path costs one global load at search
+start and nothing per decision — no events, no allocations.
+
+Event vocabulary (the ``event`` field):
+
+``search_start``
+    one per mapper run: SFG name, search options, ``min_area``.
+``candidates``
+    one per visited frontier block: the root block and the candidate
+    cones in the order the sequencing rule will try them.
+``alloc`` / ``share``
+    one branch taken: the component (or reused instance), the covered
+    cone, and the op-amp count after the branch.
+``prune``
+    a partial mapping abandoned by the bounding rule; carries
+    ``minarea_bound``, ``exact_bound``, the effective ``lower_bound``
+    and the ``incumbent_area`` it lost to.
+``complete``
+    a complete mapping reached the estimator; carries the estimated
+    area/power/op-amps, ``feasible``, and — when infeasible — the
+    violated constraint names and messages.
+``dead_end``
+    a frontier block with no candidate cones (or an uncovered
+    fragment).
+``truncated``
+    the ``max_nodes`` budget stopped the search.
+``search_end``
+    one per mapper run: the final :class:`MappingStatistics` dict.
+``causalization``
+    one per DAE solver emission: how many alternatives were
+    enumerated, which one was chosen, its states and evaluation order.
+
+Every event also carries ``seq`` (a process-wide monotonically
+increasing sequence number) and, when the mapper collects the
+Figure-6 tree, the decision-tree ``node``/``parent`` ids, so the JSONL
+replays into the same structure ``vase explain --dot`` renders.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterator, List, Optional
+
+
+class ExplorationLog:
+    """Collects exploration events; optionally streams them as JSONL.
+
+    Events are plain dicts (JSON-ready).  With a ``stream``, each event
+    is additionally written as one JSON line the moment it is emitted,
+    so a crashed or truncated search still leaves a usable log.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.events: List[Dict[str, object]] = []
+        self._stream = stream
+        self._seq = 0
+
+    # -- publishing (hot path while enabled) -------------------------------
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        """Record one event; returns the stored dict."""
+        record: Dict[str, object] = {"seq": self._seq, "event": event}
+        self._seq += 1
+        record.update(fields)
+        self.events.append(record)
+        if self._stream is not None:
+            self._stream.write(json.dumps(record, default=str) + "\n")
+        return record
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.events)
+
+    def of_kind(self, event: str) -> List[Dict[str, object]]:
+        """All events with the given ``event`` kind, in emission order."""
+        return [e for e in self.events if e["event"] == event]
+
+    def prune_breakdown(self) -> Dict[str, int]:
+        """Prune counts keyed by the bound that was decisive.
+
+        ``minarea`` — the paper's op-amp-count bound was the tighter
+        one; ``exact`` — the accumulated exact area was; ``tie`` —
+        both bounds agree.
+        """
+        breakdown: Dict[str, int] = {}
+        for event in self.of_kind("prune"):
+            minarea = float(event["minarea_bound"])  # type: ignore[arg-type]
+            exact = float(event["exact_bound"])  # type: ignore[arg-type]
+            if minarea > exact:
+                key = "minarea"
+            elif exact > minarea:
+                key = "exact"
+            else:
+                key = "tie"
+            breakdown[key] = breakdown.get(key, 0) + 1
+        return breakdown
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The whole log as JSON Lines text."""
+        return "\n".join(
+            json.dumps(event, default=str) for event in self.events
+        ) + ("\n" if self.events else "")
+
+    def write(self, path: str) -> None:
+        """Write the log as a ``.jsonl`` file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def read(cls, path: str) -> "ExplorationLog":
+        """Load a previously written JSONL log."""
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    log.events.append(json.loads(line))
+        log._seq = len(log.events)
+        return log
+
+
+# -- the process-wide active recorder -------------------------------------
+
+_ACTIVE: Optional[ExplorationLog] = None
+
+
+def active_explog() -> Optional[ExplorationLog]:
+    """The active recorder, or ``None`` while exploration logging is off.
+
+    Hot call sites capture this once per run and guard each emit with
+    an ``is None`` test — the whole disabled cost.
+    """
+    return _ACTIVE
+
+
+def enable_explog(log: Optional[ExplorationLog] = None) -> ExplorationLog:
+    """Install ``log`` (or a fresh one) as the active recorder."""
+    global _ACTIVE
+    # ``is None``, not truthiness: an empty log is falsy via __len__.
+    _ACTIVE = log if log is not None else ExplorationLog()
+    return _ACTIVE
+
+
+def disable_explog() -> Optional[ExplorationLog]:
+    """Deactivate exploration logging; returns the recorder that was on."""
+    global _ACTIVE
+    log = _ACTIVE
+    _ACTIVE = None
+    return log
+
+
+class explogging:
+    """Context manager: activate a recorder, restoring the previous one.
+
+    >>> with explogging() as log:
+    ...     map_sfg(sfg)
+    >>> log.of_kind("prune")
+    """
+
+    def __init__(self, log: Optional[ExplorationLog] = None):
+        self._log = log if log is not None else ExplorationLog()
+        self._previous: Optional[ExplorationLog] = None
+
+    def __enter__(self) -> ExplorationLog:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._log
+        return self._log
+
+    def __exit__(self, *exc) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False

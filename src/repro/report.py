@@ -115,6 +115,11 @@ def generate_report(
         f"- complete mappings: {search.complete_mappings} "
         f"({search.feasible_mappings} feasible)"
     )
+    if search.constraint_violations:
+        lines.append(
+            "- infeasible mappings killed by: "
+            f"{search.violation_summary()}"
+        )
     lines.append(f"- sharing branches taken: {search.shared_branches}")
     lines.append(f"- runtime: {search.runtime_s * 1e3:.2f} ms")
     if search.truncated:

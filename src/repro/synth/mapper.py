@@ -33,7 +33,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 from repro.diagnostics import Diagnostic, Severity, SynthesisError
 from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
 from repro.estimation.estimator import Estimator
-from repro.instrument import metrics, trace_phase
+from repro.instrument import active_explog, metrics, trace_phase
 from repro.library.components import ComponentLibrary, default_library
 from repro.library.patterns import PatternMatch, PatternMatcher
 from repro.synth.netlist import ComponentInstance, Netlist
@@ -76,9 +76,15 @@ class DecisionNode:
     decision: str
     opamps: int
     status: str = "open"  # open / pruned / complete / infeasible / dead-end
+    #: outcome facts: estimated area for complete nodes, violated
+    #: constraint names for infeasible ones, bounds for pruned ones
+    detail: str = ""
 
     def __str__(self) -> str:
-        return f"[{self.node_id}] {self.decision} ({self.opamps} op amps, {self.status})"
+        text = f"[{self.node_id}] {self.decision} ({self.opamps} op amps, {self.status})"
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
 
 
 @dataclass
@@ -94,6 +100,20 @@ class MappingStatistics:
     #: the search stopped at ``max_nodes`` before exhausting the tree,
     #: so the reported mapping is best-found, not proven optimal
     truncated: bool = False
+    #: how often each named constraint killed a complete mapping
+    #: (``sizing``, ``max_area``, ``min_ugf``, ...)
+    constraint_violations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def infeasible_mappings(self) -> int:
+        return self.complete_mappings - self.feasible_mappings
+
+    def violation_summary(self) -> str:
+        """``"min_ugf x3, max_opamps x1"`` — empty when nothing failed."""
+        return ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(self.constraint_violations.items())
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -104,6 +124,9 @@ class MappingStatistics:
             "shared_branches": self.shared_branches,
             "runtime_s": self.runtime_s,
             "truncated": self.truncated,
+            "constraint_violations": dict(
+                sorted(self.constraint_violations.items())
+            ),
         }
 
 
@@ -164,6 +187,9 @@ class ArchitectureMapper:
         self._tree: List[DecisionNode] = []
         self._solutions: List[int] = []
         self._abort = False
+        #: the exploration recorder, captured once per run; ``None``
+        #: keeps every decision site on the zero-allocation fast path
+        self._explog = None
 
     # -- net aliasing (hardware sharing) ----------------------------------------
 
@@ -262,9 +288,13 @@ class ArchitectureMapper:
         self._tree.append(node)
         return node.node_id
 
-    def _set_status(self, node_id: Optional[int], status: str) -> None:
+    def _set_status(
+        self, node_id: Optional[int], status: str, detail: str = ""
+    ) -> None:
         if node_id is not None:
             self._tree[node_id].status = status
+            if detail:
+                self._tree[node_id].detail = detail
 
     # -- completion ----------------------------------------------------------------------------
 
@@ -305,18 +335,50 @@ class ArchitectureMapper:
         if uncovered:
             # A disconnected fragment escaped the frontier walk.
             self._set_status(node_id, "dead-end")
+            if self._explog is not None:
+                self._explog.emit(
+                    "dead_end", node=node_id,
+                    reason="uncovered fragment",
+                    uncovered=sorted(uncovered),
+                )
             return
         self._stats.complete_mappings += 1
         self._solutions.append(opamp_nr)
         netlist = self._current_netlist()
         estimate = self.estimator.estimate(netlist)
-        violations = self.estimator.constraints.check(estimate)
+        violations = self.estimator.constraints.check_detailed(estimate)
         if violations:
-            self._set_status(node_id, "infeasible")
+            # An infeasible complete mapping: tally *which* constraints
+            # killed it, so the search outcome can name its blockers.
+            names = [v.name for v in violations]
+            for name in names:
+                self._stats.constraint_violations[name] = (
+                    self._stats.constraint_violations.get(name, 0) + 1
+                )
+            self._set_status(node_id, "infeasible", ", ".join(names))
+            if self._explog is not None:
+                self._explog.emit(
+                    "complete", node=node_id, opamps=opamp_nr,
+                    area=estimate.area, power=estimate.power,
+                    feasible=False, violations=names,
+                    violation_messages=[v.message for v in violations],
+                )
             return
         self._stats.feasible_mappings += 1
-        self._set_status(node_id, "complete")
-        if self._best_estimate is None or estimate.area < self._best_estimate.area:
+        self._set_status(
+            node_id, "complete", f"area {estimate.area_um2:,.0f} um^2"
+        )
+        is_new_best = (
+            self._best_estimate is None
+            or estimate.area < self._best_estimate.area
+        )
+        if self._explog is not None:
+            self._explog.emit(
+                "complete", node=node_id, opamps=opamp_nr,
+                area=estimate.area, power=estimate.power,
+                feasible=True, new_best=is_new_best,
+            )
+        if is_new_best:
             self._best_estimate = estimate
             self._best_netlist = netlist
         if self.options.first_solution_only:
@@ -335,6 +397,11 @@ class ArchitectureMapper:
         if self._stats.nodes_visited >= self.options.max_nodes:
             self._stats.truncated = True
             self._abort = True
+            if self._explog is not None:
+                self._explog.emit(
+                    "truncated", node=parent_node,
+                    max_nodes=self.options.max_nodes,
+                )
             return
         if not pending:
             self._complete(parent_node, opamp_nr)
@@ -343,8 +410,29 @@ class ArchitectureMapper:
         # signal...)": depth-first on a deterministic representative.
         cur_block = self.sfg.block(max(pending))
         candidates = self._ordered_candidates(cur_block)
+        if self._explog is not None:
+            self._explog.emit(
+                "candidates", node=parent_node,
+                root=cur_block.block_id, root_name=cur_block.name,
+                sequencing=self.options.sequencing,
+                order=[
+                    {
+                        "component": c.component,
+                        "cone": sorted(c.cone),
+                        "opamps": c.opamps,
+                        "transform": c.transform,
+                    }
+                    for c in candidates
+                ],
+            )
         if not candidates:
             self._set_status(parent_node, "dead-end")
+            if self._explog is not None:
+                self._explog.emit(
+                    "dead_end", node=parent_node,
+                    reason="no candidate cones",
+                    root=cur_block.block_id, root_name=cur_block.name,
+                )
             return
 
         for match in candidates:
@@ -374,18 +462,42 @@ class ArchitectureMapper:
                 and lower_bound >= self._best_estimate.area
             ):
                 self._stats.nodes_pruned += 1
+                incumbent = self._best_estimate.area
                 node = self._trace(
                     parent_node,
                     f"alloc {match.component} for {sorted(match.cone)}",
                     opamp_nr + match.opamps,
                 )
-                self._set_status(node, "pruned")
+                self._set_status(
+                    node, "pruned",
+                    f"bound {lower_bound * 1e12:,.0f} >= "
+                    f"incumbent {incumbent * 1e12:,.0f} um^2",
+                )
+                if self._explog is not None:
+                    self._explog.emit(
+                        "prune", node=node, parent=parent_node,
+                        component=match.component,
+                        cone=sorted(match.cone),
+                        opamps=opamp_nr + match.opamps,
+                        minarea_bound=minarea_bound,
+                        exact_bound=exact_bound,
+                        lower_bound=lower_bound,
+                        incumbent_area=incumbent,
+                    )
                 continue
             node = self._trace(
                 parent_node,
                 f"alloc {match.component} for {sorted(match.cone)}",
                 opamp_nr + match.opamps,
             )
+            if self._explog is not None:
+                self._explog.emit(
+                    "alloc", node=node, parent=parent_node,
+                    component=match.component, cone=sorted(match.cone),
+                    opamps=opamp_nr + match.opamps,
+                    transform=match.transform,
+                    instance_area=instance_area,
+                )
             instance = ComponentInstance(
                 name=f"U{len(self._instances) + 1}",
                 spec=self.library.get(match.component),
@@ -459,6 +571,13 @@ class ArchitectureMapper:
                 f"share {instance.name} for {sorted(match.cone)}",
                 opamp_nr,
             )
+            if self._explog is not None:
+                self._explog.emit(
+                    "share", node=node, parent=parent_node,
+                    instance=instance.name,
+                    component=match.component,
+                    cone=sorted(match.cone), opamps=opamp_nr,
+                )
             self._alias[match.root_id] = instance.output  # type: ignore[assignment]
             instance.covers.extend(sorted(match.cone))
             self._covered |= match.cone
@@ -483,6 +602,8 @@ class ArchitectureMapper:
         registry.inc("mapper.shared_branches", stats.shared_branches)
         registry.inc("mapper.complete_mappings", stats.complete_mappings)
         registry.inc("mapper.feasible_mappings", stats.feasible_mappings)
+        for name, count in stats.constraint_violations.items():
+            registry.inc(f"mapper.violations.{name}", count)
         if stats.truncated:
             registry.inc("mapper.truncations")
         registry.observe("mapper.runtime_s", stats.runtime_s)
@@ -490,11 +611,31 @@ class ArchitectureMapper:
     def run(self) -> MappingResult:
         """Search for the minimum-area feasible mapping."""
         start = time.perf_counter()
+        self._explog = active_explog()
+        if self._explog is not None:
+            self._explog.emit(
+                "search_start", sfg=self.sfg.name,
+                min_area=self.min_area,
+                bounding_mode=self.options.bounding_mode,
+                sequencing=self.options.sequencing,
+                enable_bounding=self.options.enable_bounding,
+                enable_sharing=self.options.enable_sharing,
+                enable_transforms=self.options.enable_transforms,
+                max_nodes=self.options.max_nodes,
+            )
         with trace_phase("mapper.search", sfg=self.sfg.name) as span:
             root_node = self._trace(None, "root", 0)
             self._map(self._initial_pending(), 0, root_node)
             self._stats.runtime_s = time.perf_counter() - start
             span.annotate(**self._stats.as_dict())
+        if self._explog is not None:
+            self._explog.emit(
+                "search_end", sfg=self.sfg.name,
+                best_area=(
+                    self._best_estimate.area if self._best_estimate else None
+                ),
+                **self._stats.as_dict(),
+            )
         self._publish_metrics()
         if self._best_netlist is None or self._best_estimate is None:
             reason = (
@@ -502,6 +643,9 @@ class ArchitectureMapper:
                 if self._stats.truncated
                 else "no feasible complete mapping"
             )
+            blockers = self._stats.violation_summary()
+            if blockers:
+                reason += f"; violated constraints: {blockers}"
             raise SynthesisError(
                 f"architecture synthesis failed for {self.sfg.name!r}: "
                 f"{reason} ({self._stats.complete_mappings} complete, "

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.vhif.design import VhifDesign
 from repro.vhif.fsm import Fsm, START_STATE
 from repro.vhif.sfg import SignalFlowGraph
+
+#: fill colors of the Figure-6 decision-tree statuses
+_STATUS_COLORS = {
+    "open": "#f0efec",
+    "pruned": "#eb6834",
+    "complete": "#1baf7a",
+    "infeasible": "#e34948",
+    "dead-end": "#c3c2b7",
+}
 
 
 def sfg_to_dot(sfg: SignalFlowGraph) -> str:
@@ -54,6 +63,39 @@ def fsm_to_dot(fsm: Fsm) -> str:
         lines.append(
             f'  "{transition.source}" -> "{transition.target}" [label="{label}"];'
         )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def decision_tree_to_dot(tree: Sequence[object]) -> str:
+    """Render a Figure-6 decision tree as a status-colored DOT digraph.
+
+    ``tree`` is the :class:`~repro.synth.mapper.DecisionNode` list a
+    mapper run collects under ``MapperOptions(collect_tree=True)``
+    (duck-typed here to keep this module free of synth imports).
+    Nodes are colored by search outcome: pruned orange, complete
+    green, infeasible red, dead-end gray.
+    """
+    lines: List[str] = [
+        'digraph "decision_tree" {',
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fontsize=10];',
+    ]
+    for node in tree:
+        color = _STATUS_COLORS.get(node.status, _STATUS_COLORS["open"])
+        label = f"{node.decision}\\n{node.opamps} op amps"
+        detail = getattr(node, "detail", "")
+        if detail:
+            label += f"\\n{detail}"
+        if node.status not in ("open", "complete"):
+            label += f"\\n[{node.status}]"
+        label = label.replace('"', "'")
+        lines.append(
+            f'  n{node.node_id} [label="{label}", fillcolor="{color}"];'
+        )
+    for node in tree:
+        if node.parent is not None:
+            lines.append(f"  n{node.parent} -> n{node.node_id};")
     lines.append("}")
     return "\n".join(lines)
 
