@@ -13,6 +13,19 @@ import os
 import pytest
 
 
+@pytest.fixture
+def fault_injector():
+    """Deterministic fault injection with guaranteed teardown.
+
+    Yields a :class:`repro.robust.faultinject.FaultInjector`; any sites
+    still armed when the test ends (including on failure) are cleared so
+    no fault leaks into the rest of the suite.
+    """
+    from repro.robust.faultinject import pytest_fixture
+
+    yield from pytest_fixture()
+
+
 class _BoundedLog:
     """Session-wide recorder that trims its in-memory buffer.
 

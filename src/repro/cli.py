@@ -12,12 +12,20 @@ Subcommands::
     vase explain  FILE [--jsonl F] [--dot F]     # why this architecture:
                   [--html F]                     #   decision-level replay
     vase bench-check [--update] [...]            # metrics regression gate
+    vase check    FILE...                        # syntax check, all errors
+    vase batch    DIR [--json F] [--strict]      # synthesize every file,
+                  [--no-recovery]                #   per-file isolation
     vase table1                                  # reproduce Table 1
     vase examples                                # list bundled applications
 
 ``FILE`` may also be the name of a bundled application
 (``receiver``, ``power_meter``, ``missile_solver``, ``iterative_solver``,
 ``function_generator``, ``biquad_filter``).
+
+Exit codes: ``0`` success; ``1`` an analysis ran and failed its check
+(verification miss, batch failure, syntax errors found, missing input
+file); ``2`` the flow itself died on a :class:`VaseError` — printed as
+``file:line:col: severity: message`` when the error is located.
 """
 
 from __future__ import annotations
@@ -50,9 +58,20 @@ def _load_source(spec: str) -> str:
         return handle.read()
 
 
+def _source_filename(spec: str) -> str:
+    """The name diagnostics should carry for ``spec``."""
+    if spec in ALL_APPLICATIONS or spec in EXTRA_APPLICATIONS:
+        return f"<{spec}>"
+    return spec
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     source = _load_source(args.file)
-    design = compile_design(source, entity_name=args.entity)
+    design = compile_design(
+        source,
+        entity_name=args.entity,
+        source_filename=_source_filename(args.file),
+    )
     if args.dot:
         print(design_to_dot(design))
     else:
@@ -66,7 +85,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     source = _load_source(args.file)
     want_trace = bool(args.trace or args.trace_json)
     options = FlowOptions(trace=want_trace)
-    result = synthesize(source, entity_name=args.entity, options=options)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        options=options,
+        source_filename=_source_filename(args.file),
+    )
     for diagnostic in result.diagnostics:
         print(str(diagnostic), file=sys.stderr)
     print(result.describe())
@@ -124,7 +148,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         trace=True,
         mapper=MapperOptions(collect_tree=True),
     )
-    result = synthesize(source, entity_name=args.entity, options=options)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        options=options,
+        source_filename=_source_filename(args.file),
+    )
     for diagnostic in result.diagnostics:
         print(str(diagnostic), file=sys.stderr)
     print(narrate(result))
@@ -165,7 +194,11 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
 def _cmd_spice(args: argparse.Namespace) -> int:
     source = _load_source(args.file)
-    result = synthesize(source, entity_name=args.entity)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        source_filename=_source_filename(args.file),
+    )
     print(to_spice_deck(result.netlist))
     return 0
 
@@ -176,7 +209,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import verify_equivalence
 
     source = _load_source(args.file)
-    result = synthesize(source, entity_name=args.entity)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        source_filename=_source_filename(args.file),
+    )
     inputs = {
         name: (lambda t, a=args.amplitude, f=args.frequency:
                a * math.sin(2.0 * math.pi * f * t))
@@ -196,7 +233,11 @@ def _cmd_ac(args: argparse.Namespace) -> int:
     from repro.spice import ac_sweep, dc, elaborate
 
     source = _load_source(args.file)
-    result = synthesize(source, entity_name=args.entity)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        source_filename=_source_filename(args.file),
+    )
     in_ports = [
         name
         for name, info in result.design.ports.items()
@@ -237,7 +278,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
     source = _load_source(args.file)
-    result = synthesize(source, entity_name=args.entity)
+    result = synthesize(
+        source,
+        entity_name=args.entity,
+        source_filename=_source_filename(args.file),
+    )
     print(
         generate_report(
             result,
@@ -246,6 +291,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.vass.parser import parse_source_collecting
+
+    total_errors = 0
+    for spec in args.files:
+        source = _load_source(spec)
+        _units, errors = parse_source_collecting(
+            source, filename=_source_filename(spec)
+        )
+        for err in errors:
+            print(_format_error(err), file=sys.stderr)
+        total_errors += len(errors)
+        status = "ok" if not errors else f"{len(errors)} error(s)"
+        print(f"{spec}: {status}")
+    return 0 if total_errors == 0 else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.flow import FlowOptions
+    from repro.robust.batch import find_sources, run_batch
+
+    root = Path(args.directory)
+    files = find_sources(root)
+    if not files:
+        print(f"error: no VASS sources under {root}", file=sys.stderr)
+        return 1
+    options = FlowOptions(recovery=not args.no_recovery)
+    report = run_batch(files, options=options)
+    print(report.describe())
+    if args.json:
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report.to_json(), encoding="utf-8")
+        print(f"batch JSON written to {args.json}", file=sys.stderr)
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -388,6 +472,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--no-spice", action="store_true")
     p_report.set_defaults(func=_cmd_report)
 
+    p_check = sub.add_parser(
+        "check",
+        help="syntax-check VASS files, reporting every error at once",
+    )
+    p_check.add_argument("files", nargs="+",
+                         help="VASS files or bundled app names")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="synthesize every VASS file under a directory with "
+        "per-file fault isolation",
+    )
+    p_batch.add_argument("directory", help="directory (or single file)")
+    p_batch.add_argument("--json", default=None, metavar="FILE",
+                         help="write the machine-readable summary JSON")
+    p_batch.add_argument("--strict", action="store_true",
+                         help="count degraded (recovered) results as "
+                         "failures for the exit code")
+    p_batch.add_argument("--no-recovery", action="store_true",
+                         help="disable the recovery ladder (a failing "
+                         "file fails outright)")
+    p_batch.set_defaults(func=_cmd_batch)
+
     p_table = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p_table.set_defaults(func=_cmd_table1)
 
@@ -396,14 +504,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_error(err: Exception) -> str:
+    """Render a :class:`VaseError` as ``file:line:col: severity: message``.
+
+    Located errors (lexer/parser/semantic/compile) carry a
+    ``SourceLocation`` and the bare message; everything else falls back
+    to a plain ``error:`` prefix.
+    """
+    location = getattr(err, "location", None)
+    bare = getattr(err, "bare_message", None)
+    if location is not None and bare is not None:
+        return f"{location}: error: {bare}"
+    return f"error: {err}"
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except VaseError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 1
+        print(_format_error(err), file=sys.stderr)
+        return 2
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

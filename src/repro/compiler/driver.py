@@ -437,12 +437,17 @@ def compile_design(
     entity_name: Optional[str] = None,
     options: Optional[CompilerOptions] = None,
     architecture_name: Optional[str] = None,
+    source_filename: Optional[str] = None,
 ) -> VhifDesign:
-    """Compile VASS source (text, AST or analyzed design) into VHIF."""
+    """Compile VASS source (text, AST or analyzed design) into VHIF.
+
+    ``source_filename`` names the origin of ``source`` text in
+    diagnostics (``file:line:col``); ignored for pre-parsed input.
+    """
     options = options or CompilerOptions()
     if isinstance(source, str):
         analyzed = analyze(
-            parse_source(source),
+            parse_source(source, filename=source_filename or "<string>"),
             entity_name=entity_name,
             architecture_name=architecture_name,
         )

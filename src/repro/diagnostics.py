@@ -95,7 +95,17 @@ class CompileError(VaseError):
 
 
 class SynthesisError(VaseError):
-    """Raised when architecture generation fails (e.g. unmappable block)."""
+    """Raised when architecture generation fails (e.g. unmappable block).
+
+    Carries the search's :class:`~repro.synth.mapper.MappingStatistics`
+    (when the mapper is the origin) so callers — notably the recovery
+    ladder — can read the named constraint-violation tally and the
+    truncation reason without parsing the message.
+    """
+
+    def __init__(self, message: str, statistics: Optional[object] = None):
+        super().__init__(message)
+        self.statistics = statistics
 
 
 class SimulationError(VaseError):

@@ -11,11 +11,11 @@ tools price the result.
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.compiler import CompilerOptions, compile_design
-from repro.diagnostics import Diagnostic, Severity
+from repro.compiler import CompilerOptions, compile_design, enumerate_solvers
+from repro.diagnostics import Diagnostic, Severity, SynthesisError, VaseError
 from repro.estimation import ConstraintSet, Estimator, PerformanceEstimate
 from repro.instrument import (
     ExplorationLog,
@@ -27,6 +27,20 @@ from repro.instrument import (
     tracing,
 )
 from repro.library import ComponentLibrary, PatternMatcher, default_library
+from repro.robust.recovery import (
+    OUTCOME_FAILED,
+    OUTCOME_RECOVERED,
+    OUTCOME_SKIPPED,
+    RUNG_BASELINE,
+    RUNG_CAUSALIZATION,
+    RUNG_GREEDY,
+    RUNG_RELAX,
+    RecoveryEvent,
+    RecoveryLog,
+    RecoveryOptions,
+    relax_constraints,
+)
+from repro.synth.greedy import map_sfg_greedy
 from repro.synth import (
     InterfacingOptions,
     MapperOptions,
@@ -73,6 +87,14 @@ class FlowOptions:
     #: renders it).  When a recorder is already active process-wide,
     #: events always join it regardless of this knob.
     explog: bool = False
+    #: climb the recovery ladder instead of dying on the first
+    #: :class:`SynthesisError`: alternative DAE causalizations, the
+    #: greedy mapper, bounded constraint relaxation.  Every attempt is
+    #: recorded on ``SynthesisResult.recovery``; a recovered run is
+    #: explicitly *degraded*, never silent.
+    recovery: bool = False
+    #: knobs of the recovery ladder (used only when ``recovery`` is on)
+    recovery_options: RecoveryOptions = field(default_factory=RecoveryOptions)
 
 
 @dataclass
@@ -92,6 +114,9 @@ class SynthesisResult:
     explog: Optional[ExplorationLog] = None
     #: follower instances inserted by the interfacing transformations
     interfacing_added: List[object] = field(default_factory=list)
+    #: recovery-ladder events (non-empty only when synthesis initially
+    #: failed and ``FlowOptions.recovery`` climbed the ladder)
+    recovery: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def summary(self) -> str:
@@ -129,7 +154,21 @@ class SynthesisResult:
                     f"{instance.inputs[0]!r}",
                 )
             )
+        for event in self.recovery:
+            severity = (
+                Severity.WARNING
+                if event.outcome == OUTCOME_RECOVERED
+                else Severity.NOTE
+            )
+            diagnostics.append(
+                Diagnostic(severity, f"recovery: {event.describe()}")
+            )
         return diagnostics
+
+    @property
+    def degraded(self) -> bool:
+        """True when this result exists only thanks to the ladder."""
+        return any(e.outcome == OUTCOME_RECOVERED for e in self.recovery)
 
     def describe(self) -> str:
         stats = self.design.statistics()
@@ -158,13 +197,25 @@ class SynthesisResult:
             f"{search.runtime_s * 1e3:.1f} ms"
         )
         if search.truncated:
-            search_line += " — TRUNCATED at node budget"
+            where = (
+                "wall-clock deadline"
+                if search.truncated_reason == "deadline"
+                else "node budget"
+            )
+            search_line += f" — TRUNCATED at {where}"
         lines.append(search_line)
         if search.constraint_violations:
             lines.append(
                 "  infeasible mappings killed by: "
                 f"{search.violation_summary()}"
             )
+        if self.recovery:
+            lines.append(
+                f"  recovery ladder ({len(self.recovery)} attempt(s), "
+                f"result {'DEGRADED' if self.degraded else 'not recovered'}):"
+            )
+            for event in self.recovery:
+                lines.append(f"    {event.describe()}")
         return "\n".join(lines)
 
     @property
@@ -218,8 +269,16 @@ def synthesize(
     library: Optional[ComponentLibrary] = None,
     options: Optional[FlowOptions] = None,
     architecture_name: Optional[str] = None,
+    source_filename: Optional[str] = None,
 ) -> SynthesisResult:
-    """Run the complete behavioral synthesis flow on VASS source text."""
+    """Run the complete behavioral synthesis flow on VASS source text.
+
+    With ``options.recovery`` enabled, a :class:`SynthesisError` does
+    not kill the run immediately: the recovery ladder retries with
+    alternative DAE causalizations, then the greedy mapper, then
+    bounded constraint relaxation, and the returned result records
+    every attempt on ``SynthesisResult.recovery``.
+    """
     options = options or FlowOptions()
     library = library or default_library()
 
@@ -232,12 +291,226 @@ def synthesize(
             tracer = stack.enter_context(tracing())
         if options.explog and explog is None:
             explog = stack.enter_context(explogging())
-        result = _synthesize_traced(
-            source, entity_name, library, options, architecture_name
-        )
+        try:
+            result = _synthesize_traced(
+                source, entity_name, library, options, architecture_name,
+                source_filename=source_filename,
+            )
+        except SynthesisError as err:
+            if not options.recovery:
+                raise
+            result = _recover(
+                source, entity_name, library, options,
+                architecture_name, err, source_filename=source_filename,
+            )
     result.trace = tracer
     result.explog = explog
     return result
+
+
+def _emit_recovery(event: RecoveryEvent) -> None:
+    """Mirror a ladder event into the active exploration log, if any."""
+    explog = active_explog()
+    if explog is not None:
+        explog.emit("recovery", **event.as_dict())
+
+
+def _recover(
+    source: str,
+    entity_name: Optional[str],
+    library: ComponentLibrary,
+    options: FlowOptions,
+    architecture_name: Optional[str],
+    failure: SynthesisError,
+    source_filename: Optional[str] = None,
+) -> SynthesisResult:
+    """Climb the recovery ladder after a failed synthesis attempt.
+
+    Rungs, in order: alternative DAE causalizations (a different VHIF
+    topology may map feasibly), the greedy first-solution mapper (finds
+    *a* feasible mapping where the exhaustive search hit its budget),
+    and bounded constraint relaxation driven by the named violation
+    tally of the failed searches.  Returns the first recovered result
+    (its ``recovery`` list holds the whole climb) or re-raises a
+    :class:`SynthesisError` summarizing every attempted rung.
+    """
+    ropts = options.recovery_options
+    log = RecoveryLog()
+    _emit_recovery(log.record(
+        RUNG_BASELINE, "branch-and-bound mapping",
+        OUTCOME_FAILED, str(failure),
+    ))
+    last_stats = failure.statistics
+
+    def _finish(result: SynthesisResult) -> SynthesisResult:
+        result.recovery = list(log.events)
+        return result
+
+    # Rung 1: alternative DAE causalizations.
+    if not ropts.try_causalizations:
+        _emit_recovery(log.record(
+            RUNG_CAUSALIZATION, "alternative DAE causalizations",
+            OUTCOME_SKIPPED, "disabled by RecoveryOptions",
+        ))
+    else:
+        try:
+            causalizations = enumerate_solvers(
+                source,
+                entity_name=entity_name,
+                max_solvers=max(
+                    options.compiler.max_solvers,
+                    ropts.max_causalizations + 1,
+                ),
+            )
+        except VaseError as err:
+            causalizations = []
+            _emit_recovery(log.record(
+                RUNG_CAUSALIZATION, "enumerate DAE causalizations",
+                OUTCOME_FAILED, str(err),
+            ))
+        if len(causalizations) <= 1:
+            _emit_recovery(log.record(
+                RUNG_CAUSALIZATION, "alternative DAE causalizations",
+                OUTCOME_SKIPPED,
+                f"{len(causalizations)} causalization(s) available",
+            ))
+        else:
+            baseline = min(
+                options.compiler.solver_index, len(causalizations) - 1
+            )
+            tried = 0
+            for index in range(len(causalizations)):
+                if index == baseline or tried >= ropts.max_causalizations:
+                    continue
+                tried += 1
+                alternative = replace(
+                    options,
+                    compiler=replace(
+                        options.compiler, solver_index=index
+                    ),
+                )
+                try:
+                    result = _synthesize_traced(
+                        source, entity_name, library, alternative,
+                        architecture_name, source_filename=source_filename,
+                    )
+                except SynthesisError as err:
+                    last_stats = err.statistics or last_stats
+                    _emit_recovery(log.record(
+                        RUNG_CAUSALIZATION, f"causalization #{index}",
+                        OUTCOME_FAILED, str(err),
+                    ))
+                    continue
+                _emit_recovery(log.record(
+                    RUNG_CAUSALIZATION, f"causalization #{index}",
+                    OUTCOME_RECOVERED,
+                    "alternative VHIF topology mapped feasibly",
+                ))
+                return _finish(result)
+
+    # Rung 2: the greedy first-solution mapper (no unconstrained
+    # fallback here — an infeasible greedy mapping must fail the rung
+    # so constraint relaxation gets its turn).
+    if not ropts.try_greedy:
+        _emit_recovery(log.record(
+            RUNG_GREEDY, "greedy mapper",
+            OUTCOME_SKIPPED, "disabled by RecoveryOptions",
+        ))
+    else:
+        try:
+            result = _synthesize_traced(
+                source, entity_name, library, options,
+                architecture_name, use_greedy=True,
+                source_filename=source_filename,
+            )
+        except SynthesisError as err:
+            last_stats = err.statistics or last_stats
+            _emit_recovery(log.record(
+                RUNG_GREEDY, "greedy mapper", OUTCOME_FAILED, str(err),
+            ))
+        else:
+            _emit_recovery(log.record(
+                RUNG_GREEDY, "greedy mapper", OUTCOME_RECOVERED,
+                "first-solution heuristic found a feasible mapping "
+                "(not proven optimal)",
+            ))
+            return _finish(result)
+
+    # Rung 3: bounded constraint relaxation driven by the named
+    # violation tally of the failed searches.
+    if not ropts.try_relaxation:
+        _emit_recovery(log.record(
+            RUNG_RELAX, "constraint relaxation",
+            OUTCOME_SKIPPED, "disabled by RecoveryOptions",
+        ))
+    else:
+        violations: Dict[str, int] = {}
+        if last_stats is not None:
+            violations = dict(
+                getattr(last_stats, "constraint_violations", {}) or {}
+            )
+        if not violations:
+            _emit_recovery(log.record(
+                RUNG_RELAX, "constraint relaxation", OUTCOME_SKIPPED,
+                "the failed searches named no violated constraints",
+            ))
+        else:
+            current = options.constraints
+            if options.derive_constraints_from_annotations:
+                try:
+                    design = compile_design(
+                        source,
+                        entity_name=entity_name,
+                        options=options.compiler,
+                        architecture_name=architecture_name,
+                        source_filename=source_filename,
+                    )
+                    current = derive_constraints(design, current)
+                except VaseError:
+                    pass  # relax the explicit set instead
+            for step in range(1, ropts.max_relax_steps + 1):
+                relaxed, changes = relax_constraints(
+                    current, violations, ropts.relax_factor
+                )
+                if not changes:
+                    _emit_recovery(log.record(
+                        RUNG_RELAX, f"relax step {step}", OUTCOME_SKIPPED,
+                        "no named violation is relaxable",
+                    ))
+                    break
+                action = f"relax step {step}: " + "; ".join(changes)
+                try:
+                    result = _synthesize_traced(
+                        source, entity_name, library, options,
+                        architecture_name, constraints_override=relaxed,
+                        source_filename=source_filename,
+                    )
+                except SynthesisError as err:
+                    current = relaxed
+                    if err.statistics is not None and getattr(
+                        err.statistics, "constraint_violations", None
+                    ):
+                        violations = dict(
+                            err.statistics.constraint_violations
+                        )
+                    last_stats = err.statistics or last_stats
+                    _emit_recovery(log.record(
+                        RUNG_RELAX, action, OUTCOME_FAILED, str(err),
+                    ))
+                    continue
+                _emit_recovery(log.record(
+                    RUNG_RELAX, action, OUTCOME_RECOVERED,
+                    "constraints loosened; result is DEGRADED relative "
+                    "to the original specification",
+                ))
+                return _finish(result)
+
+    ladder = " | ".join(event.describe() for event in log.events)
+    raise SynthesisError(
+        f"{failure} [recovery ladder exhausted after "
+        f"{len(log.events)} attempt(s): {ladder}]",
+        statistics=failure.statistics,
+    )
 
 
 def _synthesize_traced(
@@ -246,8 +519,18 @@ def _synthesize_traced(
     library: ComponentLibrary,
     options: FlowOptions,
     architecture_name: Optional[str],
+    use_greedy: bool = False,
+    constraints_override: Optional[ConstraintSet] = None,
+    source_filename: Optional[str] = None,
 ) -> SynthesisResult:
-    """The flow proper, one span per Figure-1 phase."""
+    """The flow proper, one span per Figure-1 phase.
+
+    ``use_greedy`` and ``constraints_override`` are the recovery
+    ladder's hooks: the former swaps the branch-and-bound mapper for
+    the greedy heuristic (without its unconstrained fallback), the
+    latter replaces the constraint set entirely — annotation-derived
+    defaults included, since relaxation starts from the derived set.
+    """
     with trace_phase("synthesize") as flow_span:
         with trace_phase("compile"):
             design = compile_design(
@@ -255,6 +538,7 @@ def _synthesize_traced(
                 entity_name=entity_name,
                 options=options.compiler,
                 architecture_name=architecture_name,
+                source_filename=source_filename,
             )
         flow_span.annotate(design=design.name)
         realized: List[RealizedControl] = []
@@ -268,21 +552,33 @@ def _synthesize_traced(
             with trace_phase("optimize_vhif"):
                 optimize_design(design)
 
-        constraints = options.constraints
-        if options.derive_constraints_from_annotations:
-            constraints = derive_constraints(design, constraints)
+        if constraints_override is not None:
+            constraints = constraints_override
+        else:
+            constraints = options.constraints
+            if options.derive_constraints_from_annotations:
+                constraints = derive_constraints(design, constraints)
         estimator = Estimator(constraints=constraints)
         matcher = PatternMatcher(
             library, enable_transforms=options.mapper.enable_transforms
         )
         with trace_phase("map") as span:
-            mapping = map_sfg(
-                design.main_sfg,
-                library=library,
-                estimator=estimator,
-                options=options.mapper,
-                matcher=matcher,
-            )
+            if use_greedy:
+                mapping = map_sfg_greedy(
+                    design.main_sfg,
+                    library=library,
+                    estimator=estimator,
+                    matcher=matcher,
+                    fallback_unconstrained=False,
+                )
+            else:
+                mapping = map_sfg(
+                    design.main_sfg,
+                    library=library,
+                    estimator=estimator,
+                    options=options.mapper,
+                    matcher=matcher,
+                )
             span.annotate(**mapping.statistics.as_dict())
         netlist = mapping.netlist
         interfacing_added: List[object] = []

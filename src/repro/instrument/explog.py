@@ -38,12 +38,18 @@ Event vocabulary (the ``event`` field):
     a frontier block with no candidate cones (or an uncovered
     fragment).
 ``truncated``
-    the ``max_nodes`` budget stopped the search.
+    the search stopped early; ``reason`` says what expired (``nodes``
+    for the ``max_nodes`` budget, ``deadline`` for the wall-clock
+    ``deadline_s``).
 ``search_end``
     one per mapper run: the final :class:`MappingStatistics` dict.
 ``causalization``
     one per DAE solver emission: how many alternatives were
     enumerated, which one was chosen, its states and evaluation order.
+``recovery``
+    one per recovery-ladder attempt (``FlowOptions.recovery``): the
+    rung, the action tried, and whether it ``failed`` / ``recovered`` /
+    was ``skipped``.
 
 Every event also carries ``seq`` (a process-wide monotonically
 increasing sequence number) and, when the mapper collects the

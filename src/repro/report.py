@@ -123,12 +123,34 @@ def generate_report(
     lines.append(f"- sharing branches taken: {search.shared_branches}")
     lines.append(f"- runtime: {search.runtime_s * 1e3:.2f} ms")
     if search.truncated:
+        budget = (
+            "wall-clock deadline"
+            if search.truncated_reason == "deadline"
+            else "node budget"
+        )
         lines.append(
-            "- **search truncated**: the node budget was exhausted before "
+            f"- **search truncated**: the {budget} was exhausted before "
             "the tree was fully explored; the mapping above is the best "
             "found, not proven optimal"
         )
     lines.append("")
+
+    if result.recovery:
+        lines.append("## Recovery")
+        lines.append("")
+        lines.append(
+            "Synthesis initially **failed** and the recovery ladder ran; "
+            + (
+                "the architecture above is **degraded** relative to the "
+                "original specification."
+                if result.degraded
+                else "no rung recovered."
+            )
+        )
+        lines.append("")
+        for event in result.recovery:
+            lines.append(f"- {event.describe()}")
+        lines.append("")
     for diagnostic in result.diagnostics:
         lines.append(f"> **{diagnostic.severity}**: {diagnostic.message}")
         lines.append("")

@@ -1,0 +1,63 @@
+"""Flow-wide fault tolerance: graceful degradation instead of crashes.
+
+The VASE flow is a pipeline of searches and numerical solves — DAE
+causalization, branch-and-bound mapping, MNA factorization, AC sweeps —
+and historically any single failure killed a whole run with one
+exception.  This package makes the flow degrade gracefully and report
+*what* it sacrificed:
+
+* :mod:`repro.robust.recovery` — the recovery ladder the flow climbs
+  when synthesis fails (alternative causalizations, the greedy mapper,
+  bounded constraint relaxation), with every attempt recorded as a
+  structured :class:`RecoveryEvent`;
+* :mod:`repro.robust.guards` — numerical guards for the SPICE substrate
+  (condition-number estimation, singular-system suspect naming,
+  non-finite waveform detection);
+* :mod:`repro.robust.batch` — multi-design sweeps with per-file
+  isolation and a machine-readable ok/degraded/failed summary;
+* :mod:`repro.robust.faultinject` — the deterministic fault-injection
+  harness that forces each failure class so every recovery path is
+  exercised in tests and CI.
+"""
+
+from repro.robust.batch import (
+    BatchEntry,
+    BatchReport,
+    find_sources,
+    run_batch,
+)
+from repro.robust.faultinject import (
+    FaultInjector,
+    active_faults,
+    fault_active,
+    inject_faults,
+)
+from repro.robust.guards import (
+    NumericalWarning,
+    check_finite,
+    condition_estimate,
+    singular_suspects,
+)
+from repro.robust.recovery import (
+    RecoveryEvent,
+    RecoveryOptions,
+    relax_constraints,
+)
+
+__all__ = [
+    "BatchEntry",
+    "BatchReport",
+    "FaultInjector",
+    "NumericalWarning",
+    "RecoveryEvent",
+    "RecoveryOptions",
+    "active_faults",
+    "check_finite",
+    "condition_estimate",
+    "fault_active",
+    "find_sources",
+    "inject_faults",
+    "relax_constraints",
+    "run_batch",
+    "singular_suspects",
+]

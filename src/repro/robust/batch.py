@@ -1,0 +1,220 @@
+"""Batch synthesis: many VASS files, per-file fault isolation.
+
+``vase batch <dir>`` runs the full flow over every ``.vhd``/``.vhdl``
+file it finds and keeps going when individual files fail: a parse error
+in one design must not cost the remaining ninety-nine.  Each file lands
+in exactly one bucket:
+
+* ``ok`` — synthesized cleanly;
+* ``degraded`` — synthesized, but only after the recovery ladder
+  loosened something (the entry records every
+  :class:`~repro.robust.recovery.RecoveryEvent`);
+* ``failed`` — no netlist: syntax errors (collected with the parser's
+  error-recovery mode, so *all* of them are reported), semantic or
+  synthesis errors, or an unexpected exception.
+
+The exit-code policy is deliberate: ``0`` when every file is at least
+degraded, ``1`` when anything failed — and ``--strict`` promotes
+degraded results to failures for CI gates that must not ship loosened
+constraints silently.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Per-file outcome buckets.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+#: Source suffixes ``vase batch <dir>`` picks up.
+SOURCE_SUFFIXES = (".vhd", ".vhdl", ".vass")
+
+
+@dataclass
+class BatchEntry:
+    """Outcome of one file of a batch run."""
+
+    file: str
+    status: str
+    elapsed_s: float = 0.0
+    #: name of the synthesized design (ok / degraded only)
+    design: Optional[str] = None
+    #: Table-1 style component summary (ok / degraded only)
+    summary: str = ""
+    #: the fatal error (failed only; first of ``errors`` when parsing)
+    error: str = ""
+    #: every collected syntax error (parser error-recovery mode)
+    errors: List[str] = field(default_factory=list)
+    #: non-fatal diagnostics of the synthesis
+    warnings: List[str] = field(default_factory=list)
+    #: recovery-ladder events, when the ladder ran
+    recovery: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "status": self.status,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "design": self.design,
+            "summary": self.summary,
+            "error": self.error,
+            "errors": list(self.errors),
+            "warnings": list(self.warnings),
+            "recovery": list(self.recovery),
+        }
+
+    def describe(self) -> str:
+        text = f"{self.status.upper():9s} {self.file}"
+        if self.design:
+            text += f" ({self.design})"
+        if self.status == STATUS_FAILED:
+            head = self.error or (self.errors[0] if self.errors else "")
+            if head:
+                text += f": {head}"
+            extra = len(self.errors) - 1
+            if extra > 0:
+                text += f" (+{extra} more)"
+        elif self.recovery:
+            text += f" [recovery: {len(self.recovery)} attempts]"
+        return text
+
+
+@dataclass
+class BatchReport:
+    """Aggregate of a whole batch run."""
+
+    entries: List[BatchEntry] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for e in self.entries if e.status == STATUS_OK)
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for e in self.entries if e.status == STATUS_DEGRADED)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for e in self.entries if e.status == STATUS_FAILED)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files": len(self.entries),
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "entries": [e.as_dict() for e in self.entries],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def describe(self) -> str:
+        lines = [entry.describe() for entry in self.entries]
+        lines.append(
+            f"{len(self.entries)} files: {self.ok} ok, "
+            f"{self.degraded} degraded, {self.failed} failed "
+            f"({self.elapsed_s:.2f} s)"
+        )
+        return "\n".join(lines)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """``0`` all usable, ``1`` any failure (degraded too if strict)."""
+        if self.failed:
+            return 1
+        if strict and self.degraded:
+            return 1
+        return 0
+
+
+def find_sources(root: Path) -> List[Path]:
+    """The batch work list: VASS sources under ``root``, sorted."""
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*")
+        if path.is_file() and path.suffix.lower() in SOURCE_SUFFIXES
+    )
+
+
+def run_batch(
+    files: Iterable[Path],
+    options: Optional[object] = None,
+    library: Optional[object] = None,
+) -> BatchReport:
+    """Synthesize every file, isolating failures per file.
+
+    ``options`` is a :class:`~repro.flow.FlowOptions` (defaults enable
+    the recovery ladder — batch runs want usable-but-degraded results
+    over hard stops).  Nothing a single file does — syntax error,
+    infeasible constraints, even an unexpected exception — stops the
+    remaining files.
+    """
+    # Imported lazily: repro.flow imports the mapper, which imports the
+    # fault-injection hooks from this package.
+    from repro.diagnostics import Severity, VaseError
+    from repro.flow import FlowOptions, synthesize
+    from repro.vass.parser import parse_source_collecting
+
+    if options is None:
+        options = FlowOptions(recovery=True)
+
+    report = BatchReport()
+    batch_start = time.perf_counter()
+    for path in files:
+        path = Path(path)
+        entry = BatchEntry(file=str(path), status=STATUS_FAILED)
+        start = time.perf_counter()
+        try:
+            text = path.read_text()
+        except OSError as err:
+            entry.error = f"cannot read: {err}"
+            entry.elapsed_s = time.perf_counter() - start
+            report.entries.append(entry)
+            continue
+        try:
+            _units, parse_errors = parse_source_collecting(
+                text, filename=str(path)
+            )
+            if parse_errors:
+                entry.errors = [str(err) for err in parse_errors]
+                entry.error = entry.errors[0]
+                entry.elapsed_s = time.perf_counter() - start
+                report.entries.append(entry)
+                continue
+            result = synthesize(
+                text,
+                options=options,
+                library=library,
+                source_filename=str(path),
+            )
+        except VaseError as err:
+            entry.error = str(err)
+        except Exception as err:  # noqa: BLE001 - isolation is the point
+            entry.error = f"internal error: {type(err).__name__}: {err}"
+        else:
+            entry.design = result.design.name
+            entry.summary = result.summary
+            entry.warnings = [
+                str(d)
+                for d in result.diagnostics
+                if d.severity is not Severity.NOTE
+            ]
+            entry.recovery = [e.as_dict() for e in result.recovery]
+            recovered = any(
+                e.outcome == "recovered" for e in result.recovery
+            )
+            entry.status = STATUS_DEGRADED if recovered else STATUS_OK
+        entry.elapsed_s = time.perf_counter() - start
+        report.entries.append(entry)
+    report.elapsed_s = time.perf_counter() - batch_start
+    return report

@@ -1,0 +1,139 @@
+"""Deterministic fault injection for the synthesis flow.
+
+Production robustness claims are only as good as the failure paths that
+tests actually reach, and most of this flow's failure classes (singular
+MNA systems, NaN waveforms, search deadlines) are hard to provoke from
+well-formed inputs.  This module plants named *fault sites* in the flow
+that tests flip on deterministically:
+
+``mapper.deadline``
+    the architecture mapper behaves as if its wall-clock deadline
+    expired before the first decision node.
+``mapper.infeasible``
+    every complete mapping is treated as constraint-infeasible (the
+    injected violation is named ``"injected"``), forcing the search to
+    end without a feasible solution.
+``spice.singular``
+    the next MNA factorization sees an all-zero matrix, driving the
+    singular-system handler (and its suspect naming).
+``spice.ac.singular``
+    same, for the AC sweep's complex system.
+``spice.nonfinite``
+    the next transient Newton solution is poisoned with NaN, driving
+    the non-finite waveform guard.
+``parse``
+    :func:`repro.vass.parser.parse_source` raises a ``ParseError``
+    before reading any token.
+
+The production cost is one truthiness test of a module-level frozenset
+per site (`fault_active` returns immediately while no faults are
+armed).  Faults are armed through :func:`inject_faults` (a context
+manager) or the ``fault_injector`` pytest fixture, never left on by
+default.
+
+>>> with inject_faults("spice.singular"):
+...     solver.dc_operating_point()      # raises the guarded error
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+#: All fault sites the flow consults; unknown names are rejected so a
+#: typo in a test arms nothing silently.
+KNOWN_SITES: FrozenSet[str] = frozenset(
+    {
+        "mapper.deadline",
+        "mapper.infeasible",
+        "spice.singular",
+        "spice.ac.singular",
+        "spice.nonfinite",
+        "parse",
+    }
+)
+
+#: Violation name tallied for ``mapper.infeasible`` injections.
+INJECTED_VIOLATION = "injected"
+
+_ARMED: FrozenSet[str] = frozenset()
+
+
+def active_faults() -> FrozenSet[str]:
+    """The currently armed fault sites (empty in production)."""
+    return _ARMED
+
+
+def fault_active(site: str) -> bool:
+    """True when ``site`` is armed.
+
+    The fast path — no faults armed at all — is a single truthiness
+    test, so instrumented production code pays (almost) nothing.
+    """
+    return bool(_ARMED) and site in _ARMED
+
+
+def _arm(sites: Tuple[str, ...]) -> FrozenSet[str]:
+    unknown = set(sites) - KNOWN_SITES
+    if unknown:
+        raise ValueError(
+            f"unknown fault site(s) {sorted(unknown)}; "
+            f"known: {sorted(KNOWN_SITES)}"
+        )
+    return frozenset(sites)
+
+
+class inject_faults:
+    """Context manager arming one or more fault sites.
+
+    Nested injections compose (the inner context adds to the outer
+    set); on exit the previous arming is restored exactly.
+    """
+
+    def __init__(self, *sites: str):
+        self._sites = _arm(tuple(sites))
+        self._previous: Optional[FrozenSet[str]] = None
+
+    def __enter__(self) -> "inject_faults":
+        global _ARMED
+        self._previous = _ARMED
+        _ARMED = _ARMED | self._sites
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _ARMED
+        _ARMED = self._previous if self._previous is not None else frozenset()
+        return False
+
+
+class FaultInjector:
+    """Imperative interface for tests: arm/disarm sites one by one.
+
+    The ``fault_injector`` pytest fixture yields one of these and
+    guarantees :meth:`clear` on teardown, so a failing test never
+    leaks an armed fault into the rest of the suite.
+    """
+
+    def arm(self, *sites: str) -> None:
+        global _ARMED
+        _ARMED = _ARMED | _arm(tuple(sites))
+
+    def disarm(self, *sites: str) -> None:
+        global _ARMED
+        _ARMED = _ARMED - frozenset(sites)
+
+    def clear(self) -> None:
+        global _ARMED
+        _ARMED = frozenset()
+
+    @property
+    def armed(self) -> FrozenSet[str]:
+        return _ARMED
+
+
+def pytest_fixture() -> Iterator[FaultInjector]:
+    """Generator backing the ``fault_injector`` fixture (see conftest)."""
+    injector = FaultInjector()
+    try:
+        yield injector
+    finally:
+        injector.clear()

@@ -17,6 +17,7 @@ Nonlinear elements are linearized at the operating point:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -24,6 +25,14 @@ import numpy as np
 
 from repro.diagnostics import SimulationError
 from repro.instrument import metrics, trace_phase
+from repro.robust.faultinject import fault_active
+from repro.robust.guards import (
+    ILL_CONDITION_THRESHOLD,
+    NumericalWarning,
+    check_finite,
+    condition_estimate,
+    singular_suspects,
+)
 from repro.spice.mna import (
     Capacitor,
     Circuit,
@@ -247,13 +256,49 @@ class AcSolver:
             registry = metrics()
             registry.inc("spice.ac.sweeps")
             registry.inc("spice.ac.points", n_points)
+            condition_checked = False
             for f in frequencies:
                 A, b = self._assemble(2.0 * math.pi * f, bias)
+                if fault_active("spice.ac.singular"):
+                    # Fault injection: disconnect the first unknown so
+                    # the factorization fails through the real path.
+                    A = A.copy()
+                    A[0, :] = 0.0
+                    A[:, 0] = 0.0
                 try:
                     registry.inc("spice.mna.factorizations")
                     x = np.linalg.solve(A, b)
                 except np.linalg.LinAlgError as err:
-                    raise SimulationError(f"singular AC matrix at {f} Hz: {err}")
+                    suspects = singular_suspects(
+                        A, self._mna.unknown_labels
+                    )
+                    message = f"singular AC matrix at {f} Hz: {err}"
+                    if suspects:
+                        message += (
+                            "; suspect unknowns: "
+                            f"{', '.join(suspects)} (floating node, or "
+                            "conflicting ideal sources?)"
+                        )
+                    raise SimulationError(message)
+                if not condition_checked:
+                    # Once per sweep, at the lowest frequency.
+                    condition_checked = True
+                    cond = condition_estimate(A)
+                    if cond > ILL_CONDITION_THRESHOLD:
+                        warnings.warn(
+                            f"AC system of {self.circuit.title!r} is "
+                            f"ill-conditioned (cond ~ {cond:.2e} > "
+                            f"{ILL_CONDITION_THRESHOLD:.0e}); the "
+                            "response may be numerically meaningless",
+                            NumericalWarning,
+                            stacklevel=2,
+                        )
+                bad = check_finite(x, self._mna.unknown_labels)
+                if bad is not None:
+                    raise SimulationError(
+                        f"non-finite AC solution at {f} Hz: "
+                        f"{', '.join(bad)} went NaN/Inf"
+                    )
                 for name in names:
                     records[name].append(complex(x[self._mna._index(name)]))
         return AcResult(

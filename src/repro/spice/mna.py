@@ -22,6 +22,7 @@ Node names are strings; ``"0"`` and ``"gnd"`` are ground.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,14 @@ import numpy as np
 
 from repro.diagnostics import SimulationError
 from repro.instrument import metrics
+from repro.robust.faultinject import fault_active
+from repro.robust.guards import (
+    ILL_CONDITION_THRESHOLD,
+    NumericalWarning,
+    check_finite,
+    condition_estimate,
+    singular_suspects,
+)
 
 GROUND_NAMES = ("0", "gnd", "ground")
 
@@ -375,13 +384,22 @@ class MnaSolver:
         self._n = circuit.n_nodes()
         # Assign branch currents to every voltage-defining element.
         self._branches = 0
+        branch_labels: List[str] = []
         for element in circuit.elements:
             if isinstance(
                 element, (VoltageSource, Vcvs, SaturatingVcvs, FunctionSource)
             ):
                 element.branch_index = self._n + self._branches
                 self._branches += 1
+                branch_labels.append(f"i({element.name})")
         self._size = self._n + self._branches
+        #: human-readable label of every MNA unknown, in matrix order:
+        #: node voltages first, then branch currents — used to name
+        #: suspects in singular-matrix and non-finite errors.
+        self.unknown_labels: List[str] = [
+            f"v({name})" for name in circuit.node_names
+        ] + branch_labels
+        self._condition_checked = False
 
     # -- helpers -----------------------------------------------------------------
 
@@ -403,6 +421,42 @@ class MnaSolver:
     def _voltage(self, x: np.ndarray, node: str) -> float:
         index = self._index(node)
         return 0.0 if index < 0 else float(x[index])
+
+    def _singular_error(
+        self,
+        what: str,
+        matrix: np.ndarray,
+        err: Exception,
+        t: Optional[float] = None,
+    ) -> SimulationError:
+        """A singular-matrix error that names the suspect unknowns."""
+        suspects = singular_suspects(matrix, self.unknown_labels)
+        where = f" at t={t:g} s" if t is not None else ""
+        message = f"singular {what} matrix{where}: {err}"
+        if suspects:
+            message += (
+                f"; suspect unknowns: {', '.join(suspects)} "
+                "(floating node, or conflicting ideal sources?)"
+            )
+        return SimulationError(message)
+
+    def _check_solution_finite(
+        self, x: np.ndarray, t: Optional[float] = None
+    ) -> None:
+        """Raise a located error when the solution went NaN/Inf."""
+        if fault_active("spice.nonfinite") and x.size:
+            # Fault injection: corrupt the first unknown so detection
+            # runs through the real guard path.
+            x = x.copy()
+            x[0] = math.nan
+        bad = check_finite(x, self.unknown_labels)
+        if bad is None:
+            return
+        where = f" at t={t:g} s" if t is not None else " at DC"
+        raise SimulationError(
+            f"non-finite solution{where}: {', '.join(bad)} went NaN/Inf "
+            "(check element values and source waveforms)"
+        )
 
     # -- system assembly ------------------------------------------------------------
 
@@ -561,11 +615,32 @@ class MnaSolver:
         residual = self._residual_norm(x, t, dt, prev, switch_controls)
         for _ in range(max_iter):
             A, b = self._assemble(x, t, dt, prev, switch_controls)
+            if fault_active("spice.singular"):
+                # Fault injection: disconnect the first unknown so the
+                # factorization fails through the real error path.
+                A = A.copy()
+                A[0, :] = 0.0
+                A[:, 0] = 0.0
             try:
                 metrics().inc("spice.mna.factorizations")
                 x_new = np.linalg.solve(A, b)
             except np.linalg.LinAlgError as err:
-                raise SimulationError(f"singular MNA matrix: {err}")
+                raise self._singular_error("MNA", A, err, t=t)
+            if not self._condition_checked:
+                # Once per analysis, not per Newton step: flag systems
+                # whose factorization succeeds but whose solution is
+                # numerically meaningless.
+                self._condition_checked = True
+                cond = condition_estimate(A)
+                if cond > ILL_CONDITION_THRESHOLD:
+                    warnings.warn(
+                        f"MNA system of {self.circuit.title!r} is "
+                        f"ill-conditioned (cond ~ {cond:.2e} > "
+                        f"{ILL_CONDITION_THRESHOLD:.0e}); voltages may "
+                        "be numerically meaningless",
+                        NumericalWarning,
+                        stacklevel=2,
+                    )
             step = x_new - x
             delta = float(np.max(np.abs(step)))
             if delta < tol:
@@ -600,7 +675,9 @@ class MnaSolver:
 
     def dc_operating_point(self) -> Dict[str, float]:
         """Newton DC solution (capacitors open)."""
+        self._condition_checked = False
         x = self._newton(np.zeros(self._size), 0.0, None, None, None)
+        self._check_solution_finite(x)
         return {
             name: float(x[index])
             for name, index in self.circuit._nodes.items()
@@ -620,6 +697,7 @@ class MnaSolver:
         for name in names:
             if name.lower() not in GROUND_NAMES and name not in self.circuit._nodes:
                 raise SimulationError(f"unknown probe node {name!r}")
+        self._condition_checked = False
         n_steps = int(round(t_end / dt))
         times = np.empty(n_steps)
         records: Dict[str, List[float]] = {name: [] for name in names}
@@ -640,6 +718,7 @@ class MnaSolver:
         for step in range(n_steps):
             t = (step + 1) * dt
             x = self._newton(x, t, dt, prev, switch_controls=prev)
+            self._check_solution_finite(x, t=t)
             times[step] = t
             for name in names:
                 records[name].append(self._voltage(x, name))

@@ -32,12 +32,19 @@ def map_sfg_greedy(
     estimator: Optional[Estimator] = None,
     matcher: Optional[PatternMatcher] = None,
     max_cone_size: int = 4,
+    fallback_unconstrained: bool = True,
 ) -> MappingResult:
     """Greedy, non-backtracking mapping of one signal-flow graph.
 
     Implemented as the branch-and-bound machinery in first-solution
     mode with the largest-first sequencing rule: the first complete
     mapping down the leftmost path *is* the greedy solution.
+
+    With ``fallback_unconstrained`` (the benchmark default), a greedy
+    path that dies on constraints is retried with an unconstrained
+    estimator so its area is still reported.  The recovery ladder
+    disables the fallback: there an infeasible greedy solution must
+    *fail* the rung so constraint relaxation gets its turn.
     """
     options = MapperOptions(
         enable_bounding=False,
@@ -58,6 +65,8 @@ def map_sfg_greedy(
     try:
         result = mapper.run()
     except SynthesisError:
+        if not fallback_unconstrained:
+            raise
         # The greedy path may die on constraints; fall back to accepting
         # the first complete mapping regardless of feasibility so the
         # benchmark can still report its area.

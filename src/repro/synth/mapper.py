@@ -31,11 +31,16 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.diagnostics import Diagnostic, Severity, SynthesisError
-from repro.estimation.constraints import ConstraintSet, PerformanceEstimate
+from repro.estimation.constraints import (
+    ConstraintSet,
+    ConstraintViolation,
+    PerformanceEstimate,
+)
 from repro.estimation.estimator import Estimator
 from repro.instrument import active_explog, metrics, trace_phase
 from repro.library.components import ComponentLibrary, default_library
 from repro.library.patterns import PatternMatch, PatternMatcher
+from repro.robust.faultinject import INJECTED_VIOLATION, fault_active
 from repro.synth.netlist import ComponentInstance, Netlist
 from repro.vhif.design import VhifDesign
 from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT, SignalFlowGraph
@@ -61,6 +66,10 @@ class MapperOptions:
     max_cone_size: int = 4
     #: safety cap on visited decision nodes
     max_nodes: int = 500_000
+    #: wall-clock deadline for the search, seconds (None = unbounded);
+    #: checked alongside ``max_nodes`` — on expiry the best incumbent
+    #: is returned with ``truncated_reason == "deadline"``
+    deadline_s: Optional[float] = None
     #: record the decision tree (Figure 6) — costs memory
     collect_tree: bool = False
     #: stop at the first feasible complete mapping (greedy-ish mode)
@@ -97,9 +106,12 @@ class MappingStatistics:
     feasible_mappings: int = 0
     shared_branches: int = 0
     runtime_s: float = 0.0
-    #: the search stopped at ``max_nodes`` before exhausting the tree,
-    #: so the reported mapping is best-found, not proven optimal
+    #: the search stopped at a budget before exhausting the tree, so
+    #: the reported mapping is best-found, not proven optimal
     truncated: bool = False
+    #: which budget stopped the search: ``"nodes"`` (``max_nodes``) or
+    #: ``"deadline"`` (``deadline_s``); None while not truncated
+    truncated_reason: Optional[str] = None
     #: how often each named constraint killed a complete mapping
     #: (``sizing``, ``max_area``, ``min_ugf``, ...)
     constraint_violations: Dict[str, int] = field(default_factory=dict)
@@ -124,6 +136,7 @@ class MappingStatistics:
             "shared_branches": self.shared_branches,
             "runtime_s": self.runtime_s,
             "truncated": self.truncated,
+            "truncated_reason": self.truncated_reason,
             "constraint_violations": dict(
                 sorted(self.constraint_violations.items())
             ),
@@ -150,7 +163,12 @@ class MappingResult:
             f"{self.statistics.nodes_pruned} pruned"
         )
         if self.statistics.truncated:
-            text += " | TRUNCATED (node budget hit; result may be suboptimal)"
+            budget = (
+                "deadline hit"
+                if self.statistics.truncated_reason == "deadline"
+                else "node budget hit"
+            )
+            text += f" | TRUNCATED ({budget}; result may be suboptimal)"
         return text
 
 
@@ -187,6 +205,8 @@ class ArchitectureMapper:
         self._tree: List[DecisionNode] = []
         self._solutions: List[int] = []
         self._abort = False
+        #: absolute perf_counter() time after which the search stops
+        self._deadline: Optional[float] = None
         #: the exploration recorder, captured once per run; ``None``
         #: keeps every decision site on the zero-allocation fast path
         self._explog = None
@@ -347,6 +367,13 @@ class ArchitectureMapper:
         netlist = self._current_netlist()
         estimate = self.estimator.estimate(netlist)
         violations = self.estimator.constraints.check_detailed(estimate)
+        if fault_active("mapper.infeasible"):
+            violations = list(violations) + [
+                ConstraintViolation(
+                    INJECTED_VIOLATION,
+                    "fault injection: mapping forced infeasible",
+                )
+            ]
         if violations:
             # An infeasible complete mapping: tally *which* constraints
             # killed it, so the search outcome can name its blockers.
@@ -384,6 +411,18 @@ class ArchitectureMapper:
         if self.options.first_solution_only:
             self._abort = True
 
+    def _truncate(self, reason: str, parent_node: Optional[int]) -> None:
+        """Stop the search at a budget, keeping the best incumbent."""
+        self._stats.truncated = True
+        self._stats.truncated_reason = reason
+        self._abort = True
+        if self._explog is not None:
+            self._explog.emit(
+                "truncated", node=parent_node, reason=reason,
+                max_nodes=self.options.max_nodes,
+                deadline_s=self.options.deadline_s,
+            )
+
     # -- the Figure-5 recursion -----------------------------------------------------------------
 
     def _map(
@@ -395,13 +434,13 @@ class ArchitectureMapper:
         if self._abort:
             return
         if self._stats.nodes_visited >= self.options.max_nodes:
-            self._stats.truncated = True
-            self._abort = True
-            if self._explog is not None:
-                self._explog.emit(
-                    "truncated", node=parent_node,
-                    max_nodes=self.options.max_nodes,
-                )
+            self._truncate("nodes", parent_node)
+            return
+        if (
+            self._deadline is not None
+            and time.perf_counter() >= self._deadline
+        ):
+            self._truncate("deadline", parent_node)
             return
         if not pending:
             self._complete(parent_node, opamp_nr)
@@ -611,6 +650,12 @@ class ArchitectureMapper:
     def run(self) -> MappingResult:
         """Search for the minimum-area feasible mapping."""
         start = time.perf_counter()
+        if self.options.deadline_s is not None:
+            self._deadline = start + max(self.options.deadline_s, 0.0)
+        if fault_active("mapper.deadline"):
+            # Fault injection: behave as if the wall clock expired
+            # before the first decision node.
+            self._deadline = start
         self._explog = active_explog()
         if self._explog is not None:
             self._explog.emit(
@@ -638,27 +683,38 @@ class ArchitectureMapper:
             )
         self._publish_metrics()
         if self._best_netlist is None or self._best_estimate is None:
-            reason = (
-                "node budget exhausted"
-                if self._stats.truncated
-                else "no feasible complete mapping"
-            )
+            if not self._stats.truncated:
+                reason = "no feasible complete mapping"
+            elif self._stats.truncated_reason == "deadline":
+                reason = "wall-clock deadline exhausted"
+            else:
+                reason = "node budget exhausted"
             blockers = self._stats.violation_summary()
             if blockers:
                 reason += f"; violated constraints: {blockers}"
             raise SynthesisError(
                 f"architecture synthesis failed for {self.sfg.name!r}: "
                 f"{reason} ({self._stats.complete_mappings} complete, "
-                f"{self._stats.nodes_visited} nodes)"
+                f"{self._stats.nodes_visited} nodes)",
+                statistics=self._stats,
             )
         self._best_netlist.validate()
         diagnostics: List[Diagnostic] = []
         if self._stats.truncated:
+            if self._stats.truncated_reason == "deadline":
+                # deadline_s may be None when the deadline was injected.
+                budget = (
+                    f"the {self.options.deadline_s:g} s wall-clock deadline"
+                    if self.options.deadline_s is not None
+                    else "the (injected) wall-clock deadline"
+                )
+            else:
+                budget = f"the {self.options.max_nodes}-node budget"
             diagnostics.append(
                 Diagnostic(
                     Severity.WARNING,
                     f"architecture search for {self.sfg.name!r} stopped at "
-                    f"the {self.options.max_nodes}-node budget; the mapping "
+                    f"{budget}; the mapping "
                     f"is the best of {self._stats.feasible_mappings} "
                     "feasible solution(s) found, not proven optimal",
                 )

@@ -17,9 +17,23 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.diagnostics import ParseError, SourceLocation
+from repro.diagnostics import (
+    LexerError,
+    ParseError,
+    SourceLocation,
+    VaseError,
+)
 from repro.vass import ast_nodes as ast
 from repro.vass.lexer import Token, TokenKind, tokenize
+
+
+def _fault_active(site: str) -> bool:
+    # Imported lazily: the parser sits at the very start of the import
+    # graph, and repro.robust pulls in estimation (which needs the
+    # parser back).  One cached-module lookup per parse call.
+    from repro.robust.faultinject import fault_active
+
+    return fault_active(site)
 
 #: Functions recognized as predefined calls in expressions.
 PREDEFINED_FUNCTIONS = frozenset(
@@ -75,14 +89,53 @@ _RELATIONAL_OPS = {
 
 _LOGICAL_OPS = frozenset({"and", "or", "nand", "nor", "xor", "xnor"})
 
+#: Keywords at which error recovery resynchronizes: each can start a
+#: design unit, a declaration, or a statement, so parsing can resume.
+_RESYNC_KEYWORDS = frozenset(
+    {
+        "architecture",
+        "case",
+        "constant",
+        "end",
+        "entity",
+        "for",
+        "if",
+        "library",
+        "package",
+        "procedural",
+        "process",
+        "quantity",
+        "signal",
+        "terminal",
+        "use",
+        "variable",
+        "while",
+    }
+)
+
 
 class Parser:
-    """Parses a token stream into a :class:`~repro.vass.ast_nodes.SourceFile`."""
+    """Parses a token stream into a :class:`~repro.vass.ast_nodes.SourceFile`.
 
-    def __init__(self, tokens: List[Token], filename: str = "<string>"):
+    With ``collect_errors`` the parser keeps going after a syntax
+    error: the error is appended to :attr:`errors`, the token stream is
+    resynchronized at the next ``;`` or statement keyword, and parsing
+    resumes — so one run reports *every* syntax error in a file
+    (``vase check`` / ``vase batch``) instead of only the first.
+    """
+
+    def __init__(
+        self,
+        tokens: List[Token],
+        filename: str = "<string>",
+        collect_errors: bool = False,
+    ):
         self._tokens = tokens
         self._pos = 0
         self._filename = filename
+        self._collect_errors = collect_errors
+        #: syntax errors collected in ``collect_errors`` mode
+        self.errors: List[ParseError] = []
 
     # -- token helpers -------------------------------------------------------
 
@@ -144,25 +197,57 @@ class Parser:
     def _loc(self) -> SourceLocation:
         return self._peek().location
 
+    # -- error recovery --------------------------------------------------------
+
+    def _recover(self, error: ParseError) -> None:
+        """Collect ``error`` and resynchronize, or re-raise it."""
+        if not self._collect_errors:
+            raise error
+        self.errors.append(error)
+        self._resynchronize()
+
+    def _resynchronize(self) -> None:
+        """Skip past the next ``;`` or to the next statement keyword."""
+        while not self._check(TokenKind.EOF):
+            token = self._peek()
+            if token.kind is TokenKind.SEMICOLON:
+                self._advance()
+                return
+            if (
+                token.kind is TokenKind.KEYWORD
+                and token.value in _RESYNC_KEYWORDS
+            ):
+                return
+            self._advance()
+
     # -- design file ----------------------------------------------------------
 
     def parse_source_file(self) -> ast.SourceFile:
         """Parse a whole VASS source file."""
         units: List[ast.DesignUnit] = []
         while not self._check(TokenKind.EOF):
-            if self._check_keyword("library", "use"):
-                self._skip_context_clause()
-            elif self._check_keyword("entity"):
-                units.append(self._parse_entity())
-            elif self._check_keyword("architecture"):
-                units.append(self._parse_architecture())
-            elif self._check_keyword("package"):
-                units.append(self._parse_package())
-            else:
-                token = self._peek()
-                raise ParseError(
-                    f"expected design unit, found {token.value!r}", token.location
-                )
+            start = self._pos
+            try:
+                if self._check_keyword("library", "use"):
+                    self._skip_context_clause()
+                elif self._check_keyword("entity"):
+                    units.append(self._parse_entity())
+                elif self._check_keyword("architecture"):
+                    units.append(self._parse_architecture())
+                elif self._check_keyword("package"):
+                    units.append(self._parse_package())
+                else:
+                    token = self._peek()
+                    raise ParseError(
+                        f"expected design unit, found {token.value!r}",
+                        token.location,
+                    )
+            except ParseError as err:
+                self._recover(err)
+                if self._pos == start and not self._check(TokenKind.EOF):
+                    # Resynchronization made no progress (e.g. stopped
+                    # on the very keyword that failed): step over it.
+                    self._advance()
         return ast.SourceFile(units=units, filename=self._filename)
 
     def _skip_context_clause(self) -> None:
@@ -403,7 +488,15 @@ class Parser:
         self._expect_keyword("begin")
         statements: List[ast.ConcurrentStmt] = []
         while not self._check_keyword("end"):
-            statements.append(self._parse_concurrent_statement())
+            if self._collect_errors and self._check(TokenKind.EOF):
+                break
+            start = self._pos
+            try:
+                statements.append(self._parse_concurrent_statement())
+            except ParseError as err:
+                self._recover(err)
+                if self._pos == start and not self._check(TokenKind.EOF):
+                    self._advance()
         self._expect_keyword("end")
         self._accept_keyword("architecture")
         if self._peek().kind is TokenKind.IDENTIFIER:
@@ -922,6 +1015,11 @@ def parse_source(text: str, filename: str = "<string>") -> ast.SourceFile:
     """Tokenize and parse VASS source text into an AST."""
     from repro.instrument import metrics, trace_phase
 
+    if _fault_active("parse"):
+        raise ParseError(
+            "fault injection: forced parse error",
+            SourceLocation(1, 1, filename),
+        )
     tokens = tokenize(text, filename)
     with trace_phase("parse", filename=filename) as span:
         source_file = Parser(tokens, filename).parse_source_file()
@@ -932,6 +1030,37 @@ def parse_source(text: str, filename: str = "<string>") -> ast.SourceFile:
             registry.inc("frontend.parser.runs")
             registry.inc("frontend.parser.ast_nodes", n_nodes)
     return source_file
+
+
+def parse_source_collecting(
+    text: str, filename: str = "<string>"
+) -> Tuple[ast.SourceFile, List[VaseError]]:
+    """Parse with error recovery, returning every syntax error found.
+
+    The companion of :func:`parse_source` for ``vase check`` and
+    ``vase batch``: instead of dying on the first syntax error, the
+    parser resynchronizes at the next ``;`` or statement keyword and
+    keeps going, so the returned list reports *all* of a file's errors
+    in one run.  The returned :class:`~repro.vass.ast_nodes.SourceFile`
+    holds whatever design units parsed cleanly (it is complete exactly
+    when the error list is empty).  A lexer error still ends the run —
+    tokenization is all-or-nothing — but is returned, not raised.
+    """
+    if _fault_active("parse"):
+        return (
+            ast.SourceFile(units=[], filename=filename),
+            [ParseError(
+                "fault injection: forced parse error",
+                SourceLocation(1, 1, filename),
+            )],
+        )
+    try:
+        tokens = tokenize(text, filename)
+    except LexerError as err:
+        return ast.SourceFile(units=[], filename=filename), [err]
+    parser = Parser(tokens, filename, collect_errors=True)
+    source_file = parser.parse_source_file()
+    return source_file, list(parser.errors)
 
 
 def _tracing_active() -> bool:

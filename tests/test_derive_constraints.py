@@ -1,0 +1,77 @@
+"""Tests for constraint derivation from port annotations."""
+
+import pytest
+
+from repro.compiler import compile_design
+from repro.estimation import ConstraintSet
+from repro.flow import derive_constraints
+
+ANNOTATED = """
+ENTITY filt IS
+PORT (
+  QUANTITY vin : IN real IS voltage FREQUENCY 0.0 TO 5000.0
+                 RANGE -3.0 TO 2.0;
+  QUANTITY vout : OUT real IS voltage LIMITED AT 1.5 v
+);
+END ENTITY;
+ARCHITECTURE a OF filt IS
+BEGIN
+  vout == 0.5 * vin;
+END ARCHITECTURE;
+"""
+
+BARE = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage;
+  QUANTITY vout : OUT real IS voltage
+);
+END ENTITY;
+ARCHITECTURE a OF amp IS
+BEGIN
+  vout == 2.0 * vin;
+END ARCHITECTURE;
+"""
+
+
+class TestDeriveConstraints:
+    def test_bandwidth_from_widest_frequency_annotation(self):
+        design = compile_design(ANNOTATED)
+        derived = derive_constraints(design, ConstraintSet())
+        assert derived.signal_bandwidth_hz == pytest.approx(5000.0)
+
+    def test_amplitude_from_range_magnitude(self):
+        design = compile_design(ANNOTATED)
+        derived = derive_constraints(design, ConstraintSet())
+        # |-3.0| from the RANGE beats the 1.5 V LIMITED level.
+        assert derived.signal_amplitude == pytest.approx(3.0)
+
+    def test_explicit_constraints_win_over_annotations(self):
+        design = compile_design(ANNOTATED)
+        base = ConstraintSet(
+            signal_bandwidth_hz=123.0, signal_amplitude=9.0
+        )
+        derived = derive_constraints(design, base)
+        assert derived.signal_bandwidth_hz == pytest.approx(123.0)
+        assert derived.signal_amplitude == pytest.approx(9.0)
+
+    def test_unannotated_design_keeps_defaults(self):
+        design = compile_design(BARE)
+        defaults = ConstraintSet()
+        derived = derive_constraints(design, defaults)
+        assert derived.signal_bandwidth_hz == defaults.signal_bandwidth_hz
+        assert derived.signal_amplitude == defaults.signal_amplitude
+
+    def test_base_set_is_not_mutated(self):
+        design = compile_design(ANNOTATED)
+        base = ConstraintSet()
+        before = dict(vars(base))
+        derive_constraints(design, base)
+        assert vars(base) == before
+
+    def test_other_fields_pass_through(self):
+        design = compile_design(ANNOTATED)
+        base = ConstraintSet(max_opamps=7, max_area=1e-6)
+        derived = derive_constraints(design, base)
+        assert derived.max_opamps == 7
+        assert derived.max_area == pytest.approx(1e-6)

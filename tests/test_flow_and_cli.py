@@ -133,5 +133,7 @@ class TestCli:
             "ENTITY e IS PORT (QUANTITY y : OUT real); END ENTITY;"
             "ARCHITECTURE a OF e IS BEGIN y == ghost; END ARCHITECTURE;"
         )
-        assert main(["compile", str(path)]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["compile", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "bad.vams" in err  # file:line:col: severity: message

@@ -1,0 +1,104 @@
+"""Tests for the parser's error-recovery (multi-error) mode."""
+
+import pytest
+
+from repro.diagnostics import ParseError
+from repro.vass.lexer import tokenize
+from repro.vass.parser import Parser, parse_source, parse_source_collecting
+
+CLEAN = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage;
+  QUANTITY vout : OUT real IS voltage
+);
+END ENTITY;
+ARCHITECTURE behavioral OF amp IS
+BEGIN
+  vout == -5.0 * vin;
+END ARCHITECTURE;
+"""
+
+# Three independent defects: a missing semicolon in the port list, a
+# malformed simultaneous statement, and a second malformed statement.
+MULTI_ERROR = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage
+  QUANTITY vout : OUT real IS voltage
+);
+END ENTITY;
+ARCHITECTURE behavioral OF amp IS
+BEGIN
+  vout == * vin;
+  vout == vin +;
+END ARCHITECTURE;
+"""
+
+LEX_ERROR = "ENTITY e IS ` END ENTITY;"
+
+
+class TestCollectingMode:
+    def test_clean_source_has_no_errors(self):
+        source, errors = parse_source_collecting(CLEAN)
+        assert errors == []
+        assert len(source.entities) == 1
+        assert len(source.architectures) == 1
+
+    def test_multiple_errors_collected(self):
+        _source, errors = parse_source_collecting(
+            MULTI_ERROR, filename="multi.vhd"
+        )
+        assert len(errors) >= 2
+        for err in errors:
+            assert isinstance(err, ParseError)
+            assert "multi.vhd" in str(err)
+
+    def test_first_collected_error_matches_strict_mode(self):
+        with pytest.raises(ParseError) as info:
+            parse_source(MULTI_ERROR, filename="multi.vhd")
+        _source, errors = parse_source_collecting(
+            MULTI_ERROR, filename="multi.vhd"
+        )
+        assert str(errors[0]) == str(info.value)
+
+    def test_resync_recovers_later_units(self):
+        # The architecture after the broken entity still parses.
+        text = (
+            "ENTITY broken IS PORT (QUANTITY vin IN real); END ENTITY;"
+            + CLEAN
+        )
+        source, errors = parse_source_collecting(text)
+        assert errors
+        assert any(e.name == "amp" for e in source.entities)
+
+    def test_lexer_errors_are_collected_not_raised(self):
+        source, errors = parse_source_collecting(LEX_ERROR)
+        assert len(errors) == 1
+        assert not source.units
+
+    def test_garbage_terminates(self):
+        # Pure token soup must neither hang nor raise in collect mode.
+        source, errors = parse_source_collecting(
+            "); ; == ENTITY ( IF end ;;"
+        )
+        assert errors
+        assert isinstance(errors[0], ParseError)
+
+
+class TestStrictModeUnchanged:
+    def test_parse_source_still_raises_first_error(self):
+        with pytest.raises(ParseError):
+            parse_source(MULTI_ERROR)
+
+    def test_parser_default_does_not_collect(self):
+        parser = Parser(tokenize(MULTI_ERROR))
+        with pytest.raises(ParseError):
+            parser.parse_source_file()
+        assert parser.errors == []
+
+    def test_clean_source_parses_identically(self):
+        strict = parse_source(CLEAN)
+        collected, errors = parse_source_collecting(CLEAN)
+        assert errors == []
+        assert len(strict.units) == len(collected.units)

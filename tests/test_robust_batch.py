@@ -1,0 +1,184 @@
+"""Tests for batch synthesis (``vase batch``) and ``vase check``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.robust.batch import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    find_sources,
+    run_batch,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+GOOD = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage;
+  QUANTITY vout : OUT real IS voltage LIMITED AT 2.0 v
+);
+END ENTITY;
+ARCHITECTURE behavioral OF amp IS
+BEGIN
+  vout == -5.0 * vin;
+END ARCHITECTURE;
+"""
+
+BROKEN = """
+ENTITY broken IS
+PORT (
+  QUANTITY vin : IN real IS voltage
+  QUANTITY vout : OUT real IS voltage
+);
+END ENTITY;
+ARCHITECTURE a OF broken IS
+BEGIN
+  vout == * vin;
+END ARCHITECTURE;
+"""
+
+SEMANTIC = """
+ENTITY ghostly IS
+PORT (QUANTITY y : OUT real);
+END ENTITY;
+ARCHITECTURE a OF ghostly IS
+BEGIN
+  y == ghost;
+END ARCHITECTURE;
+"""
+
+
+@pytest.fixture
+def batch_dir(tmp_path):
+    (tmp_path / "good.vhd").write_text(GOOD)
+    (tmp_path / "broken.vhd").write_text(BROKEN)
+    (tmp_path / "semantic.vhdl").write_text(SEMANTIC)
+    (tmp_path / "notes.txt").write_text("not a source file")
+    return tmp_path
+
+
+class TestFindSources:
+    def test_filters_by_suffix_and_sorts(self, batch_dir):
+        names = [p.name for p in find_sources(batch_dir)]
+        assert names == ["broken.vhd", "good.vhd", "semantic.vhdl"]
+
+    def test_single_file_passthrough(self, batch_dir):
+        target = batch_dir / "good.vhd"
+        assert find_sources(target) == [target]
+
+    def test_recurses_into_subdirectories(self, tmp_path):
+        nested = tmp_path / "deep" / "er"
+        nested.mkdir(parents=True)
+        (nested / "x.vass").write_text(GOOD)
+        assert [p.name for p in find_sources(tmp_path)] == ["x.vass"]
+
+
+class TestRunBatch:
+    def test_one_bad_file_does_not_stop_the_rest(self, batch_dir):
+        report = run_batch(find_sources(batch_dir))
+        assert len(report.entries) == 3
+        by_name = {Path(e.file).name: e for e in report.entries}
+        assert by_name["good.vhd"].status == STATUS_OK
+        assert by_name["good.vhd"].design == "amp"
+        assert by_name["broken.vhd"].status == STATUS_FAILED
+        assert by_name["semantic.vhdl"].status == STATUS_FAILED
+        assert "ghost" in by_name["semantic.vhdl"].error
+
+    def test_parse_failures_collect_every_error(self, batch_dir):
+        report = run_batch([batch_dir / "broken.vhd"])
+        entry = report.entries[0]
+        assert entry.status == STATUS_FAILED
+        # Error-recovery parsing: more than the first syntax error.
+        assert len(entry.errors) >= 2
+        assert entry.error == entry.errors[0]
+        assert "broken.vhd" in entry.error
+
+    def test_missing_file_is_isolated_too(self, batch_dir):
+        report = run_batch(
+            [batch_dir / "nope.vhd", batch_dir / "good.vhd"]
+        )
+        assert report.failed == 1
+        assert report.ok == 1
+        assert "cannot read" in report.entries[0].error
+
+    def test_exit_code_policy(self, batch_dir):
+        report = run_batch(find_sources(batch_dir))
+        assert report.exit_code() == 1  # failures present
+        clean = run_batch([batch_dir / "good.vhd"])
+        assert clean.exit_code() == 0
+        assert clean.exit_code(strict=True) == 0
+
+    def test_strict_promotes_degraded(self, batch_dir):
+        report = run_batch([batch_dir / "good.vhd"])
+        report.entries[0].status = STATUS_DEGRADED
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_json_roundtrip(self, batch_dir):
+        report = run_batch(find_sources(batch_dir))
+        payload = json.loads(report.to_json())
+        assert payload["files"] == 3
+        assert payload["ok"] == 1
+        assert payload["failed"] == 2
+        statuses = {e["file"]: e["status"] for e in payload["entries"]}
+        assert set(statuses.values()) == {STATUS_OK, STATUS_FAILED}
+
+    def test_describe_summarizes(self, batch_dir):
+        text = run_batch(find_sources(batch_dir)).describe()
+        assert "OK" in text
+        assert "FAILED" in text
+        assert "3 files: 1 ok, 0 degraded, 2 failed" in text
+
+
+class TestBatchCli:
+    def test_batch_command(self, batch_dir, capsys):
+        assert main(["batch", str(batch_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "good.vhd" in out
+        assert "FAILED" in out
+
+    def test_batch_clean_directory_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "good.vhd").write_text(GOOD)
+        assert main(["batch", str(tmp_path)]) == 0
+
+    def test_batch_json_artifact(self, batch_dir, tmp_path, capsys):
+        target = tmp_path / "out" / "report.json"
+        main(["batch", str(batch_dir), "--json", str(target)])
+        payload = json.loads(target.read_text())
+        assert payload["files"] == 3
+
+    def test_batch_empty_directory_errors(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path)]) == 1
+        assert "no VASS sources" in capsys.readouterr().err
+
+    def test_batch_over_bundled_examples(self, capsys):
+        assert main(["batch", str(EXAMPLES)]) == 0
+        out = capsys.readouterr().out
+        assert "biquad" in out
+
+
+class TestCheckCli:
+    def test_check_reports_all_errors(self, batch_dir, capsys):
+        assert main(["check", str(batch_dir / "broken.vhd")]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.count("error") >= 2
+        assert "broken.vhd" in captured.err
+        assert "error(s)" in captured.out
+
+    def test_check_clean_file_ok(self, batch_dir, capsys):
+        assert main(["check", str(batch_dir / "good.vhd")]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_multiple_files(self, batch_dir, capsys):
+        code = main(
+            ["check", str(batch_dir / "good.vhd"),
+             str(batch_dir / "broken.vhd")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ok" in out  # the clean file is still reported

@@ -1,0 +1,217 @@
+"""Fault-injection coverage for every guarded failure path.
+
+The sites in :mod:`repro.robust.faultinject` exist so these tests can
+reach failure classes that well-formed inputs rarely provoke: mapper
+deadline expiry, infeasible searches, singular MNA/AC systems, NaN
+waveforms, and parse failures — each through the *production* error
+path, not a mock.
+"""
+
+import itertools
+from pathlib import Path
+
+import pytest
+
+import repro.synth.mapper as mapper_mod
+from repro.compiler import compile_design
+from repro.diagnostics import ParseError, SimulationError, SynthesisError
+from repro.flow import FlowOptions, synthesize
+from repro.robust.faultinject import (
+    INJECTED_VIOLATION,
+    KNOWN_SITES,
+    FaultInjector,
+    active_faults,
+    fault_active,
+    inject_faults,
+)
+from repro.spice.ac import ac_sweep
+from repro.spice.mna import Circuit, MnaSolver, dc
+from repro.synth.mapper import ArchitectureMapper, MapperOptions
+from repro.vass.parser import parse_source, parse_source_collecting
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SOURCE = """
+ENTITY amp IS
+PORT (
+  QUANTITY vin : IN real IS voltage;
+  QUANTITY vout : OUT real IS voltage LIMITED AT 2.0 v
+);
+END ENTITY;
+ARCHITECTURE behavioral OF amp IS
+BEGIN
+  vout == -5.0 * vin;
+END ARCHITECTURE;
+"""
+
+
+def _divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.vsource("V1", "in", "0", dc(1.0))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.resistor("R2", "out", "0", 1e3)
+    return circuit
+
+
+class TestHarness:
+    def test_no_faults_armed_by_default(self):
+        assert active_faults() == frozenset()
+        for site in KNOWN_SITES:
+            assert not fault_active(site)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            inject_faults("no.such.site")
+        with pytest.raises(ValueError, match="no.such.site"):
+            FaultInjector().arm("no.such.site")
+
+    def test_context_restores_previous_arming(self):
+        with inject_faults("parse"):
+            assert fault_active("parse")
+            with inject_faults("spice.singular"):
+                # Nested arming composes.
+                assert fault_active("parse")
+                assert fault_active("spice.singular")
+            assert fault_active("parse")
+            assert not fault_active("spice.singular")
+        assert active_faults() == frozenset()
+
+    def test_fixture_clears_on_teardown(self, fault_injector):
+        fault_injector.arm("parse", "spice.nonfinite")
+        assert fault_injector.armed == {"parse", "spice.nonfinite"}
+        fault_injector.disarm("parse")
+        assert fault_injector.armed == {"spice.nonfinite"}
+        # Deliberately leave a site armed; the fixture teardown (and the
+        # default-state test above) prove it cannot leak.
+
+
+class TestMapperSites:
+    def test_injected_deadline_truncates_before_first_node(self):
+        design = compile_design(SOURCE)
+        mapper = ArchitectureMapper(design.main_sfg)
+        with inject_faults("mapper.deadline"):
+            with pytest.raises(SynthesisError) as info:
+                mapper.run()
+        assert "deadline" in str(info.value)
+        stats = info.value.statistics
+        assert stats is not None
+        assert stats.truncated
+        assert stats.truncated_reason == "deadline"
+
+    def test_real_deadline_returns_best_incumbent(self, monkeypatch):
+        """An expiring wall clock truncates but keeps the incumbent.
+
+        Driven by a fake monotonic clock (1 ms per reading) so the
+        expiry point is deterministic: the biquad search finds its
+        first feasible mapping before the 10 ms budget runs out.
+        """
+        design = compile_design((EXAMPLES / "biquad.vhd").read_text())
+        ticks = itertools.count()
+        monkeypatch.setattr(
+            mapper_mod.time, "perf_counter", lambda: next(ticks) * 1e-3
+        )
+        mapper = ArchitectureMapper(
+            design.main_sfg, options=MapperOptions(deadline_s=0.01)
+        )
+        result = mapper.run()
+        stats = result.statistics
+        assert stats.truncated
+        assert stats.truncated_reason == "deadline"
+        assert stats.feasible_mappings >= 1
+        assert result.netlist.instances
+
+    def test_node_budget_reason_is_distinct(self):
+        design = compile_design((EXAMPLES / "biquad.vhd").read_text())
+        mapper = ArchitectureMapper(
+            design.main_sfg,
+            options=MapperOptions(max_nodes=5, first_solution_only=False),
+        )
+        try:
+            result = mapper.run()
+            stats = result.statistics
+        except SynthesisError as err:
+            stats = err.statistics
+        assert stats.truncated
+        assert stats.truncated_reason == "nodes"
+
+    def test_injected_infeasibility_names_the_violation(self):
+        design = compile_design(SOURCE)
+        mapper = ArchitectureMapper(design.main_sfg)
+        with inject_faults("mapper.infeasible"):
+            with pytest.raises(SynthesisError) as info:
+                mapper.run()
+        stats = info.value.statistics
+        assert stats is not None
+        assert stats.feasible_mappings == 0
+        assert INJECTED_VIOLATION in stats.constraint_violations
+
+    def test_injected_infeasibility_drives_the_whole_ladder(self):
+        """The ``injected`` violation is deliberately un-relaxable, so
+        every rung runs and fails — the ladder-exhausted path."""
+        with inject_faults("mapper.infeasible"):
+            with pytest.raises(SynthesisError) as info:
+                synthesize(SOURCE, options=FlowOptions(recovery=True))
+        message = str(info.value)
+        assert "recovery ladder exhausted" in message
+        assert "greedy" in message
+
+    def test_fault_does_not_outlive_the_context(self):
+        with inject_faults("mapper.infeasible"):
+            pass
+        result = synthesize(SOURCE)
+        assert result.estimate.feasible
+
+
+class TestSpiceSites:
+    def test_singular_mna_names_suspects(self):
+        solver = MnaSolver(_divider())
+        with inject_faults("spice.singular"):
+            with pytest.raises(SimulationError) as info:
+                solver.dc_operating_point()
+        message = str(info.value)
+        assert "singular MNA matrix" in message
+        assert "suspect unknowns" in message
+        assert "v(in)" in message
+
+    def test_singular_ac_names_frequency_and_suspects(self):
+        with inject_faults("spice.ac.singular"):
+            with pytest.raises(SimulationError) as info:
+                ac_sweep(_divider(), 1.0, 1e3)
+        message = str(info.value)
+        assert "singular AC matrix at" in message
+        assert "Hz" in message
+        assert "suspect unknowns" in message
+
+    def test_nonfinite_solution_is_located(self):
+        solver = MnaSolver(_divider())
+        with inject_faults("spice.nonfinite"):
+            with pytest.raises(SimulationError) as info:
+                solver.dc_operating_point()
+        message = str(info.value)
+        assert "non-finite" in message
+        assert "NaN/Inf" in message
+
+    def test_nonfinite_transient_names_the_time(self):
+        solver = MnaSolver(_divider())
+        with inject_faults("spice.nonfinite"):
+            with pytest.raises(SimulationError) as info:
+                solver.transient(t_end=1e-3, dt=1e-4)
+        assert "at t=" in str(info.value)
+
+    def test_clean_circuit_unaffected(self):
+        op = MnaSolver(_divider()).dc_operating_point()
+        assert op["out"] == pytest.approx(0.5)
+
+
+class TestParseSite:
+    def test_parse_source_raises(self):
+        with inject_faults("parse"):
+            with pytest.raises(ParseError, match="fault injection"):
+                parse_source(SOURCE)
+
+    def test_collecting_mode_returns_the_injected_error(self):
+        with inject_faults("parse"):
+            source, errors = parse_source_collecting(SOURCE)
+        assert len(errors) == 1
+        assert "fault injection" in str(errors[0])
+        assert not source.units
