@@ -1,0 +1,88 @@
+"""Benchmarks of the staged pipeline: cache warm-up and parallel batch.
+
+Two measurements the refactor promises, both recorded in the metrics
+JSON for the perf trajectory:
+
+1. cold-vs-warm synthesis: the same design through a shared on-disk
+   artifact cache — the warm run should skip every stage;
+2. serial-vs-``--jobs`` batch wall-clock over a small corpus, with the
+   report content proven identical.
+"""
+
+import time
+from pathlib import Path
+
+from repro.apps import ALL_APPLICATIONS
+from repro.flow import FlowOptions, synthesize
+from repro.pipeline import ArtifactCache
+from repro.robust.batch import run_batch
+
+from conftest import banner
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+BIQUAD = (EXAMPLES / "biquad.vhd").read_text()
+
+
+def test_bench_cache_cold_vs_warm(benchmark, bench_metrics, tmp_path):
+    store = tmp_path / "vase-cache"
+
+    def run():
+        cold_cache = ArtifactCache(disk_dir=store)
+        t0 = time.perf_counter()
+        synthesize(BIQUAD, options=FlowOptions(cache=cold_cache))
+        cold_s = time.perf_counter() - t0
+
+        warm_cache = ArtifactCache(disk_dir=store)
+        t0 = time.perf_counter()
+        synthesize(BIQUAD, options=FlowOptions(cache=warm_cache))
+        warm_s = time.perf_counter() - t0
+        return cold_s, warm_s, cold_cache.stats, warm_cache.stats
+
+    cold_s, warm_s, cold_stats, warm_stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    banner("Pipeline cache: cold vs warm synthesis")
+    print(f"cold run : {cold_s * 1e3:8.2f} ms "
+          f"({cold_stats.misses} stage misses)")
+    print(f"warm run : {warm_s * 1e3:8.2f} ms "
+          f"({warm_stats.hits} stage hits, {warm_stats.misses} misses)")
+    print(f"speedup  : {cold_s / warm_s:8.2f}x")
+    bench_metrics["cold_s"] = cold_s
+    bench_metrics["warm_s"] = warm_s
+    bench_metrics["warm_hits"] = warm_stats.hits
+    bench_metrics["warm_misses"] = warm_stats.misses
+    assert warm_stats.misses == 0
+
+
+def test_bench_batch_serial_vs_jobs(benchmark, bench_metrics, tmp_path):
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    (corpus / "biquad.vhd").write_text(BIQUAD)
+    for name in ("power_meter", "iterative_solver", "function_generator"):
+        (corpus / f"{name}.vhd").write_text(
+            ALL_APPLICATIONS[name].VASS_SOURCE
+        )
+    files = sorted(corpus.iterdir())
+
+    def run():
+        t0 = time.perf_counter()
+        serial = run_batch(files)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_batch(files, jobs=4)
+        parallel_s = time.perf_counter() - t0
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    banner("Parallel batch: serial vs --jobs 4")
+    print(f"files    : {len(files)}")
+    print(f"serial   : {serial_s * 1e3:8.2f} ms")
+    print(f"--jobs 4 : {parallel_s * 1e3:8.2f} ms")
+    print(f"speedup  : {serial_s / parallel_s:8.2f}x")
+    bench_metrics["files"] = len(files)
+    bench_metrics["serial_s"] = serial_s
+    bench_metrics["jobs4_s"] = parallel_s
+    assert serial.as_dict(timing=False) == parallel.as_dict(timing=False)
+    assert serial.failed == 0

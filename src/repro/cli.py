@@ -5,16 +5,20 @@ Subcommands::
     vase compile  FILE [--entity NAME] [--dot]   # VASS -> VHIF report
     vase synth    FILE [--entity NAME]           # full flow -> netlist
                   [--trace] [--trace-json FILE]  #   + per-phase timing
+                  [--cache [DIR]]                #   on-disk artifact cache
+                  [--explore-solvers] [--jobs N] #   map all causalizations
     vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
     vase verify   FILE [--amplitude A] [...]     # spec-vs-circuit check
     vase ac       FILE [--f-start F] [...]       # AC sweep of the circuit
-    vase profile  FILE [--repeat N] [...]        # where does the time go
+    vase profile  FILE [--repeat N] [--cache]    # where does the time go
     vase explain  FILE [--jsonl F] [--dot F]     # why this architecture:
                   [--html F]                     #   decision-level replay
     vase bench-check [--update] [...]            # metrics regression gate
     vase check    FILE...                        # syntax check, all errors
     vase batch    DIR [--json F] [--strict]      # synthesize every file,
-                  [--no-recovery]                #   per-file isolation
+                  [--no-recovery] [--jobs N]     #   per-file isolation
+                  [--cache [DIR]]                #   shared artifact cache
+                  [--cache-stats F][--no-timing] #   deterministic output
     vase table1                                  # reproduce Table 1
     vase examples                                # list bundled applications
 
@@ -81,10 +85,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.flow import FlowOptions
+    from repro.pipeline import ArtifactCache
 
     source = _load_source(args.file)
     want_trace = bool(args.trace or args.trace_json)
-    options = FlowOptions(trace=want_trace)
+    cache = (
+        ArtifactCache(disk_dir=args.cache)
+        if args.cache is not None
+        else None
+    )
+    options = FlowOptions(
+        trace=want_trace,
+        explore_solvers=args.explore_solvers,
+        jobs=args.jobs,
+        cache=cache,
+    )
     result = synthesize(
         source,
         entity_name=args.entity,
@@ -93,6 +108,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     )
     for diagnostic in result.diagnostics:
         print(str(diagnostic), file=sys.stderr)
+    if cache is not None:
+        print(cache.stats.describe(), file=sys.stderr)
     print(result.describe())
     print()
     print(result.netlist.describe())
@@ -121,9 +138,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.instrument import profile_flow
 
     source = _load_source(args.file)
+    options = None
+    cache = None
+    if args.cache is not None:
+        from repro.flow import FlowOptions
+        from repro.pipeline import ArtifactCache
+
+        cache = ArtifactCache(disk_dir=args.cache)
+        options = FlowOptions(cache=cache)
     report = profile_flow(
-        source, entity_name=args.entity, repeat=args.repeat
+        source, entity_name=args.entity, repeat=args.repeat,
+        options=options,
     )
+    if cache is not None:
+        print(cache.stats.describe(), file=sys.stderr)
     print(report.describe())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -311,9 +339,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    import json as json_module
     from pathlib import Path
 
     from repro.flow import FlowOptions
+    from repro.pipeline import ArtifactCache
     from repro.robust.batch import find_sources, run_batch
 
     root = Path(args.directory)
@@ -322,13 +352,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: no VASS sources under {root}", file=sys.stderr)
         return 1
     options = FlowOptions(recovery=not args.no_recovery)
-    report = run_batch(files, options=options)
-    print(report.describe())
+    cache = (
+        ArtifactCache(disk_dir=args.cache)
+        if args.cache is not None
+        else None
+    )
+    timing = not args.no_timing
+    report = run_batch(
+        files, options=options, jobs=args.jobs, cache=cache
+    )
+    print(report.describe(timing=timing))
+    if cache is not None:
+        print(cache.stats.describe(), file=sys.stderr)
     if args.json:
         target = Path(args.json)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(report.to_json(), encoding="utf-8")
+        target.write_text(report.to_json(timing=timing), encoding="utf-8")
         print(f"batch JSON written to {args.json}", file=sys.stderr)
+    if args.cache_stats:
+        stats = cache.stats.as_dict() if cache is not None else {}
+        target = Path(args.cache_stats)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json_module.dumps(stats, indent=2), encoding="utf-8"
+        )
+        print(f"cache stats written to {args.cache_stats}",
+              file=sys.stderr)
     return report.exit_code(strict=args.strict)
 
 
@@ -386,6 +435,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print a per-phase timing tree and metrics")
     p_synth.add_argument("--trace-json", default=None, metavar="FILE",
                          help="write a Chrome trace_event JSON file")
+    p_synth.add_argument(
+        "--cache", nargs="?", const=".vase-cache", default=None,
+        metavar="DIR",
+        help="keep pipeline artifacts in an on-disk cache "
+        "(default directory .vase-cache)",
+    )
+    p_synth.add_argument(
+        "--explore-solvers", action="store_true",
+        help="map every enumerated DAE causalization and keep the "
+        "best-area feasible result",
+    )
+    p_synth.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker-pool width for --explore-solvers",
+    )
     p_synth.set_defaults(func=_cmd_synth)
 
     p_profile = sub.add_parser(
@@ -399,6 +463,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the aggregated profile as JSON")
     p_profile.add_argument("--trace-json", default=None, metavar="FILE",
                            help="write the last run's Chrome trace")
+    p_profile.add_argument(
+        "--cache", nargs="?", const=".vase-cache", default=None,
+        metavar="DIR",
+        help="share an on-disk artifact cache across the repeats "
+        "(the per-stage cache hits show what a warm run skips)",
+    )
     p_profile.set_defaults(func=_cmd_profile)
 
     p_explain = sub.add_parser(
@@ -494,6 +564,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-recovery", action="store_true",
                          help="disable the recovery ladder (a failing "
                          "file fails outright)")
+    p_batch.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="synthesize N files concurrently (output is identical "
+        "to the serial run)",
+    )
+    p_batch.add_argument(
+        "--cache", nargs="?", const=".vase-cache", default=None,
+        metavar="DIR",
+        help="share an on-disk artifact cache across files and runs "
+        "(default directory .vase-cache)",
+    )
+    p_batch.add_argument(
+        "--cache-stats", default=None, metavar="FILE",
+        help="write the artifact-cache counters as JSON",
+    )
+    p_batch.add_argument(
+        "--no-timing", action="store_true",
+        help="zero the wall-clock fields so repeated runs produce "
+        "byte-identical output",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_table = sub.add_parser("table1", help="reproduce the paper's Table 1")

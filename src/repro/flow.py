@@ -6,17 +6,24 @@ compiled into VHIF, simple FSMs are realized as analog control circuits
 mapped by branch-and-bound architecture generation, interfacing
 transformations buffer overloaded nets, and the performance estimation
 tools price the result.
+
+Since the staged-pipeline refactor the flow runs on
+:class:`repro.pipeline.PipelineSession`: every phase is a cacheable
+stage with a content-addressed key, so the recovery ladder compiles
+the source once per distinct causalization, ``explore_solvers`` maps
+all enumerated causalizations (concurrently when ``jobs > 1``), and
+``vase batch``/``vase synth --cache`` can share artifacts across runs.
 """
 
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.compiler import CompilerOptions, compile_design, enumerate_solvers
+from repro.compiler import CompilerOptions
 from repro.diagnostics import Diagnostic, Severity, SynthesisError, VaseError
-from repro.estimation import ConstraintSet, Estimator, PerformanceEstimate
+from repro.estimation import ConstraintSet, PerformanceEstimate
 from repro.instrument import (
     ExplorationLog,
     Tracer,
@@ -26,7 +33,8 @@ from repro.instrument import (
     trace_phase,
     tracing,
 )
-from repro.library import ComponentLibrary, PatternMatcher, default_library
+from repro.library import ComponentLibrary, default_library
+from repro.pipeline import ArtifactCache, PipelineSession, run_parallel
 from repro.robust.recovery import (
     OUTCOME_FAILED,
     OUTCOME_RECOVERED,
@@ -40,19 +48,15 @@ from repro.robust.recovery import (
     RecoveryOptions,
     relax_constraints,
 )
-from repro.synth.greedy import map_sfg_greedy
 from repro.synth import (
     InterfacingOptions,
     MapperOptions,
     MappingResult,
     Netlist,
-    apply_interfacing,
-    map_sfg,
 )
 from repro.synth.fsm_mapping import (
     FsmRealizationSummary,
     RealizedControl,
-    realize_event_controls,
     summarize_fsm_realizations,
 )
 from repro.vhif.design import VhifDesign
@@ -95,6 +99,58 @@ class FlowOptions:
     recovery: bool = False
     #: knobs of the recovery ladder (used only when ``recovery`` is on)
     recovery_options: RecoveryOptions = field(default_factory=RecoveryOptions)
+    #: map *every* enumerated DAE causalization (the paper: each
+    #: causalization yields a distinct solver SFG and "synthesis
+    #: considers all of them") and keep the best-area feasible result;
+    #: per-solver outcomes land on ``SynthesisResult.solver_exploration``
+    #: and in the exploration log
+    explore_solvers: bool = False
+    #: worker-pool width for ``explore_solvers`` (and the default for
+    #: batch runs built on this options bag); results are deterministic
+    #: regardless of the worker count
+    jobs: int = 1
+    #: artifact cache shared across runs (``vase synth --cache`` wires
+    #: an on-disk one).  ``None`` means a private per-run cache: stages
+    #: are still reused *within* the run — ladder rungs, solver
+    #: exploration — but repeated calls (``vase profile``) stay cold.
+    cache: Optional[ArtifactCache] = None
+
+
+@dataclass
+class SolverOutcome:
+    """What mapping one DAE causalization produced (explore_solvers)."""
+
+    #: causalization index (the compiler's ``solver_index``)
+    solver: int
+    #: did branch-and-bound find a feasible mapping for this solver SFG
+    feasible: bool
+    area: Optional[float] = None
+    opamps: Optional[int] = None
+    #: failure text when infeasible
+    detail: str = ""
+    #: True for the best-area feasible solver the flow kept
+    chosen: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "solver": self.solver,
+            "feasible": self.feasible,
+            "area": self.area,
+            "opamps": self.opamps,
+            "detail": self.detail,
+            "chosen": self.chosen,
+        }
+
+    def describe(self) -> str:
+        if not self.feasible:
+            return f"solver #{self.solver}: infeasible ({self.detail})"
+        line = (
+            f"solver #{self.solver}: area {self.area * 1e12:,.0f} um^2, "
+            f"{self.opamps} op amp(s)"
+        )
+        if self.chosen:
+            line += " — selected"
+        return line
 
 
 @dataclass
@@ -117,6 +173,11 @@ class SynthesisResult:
     #: recovery-ladder events (non-empty only when synthesis initially
     #: failed and ``FlowOptions.recovery`` climbed the ladder)
     recovery: List[RecoveryEvent] = field(default_factory=list)
+    #: per-causalization outcomes (non-empty only when
+    #: ``FlowOptions.explore_solvers`` mapped more than one solver)
+    solver_exploration: List[SolverOutcome] = field(default_factory=list)
+    #: artifact-cache counters of the run's pipeline session
+    cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def summary(self) -> str:
@@ -146,12 +207,16 @@ class SynthesisResult:
                 )
             )
         for instance in self.interfacing_added:
+            buffered = (
+                f"buffering net {instance.inputs[0]!r}"
+                if instance.inputs
+                else "with no input net recorded"
+            )
             diagnostics.append(
                 Diagnostic(
                     Severity.NOTE,
                     f"interfacing: inserted {instance.spec.name} "
-                    f"{instance.name!r} buffering net "
-                    f"{instance.inputs[0]!r}",
+                    f"{instance.name!r} {buffered}",
                 )
             )
         for event in self.recovery:
@@ -209,6 +274,13 @@ class SynthesisResult:
                 "  infeasible mappings killed by: "
                 f"{search.violation_summary()}"
             )
+        if self.solver_exploration:
+            lines.append(
+                f"  solver exploration "
+                f"({len(self.solver_exploration)} causalization(s)):"
+            )
+            for outcome in self.solver_exploration:
+                lines.append(f"    {outcome.describe()}")
         if self.recovery:
             lines.append(
                 f"  recovery ladder ({len(self.recovery)} attempt(s), "
@@ -216,6 +288,11 @@ class SynthesisResult:
             )
             for event in self.recovery:
                 lines.append(f"    {event.describe()}")
+        if self.cache_stats and self.cache_stats.get("hits"):
+            lines.append(
+                f"  pipeline cache: {self.cache_stats['hits']} stage "
+                f"hit(s), {self.cache_stats['misses']} miss(es)"
+            )
         return "\n".join(lines)
 
     @property
@@ -278,9 +355,23 @@ def synthesize(
     alternative DAE causalizations, then the greedy mapper, then
     bounded constraint relaxation, and the returned result records
     every attempt on ``SynthesisResult.recovery``.
+
+    With ``options.explore_solvers`` enabled, every enumerated DAE
+    causalization is mapped (``options.jobs`` of them concurrently)
+    and the best-area feasible result is returned, the others recorded
+    on ``SynthesisResult.solver_exploration``.
     """
     options = options or FlowOptions()
     library = library or default_library()
+    session = PipelineSession(
+        source,
+        entity_name=entity_name,
+        architecture_name=architecture_name,
+        source_filename=source_filename,
+        options=options,
+        library=library,
+        cache=options.cache,
+    )
 
     # Honour the trace/explog knobs: start a recorder unless one is
     # already active (in which case this run's records join it).
@@ -292,19 +383,17 @@ def synthesize(
         if options.explog and explog is None:
             explog = stack.enter_context(explogging())
         try:
-            result = _synthesize_traced(
-                source, entity_name, library, options, architecture_name,
-                source_filename=source_filename,
-            )
+            if options.explore_solvers:
+                result = _explore_solvers(session)
+            else:
+                result = _synthesize_staged(session)
         except SynthesisError as err:
             if not options.recovery:
                 raise
-            result = _recover(
-                source, entity_name, library, options,
-                architecture_name, err, source_filename=source_filename,
-            )
+            result = _recover(session, err)
     result.trace = tracer
     result.explog = explog
+    result.cache_stats = session.cache.stats.as_dict()
     return result
 
 
@@ -315,14 +404,86 @@ def _emit_recovery(event: RecoveryEvent) -> None:
         explog.emit("recovery", **event.as_dict())
 
 
+def _explore_solvers(session: PipelineSession) -> SynthesisResult:
+    """Map every enumerated causalization, keep the best-area result.
+
+    The paper states that each DAE causalization yields a distinct
+    solver SFG and that synthesis considers all of them; this is that
+    mode.  Attempts run on the bounded worker pool
+    (``options.jobs``-wide); the winner is ``min`` by ``(area,
+    solver_index)``, so the choice is deterministic no matter how many
+    workers raced.  One ``solver_explored`` explog event per solver is
+    emitted — from the calling thread, after the pool joined.
+    """
+    options = session.options
+    with trace_phase("explore_solvers") as span:
+        causalizations = session.enumerate_causalizations()
+        count = len(causalizations)
+        span.annotate(solvers=count)
+        if count <= 1:
+            # Nothing to explore; run the plain staged flow so the
+            # usual spans/diagnostics shape is preserved.
+            return _synthesize_staged(session)
+
+        def attempt(index: int):
+            def run():
+                try:
+                    return index, _synthesize_staged(
+                        session, solver_index=index
+                    ), None
+                except SynthesisError as err:
+                    return index, None, err
+
+            return run
+
+        outcomes = run_parallel(
+            [attempt(index) for index in range(count)],
+            jobs=max(1, options.jobs),
+        )
+
+        best_index: Optional[int] = None
+        best_result: Optional[SynthesisResult] = None
+        exploration: List[SolverOutcome] = []
+        last_error: Optional[SynthesisError] = None
+        for index, result, error in outcomes:
+            if result is not None:
+                area = result.estimate.area
+                if best_result is None or (
+                    (area, index)
+                    < (best_result.estimate.area, best_index)
+                ):
+                    best_index, best_result = index, result
+                exploration.append(SolverOutcome(
+                    solver=index,
+                    feasible=True,
+                    area=area,
+                    opamps=result.estimate.opamps,
+                ))
+            else:
+                last_error = error
+                exploration.append(SolverOutcome(
+                    solver=index, feasible=False, detail=str(error),
+                ))
+
+        explog = active_explog()
+        for outcome in exploration:
+            outcome.chosen = outcome.solver == best_index
+            if explog is not None:
+                explog.emit("solver_explored", **outcome.as_dict())
+
+        if best_result is None:
+            raise SynthesisError(
+                f"explore_solvers: none of {count} causalization(s) "
+                f"mapped feasibly (last failure: {last_error})",
+                statistics=getattr(last_error, "statistics", None),
+            )
+        span.annotate(winner=best_index)
+        best_result.solver_exploration = exploration
+        return best_result
+
+
 def _recover(
-    source: str,
-    entity_name: Optional[str],
-    library: ComponentLibrary,
-    options: FlowOptions,
-    architecture_name: Optional[str],
-    failure: SynthesisError,
-    source_filename: Optional[str] = None,
+    session: PipelineSession, failure: SynthesisError
 ) -> SynthesisResult:
     """Climb the recovery ladder after a failed synthesis attempt.
 
@@ -333,7 +494,13 @@ def _recover(
     tally of the failed searches.  Returns the first recovered result
     (its ``recovery`` list holds the whole climb) or re-raises a
     :class:`SynthesisError` summarizing every attempted rung.
+
+    All rungs run on the shared pipeline session, so the source is
+    parsed once, compiled once per distinct causalization, and the
+    greedy/relaxation rungs reuse the compiled/optimized VHIF artifact
+    outright.
     """
+    options = session.options
     ropts = options.recovery_options
     log = RecoveryLog()
     _emit_recovery(log.record(
@@ -346,67 +513,64 @@ def _recover(
         result.recovery = list(log.events)
         return result
 
-    # Rung 1: alternative DAE causalizations.
+    # Rung 1: alternative DAE causalizations.  Exactly one event when
+    # the rung cannot run: FAILED when enumeration itself died, SKIPPED
+    # when it succeeded but offered no alternative.
     if not ropts.try_causalizations:
         _emit_recovery(log.record(
             RUNG_CAUSALIZATION, "alternative DAE causalizations",
             OUTCOME_SKIPPED, "disabled by RecoveryOptions",
         ))
     else:
+        causalizations = None
         try:
-            causalizations = enumerate_solvers(
-                source,
-                entity_name=entity_name,
+            causalizations = session.enumerate_causalizations(
                 max_solvers=max(
                     options.compiler.max_solvers,
                     ropts.max_causalizations + 1,
                 ),
             )
         except VaseError as err:
-            causalizations = []
             _emit_recovery(log.record(
                 RUNG_CAUSALIZATION, "enumerate DAE causalizations",
                 OUTCOME_FAILED, str(err),
             ))
-        if len(causalizations) <= 1:
-            _emit_recovery(log.record(
-                RUNG_CAUSALIZATION, "alternative DAE causalizations",
-                OUTCOME_SKIPPED,
-                f"{len(causalizations)} causalization(s) available",
-            ))
-        else:
-            baseline = min(
-                options.compiler.solver_index, len(causalizations) - 1
-            )
-            tried = 0
-            for index in range(len(causalizations)):
-                if index == baseline or tried >= ropts.max_causalizations:
-                    continue
-                tried += 1
-                alternative = replace(
-                    options,
-                    compiler=replace(
-                        options.compiler, solver_index=index
-                    ),
+        if causalizations is not None:
+            if len(causalizations) <= 1:
+                _emit_recovery(log.record(
+                    RUNG_CAUSALIZATION, "alternative DAE causalizations",
+                    OUTCOME_SKIPPED,
+                    f"{len(causalizations)} causalization(s) available",
+                ))
+            else:
+                baseline = min(
+                    options.compiler.solver_index, len(causalizations) - 1
                 )
-                try:
-                    result = _synthesize_traced(
-                        source, entity_name, library, alternative,
-                        architecture_name, source_filename=source_filename,
-                    )
-                except SynthesisError as err:
-                    last_stats = err.statistics or last_stats
+                tried = 0
+                for index in range(len(causalizations)):
+                    if (
+                        index == baseline
+                        or tried >= ropts.max_causalizations
+                    ):
+                        continue
+                    tried += 1
+                    try:
+                        result = _synthesize_staged(
+                            session, solver_index=index
+                        )
+                    except SynthesisError as err:
+                        last_stats = err.statistics or last_stats
+                        _emit_recovery(log.record(
+                            RUNG_CAUSALIZATION, f"causalization #{index}",
+                            OUTCOME_FAILED, str(err),
+                        ))
+                        continue
                     _emit_recovery(log.record(
                         RUNG_CAUSALIZATION, f"causalization #{index}",
-                        OUTCOME_FAILED, str(err),
+                        OUTCOME_RECOVERED,
+                        "alternative VHIF topology mapped feasibly",
                     ))
-                    continue
-                _emit_recovery(log.record(
-                    RUNG_CAUSALIZATION, f"causalization #{index}",
-                    OUTCOME_RECOVERED,
-                    "alternative VHIF topology mapped feasibly",
-                ))
-                return _finish(result)
+                    return _finish(result)
 
     # Rung 2: the greedy first-solution mapper (no unconstrained
     # fallback here — an infeasible greedy mapping must fail the rung
@@ -418,11 +582,7 @@ def _recover(
         ))
     else:
         try:
-            result = _synthesize_traced(
-                source, entity_name, library, options,
-                architecture_name, use_greedy=True,
-                source_filename=source_filename,
-            )
+            result = _synthesize_staged(session, use_greedy=True)
         except SynthesisError as err:
             last_stats = err.statistics or last_stats
             _emit_recovery(log.record(
@@ -458,13 +618,7 @@ def _recover(
             current = options.constraints
             if options.derive_constraints_from_annotations:
                 try:
-                    design = compile_design(
-                        source,
-                        entity_name=entity_name,
-                        options=options.compiler,
-                        architecture_name=architecture_name,
-                        source_filename=source_filename,
-                    )
+                    design, _realized, _key = session.prepared()
                     current = derive_constraints(design, current)
                 except VaseError:
                     pass  # relax the explicit set instead
@@ -480,10 +634,8 @@ def _recover(
                     break
                 action = f"relax step {step}: " + "; ".join(changes)
                 try:
-                    result = _synthesize_traced(
-                        source, entity_name, library, options,
-                        architecture_name, constraints_override=relaxed,
-                        source_filename=source_filename,
+                    result = _synthesize_staged(
+                        session, constraints_override=relaxed
                     )
                 except SynthesisError as err:
                     current = relaxed
@@ -513,44 +665,28 @@ def _recover(
     )
 
 
-def _synthesize_traced(
-    source: str,
-    entity_name: Optional[str],
-    library: ComponentLibrary,
-    options: FlowOptions,
-    architecture_name: Optional[str],
+def _synthesize_staged(
+    session: PipelineSession,
+    solver_index: Optional[int] = None,
     use_greedy: bool = False,
     constraints_override: Optional[ConstraintSet] = None,
-    source_filename: Optional[str] = None,
 ) -> SynthesisResult:
-    """The flow proper, one span per Figure-1 phase.
+    """The flow proper: one pipeline stage (and span) per phase.
 
     ``use_greedy`` and ``constraints_override`` are the recovery
     ladder's hooks: the former swaps the branch-and-bound mapper for
     the greedy heuristic (without its unconstrained fallback), the
     latter replaces the constraint set entirely — annotation-derived
     defaults included, since relaxation starts from the derived set.
+    ``solver_index`` is the causalization hook shared by the ladder
+    and the solver-space exploration.  Every stage consults the
+    session's artifact cache, so repeated calls only pay for what
+    actually changed.
     """
+    options = session.options
     with trace_phase("synthesize") as flow_span:
-        with trace_phase("compile"):
-            design = compile_design(
-                source,
-                entity_name=entity_name,
-                options=options.compiler,
-                architecture_name=architecture_name,
-                source_filename=source_filename,
-            )
+        design, realized, design_key = session.prepared(solver_index)
         flow_span.annotate(design=design.name)
-        realized: List[RealizedControl] = []
-        if options.realize_fsm_controls:
-            with trace_phase("realize_fsm_controls") as span:
-                realized = realize_event_controls(design)
-                span.annotate(realized=len(realized))
-        if options.optimize_vhif:
-            from repro.vhif.optimize import optimize_design
-
-            with trace_phase("optimize_vhif"):
-                optimize_design(design)
 
         if constraints_override is not None:
             constraints = constraints_override
@@ -558,39 +694,19 @@ def _synthesize_traced(
             constraints = options.constraints
             if options.derive_constraints_from_annotations:
                 constraints = derive_constraints(design, constraints)
-        estimator = Estimator(constraints=constraints)
-        matcher = PatternMatcher(
-            library, enable_transforms=options.mapper.enable_transforms
+
+        mapping, map_key = session.mapped(
+            design, design_key, constraints, use_greedy
         )
-        with trace_phase("map") as span:
-            if use_greedy:
-                mapping = map_sfg_greedy(
-                    design.main_sfg,
-                    library=library,
-                    estimator=estimator,
-                    matcher=matcher,
-                    fallback_unconstrained=False,
-                )
-            else:
-                mapping = map_sfg(
-                    design.main_sfg,
-                    library=library,
-                    estimator=estimator,
-                    options=options.mapper,
-                    matcher=matcher,
-                )
-            span.annotate(**mapping.statistics.as_dict())
         netlist = mapping.netlist
         interfacing_added: List[object] = []
+        upstream_key = map_key
         if options.interfacing is not None:
-            with trace_phase("interfacing") as span:
-                interfacing_added = apply_interfacing(
-                    netlist, design, options.interfacing
-                )
-                span.annotate(followers_added=len(interfacing_added))
-        with trace_phase("estimate") as span:
-            estimate = estimator.estimate(netlist)
-            span.annotate(area=estimate.area, opamps=estimate.opamps)
+            netlist, interfacing_added, upstream_key = session.interfaced(
+                netlist, design, map_key
+            )
+            mapping.netlist = netlist
+        estimate, _ = session.estimated(netlist, constraints, upstream_key)
     return SynthesisResult(
         design=design,
         netlist=netlist,

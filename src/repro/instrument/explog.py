@@ -60,6 +60,7 @@ replays into the same structure ``vase explain --dot`` renders.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, IO, Iterator, List, Optional
 
 
@@ -146,33 +147,38 @@ class ExplorationLog:
         return log
 
 
-# -- the process-wide active recorder -------------------------------------
+# -- the active recorder (per thread) --------------------------------------
+#
+# Thread-local for the same reason as the tracer: the recorder's event
+# list and sequence counter are not thread-safe, and the pipeline's
+# worker pools run mapper searches on worker threads.  Workers see no
+# recorder and emit nothing; the enabling thread's log is unchanged,
+# and the solver-space exploration emits its per-solver events from
+# the calling thread after the pool has joined.
 
-_ACTIVE: Optional[ExplorationLog] = None
+_TLS = threading.local()
 
 
 def active_explog() -> Optional[ExplorationLog]:
-    """The active recorder, or ``None`` while exploration logging is off.
+    """This thread's recorder, or ``None`` while logging is off.
 
     Hot call sites capture this once per run and guard each emit with
     an ``is None`` test — the whole disabled cost.
     """
-    return _ACTIVE
+    return getattr(_TLS, "explog", None)
 
 
 def enable_explog(log: Optional[ExplorationLog] = None) -> ExplorationLog:
-    """Install ``log`` (or a fresh one) as the active recorder."""
-    global _ACTIVE
+    """Install ``log`` (or a fresh one) as this thread's recorder."""
     # ``is None``, not truthiness: an empty log is falsy via __len__.
-    _ACTIVE = log if log is not None else ExplorationLog()
-    return _ACTIVE
+    _TLS.explog = log if log is not None else ExplorationLog()
+    return _TLS.explog
 
 
 def disable_explog() -> Optional[ExplorationLog]:
     """Deactivate exploration logging; returns the recorder that was on."""
-    global _ACTIVE
-    log = _ACTIVE
-    _ACTIVE = None
+    log = active_explog()
+    _TLS.explog = None
     return log
 
 
@@ -189,12 +195,10 @@ class explogging:
         self._previous: Optional[ExplorationLog] = None
 
     def __enter__(self) -> ExplorationLog:
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self._log
+        self._previous = active_explog()
+        _TLS.explog = self._log
         return self._log
 
     def __exit__(self, *exc) -> bool:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _TLS.explog = self._previous
         return False

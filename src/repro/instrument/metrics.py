@@ -12,8 +12,9 @@ Hot paths of the flow publish effort counters here so a run can answer
 * ``spice.*`` — MNA system factorizations and AC sweep points;
 * ``frontend.*`` — lexer tokens and parser AST nodes.
 
-The registry is deliberately primitive — plain dict updates guarded by
-an ``enabled`` flag — so publishing from a hot loop is cheap, and
+The registry is deliberately primitive — dict updates under one lock,
+guarded by an ``enabled`` flag — so publishing from a hot loop is
+cheap (and safe from the pipeline's worker threads), and
 :func:`MetricsRegistry.disable` turns every publish into one attribute
 test.  Use ``metrics()`` for the process-wide instance; tests create
 private registries.
@@ -21,6 +22,7 @@ private registries.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 
@@ -67,26 +69,30 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- publishing (hot path) ---------------------------------------------------
 
     def inc(self, name: str, value: float = 1) -> None:
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
 
     # -- switches ----------------------------------------------------------------
 

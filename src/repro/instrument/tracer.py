@@ -26,6 +26,7 @@ A finished tracer renders two ways:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -204,35 +205,43 @@ def _jsonable(value: object) -> object:
     return str(value)
 
 
-# -- the process-wide active tracer ---------------------------------------------
+# -- the active tracer (per thread) ---------------------------------------------
+#
+# Thread-local, not a module global: a Tracer's span stack is not
+# thread-safe, and the pipeline's worker pools (explore_solvers,
+# ``vase batch --jobs``) run flow stages on worker threads.  Workers
+# simply see no active tracer (their spans are no-ops); the thread
+# that enabled tracing keeps its tree exactly as before.
 
-_ACTIVE: Optional[Tracer] = None
+_TLS = threading.local()
+
+
+def _active() -> Optional[Tracer]:
+    return getattr(_TLS, "tracer", None)
 
 
 def trace_phase(name: str, **attrs):
-    """Open a span on the active tracer, or a no-op when disabled."""
-    tracer = _ACTIVE
+    """Open a span on this thread's active tracer, or a no-op."""
+    tracer = _active()
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, **attrs)
 
 
 def active_tracer() -> Optional[Tracer]:
-    return _ACTIVE
+    return _active()
 
 
 def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
-    """Install ``tracer`` (or a fresh one) as the active tracer."""
-    global _ACTIVE
-    _ACTIVE = tracer or Tracer()
-    return _ACTIVE
+    """Install ``tracer`` (or a fresh one) as this thread's tracer."""
+    _TLS.tracer = tracer or Tracer()
+    return _TLS.tracer
 
 
 def disable_tracing() -> Optional[Tracer]:
     """Deactivate tracing; returns the tracer that was active."""
-    global _ACTIVE
-    tracer = _ACTIVE
-    _ACTIVE = None
+    tracer = _active()
+    _TLS.tracer = None
     return tracer
 
 
@@ -250,12 +259,10 @@ class tracing:
         self._previous: Optional[Tracer] = None
 
     def __enter__(self) -> Tracer:
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self._tracer
+        self._previous = _active()
+        _TLS.tracer = self._tracer
         return self._tracer
 
     def __exit__(self, *exc) -> bool:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _TLS.tracer = self._previous
         return False

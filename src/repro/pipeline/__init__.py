@@ -1,0 +1,52 @@
+"""Staged synthesis pipeline: cacheable artifacts and bounded parallelism.
+
+The Figure-1 flow of the paper, restructured as first-class stages.
+See :mod:`repro.pipeline.stages` for the stage graph,
+:mod:`repro.pipeline.cache` for the two-tier artifact cache and
+:mod:`repro.pipeline.parallel` for the deterministic worker pool used
+by ``FlowOptions.explore_solvers`` and ``vase batch --jobs``.
+"""
+
+from repro.pipeline.cache import MISS, ArtifactCache, CacheStats
+from repro.pipeline.fingerprint import (
+    canonicalize,
+    fingerprint,
+    library_fingerprint,
+    stage_key,
+)
+from repro.pipeline.parallel import run_parallel
+from repro.pipeline.stages import (
+    ALL_STAGES,
+    COMPILE,
+    ENUMERATE,
+    ESTIMATE,
+    FRONTEND,
+    INTERFACE,
+    MAP,
+    OPTIMIZE,
+    REALIZE_FSM,
+    PipelineSession,
+    StageDef,
+)
+
+__all__ = [
+    "ALL_STAGES",
+    "ArtifactCache",
+    "CacheStats",
+    "COMPILE",
+    "ENUMERATE",
+    "ESTIMATE",
+    "FRONTEND",
+    "INTERFACE",
+    "MAP",
+    "MISS",
+    "OPTIMIZE",
+    "PipelineSession",
+    "REALIZE_FSM",
+    "StageDef",
+    "canonicalize",
+    "fingerprint",
+    "library_fingerprint",
+    "run_parallel",
+    "stage_key",
+]

@@ -1,0 +1,34 @@
+"""A bounded worker pool with deterministic result ordering.
+
+Used by the solver-space exploration (``FlowOptions.explore_solvers``)
+and by ``vase batch --jobs``: callers pass a list of zero-argument
+thunks and always get the results back **in submission order**, no
+matter how many workers ran them or in which order they finished — so
+a parallel run is output-identical to the serial one.
+
+Thunks are expected to capture their own failures (the batch runner
+and the solver explorer both return outcome objects rather than
+raising); an exception that does escape a thunk propagates to the
+caller exactly as in the serial case.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def run_parallel(
+    thunks: Sequence[Callable[[], T]], jobs: int = 1
+) -> List[T]:
+    """Run every thunk, ``jobs`` at a time; results in submission order."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    workers = min(jobs, len(thunks))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]

@@ -135,6 +135,31 @@ def generate_report(
         )
     lines.append("")
 
+    if result.solver_exploration:
+        lines.append("## Solver-space exploration")
+        lines.append("")
+        lines.append(
+            "Every enumerated DAE causalization was mapped; the flow "
+            "kept the best-area feasible result."
+        )
+        lines.append("")
+        lines.append("| solver | outcome | area | op amps | note |")
+        lines.append("|---|---|---|---|---|")
+        for outcome in result.solver_exploration:
+            if outcome.feasible:
+                note = "**selected**" if outcome.chosen else "-"
+                lines.append(
+                    f"| #{outcome.solver} | feasible | "
+                    f"{outcome.area * 1e12:,.0f} um^2 | "
+                    f"{outcome.opamps} | {note} |"
+                )
+            else:
+                lines.append(
+                    f"| #{outcome.solver} | infeasible | - | - | "
+                    f"{outcome.detail} |"
+                )
+        lines.append("")
+
     if result.recovery:
         lines.append("## Recovery")
         lines.append("")

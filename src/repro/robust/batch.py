@@ -13,6 +13,13 @@ in exactly one bucket:
   error-recovery mode, so *all* of them are reported), semantic or
   synthesis errors, or an unexpected exception.
 
+``jobs > 1`` runs files on the pipeline's bounded worker pool; results
+come back in input order, so a parallel run's report is identical to
+the serial one (``--no-timing`` additionally zeroes the wall-clock
+fields, making the JSON byte-identical).  An
+:class:`~repro.pipeline.ArtifactCache` passed as ``cache`` is shared
+by every file — and, with a ``disk_dir``, across whole batch runs.
+
 The exit-code policy is deliberate: ``0`` when every file is at least
 degraded, ``1`` when anything failed — and ``--strict`` promotes
 degraded results to failures for CI gates that must not ship loosened
@@ -25,7 +32,9 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
+
+from repro.pipeline import ArtifactCache, run_parallel
 
 #: Per-file outcome buckets.
 STATUS_OK = "ok"
@@ -56,11 +65,11 @@ class BatchEntry:
     #: recovery-ladder events, when the ladder ran
     recovery: List[Dict[str, object]] = field(default_factory=list)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self, timing: bool = True) -> Dict[str, object]:
         return {
             "file": self.file,
             "status": self.status,
-            "elapsed_s": round(self.elapsed_s, 6),
+            "elapsed_s": round(self.elapsed_s, 6) if timing else 0.0,
             "design": self.design,
             "summary": self.summary,
             "error": self.error,
@@ -91,6 +100,8 @@ class BatchReport:
 
     entries: List[BatchEntry] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: counters of the shared artifact cache, when one was used
+    cache: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> int:
@@ -104,26 +115,34 @@ class BatchReport:
     def failed(self) -> int:
         return sum(1 for e in self.entries if e.status == STATUS_FAILED)
 
-    def as_dict(self) -> Dict[str, object]:
-        return {
+    def as_dict(self, timing: bool = True) -> Dict[str, object]:
+        """JSON-ready report; ``timing=False`` zeroes wall-clock fields
+        (and drops the cache counters) so two runs of the same inputs
+        serialize byte-identically."""
+        payload: Dict[str, object] = {
             "files": len(self.entries),
             "ok": self.ok,
             "degraded": self.degraded,
             "failed": self.failed,
-            "elapsed_s": round(self.elapsed_s, 6),
-            "entries": [e.as_dict() for e in self.entries],
+            "elapsed_s": round(self.elapsed_s, 6) if timing else 0.0,
+            "entries": [e.as_dict(timing=timing) for e in self.entries],
         }
+        if timing and self.cache is not None:
+            payload["cache"] = self.cache
+        return payload
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.as_dict(), indent=indent)
+    def to_json(self, indent: int = 2, timing: bool = True) -> str:
+        return json.dumps(self.as_dict(timing=timing), indent=indent)
 
-    def describe(self) -> str:
+    def describe(self, timing: bool = True) -> str:
         lines = [entry.describe() for entry in self.entries]
-        lines.append(
+        tail = (
             f"{len(self.entries)} files: {self.ok} ok, "
-            f"{self.degraded} degraded, {self.failed} failed "
-            f"({self.elapsed_s:.2f} s)"
+            f"{self.degraded} degraded, {self.failed} failed"
         )
+        if timing:
+            tail += f" ({self.elapsed_s:.2f} s)"
+        lines.append(tail)
         return "\n".join(lines)
 
     def exit_code(self, strict: bool = False) -> int:
@@ -146,10 +165,64 @@ def find_sources(root: Path) -> List[Path]:
     )
 
 
+def _run_one(path: Path, options, library) -> BatchEntry:
+    """Synthesize one file; every failure becomes a FAILED entry."""
+    # Imported lazily: repro.flow imports the mapper, which imports the
+    # fault-injection hooks from this package.
+    from repro.diagnostics import Severity, VaseError
+    from repro.flow import synthesize
+    from repro.vass.parser import parse_source_collecting
+
+    entry = BatchEntry(file=str(path), status=STATUS_FAILED)
+    start = time.perf_counter()
+    try:
+        text = path.read_text()
+    except OSError as err:
+        entry.error = f"cannot read: {err}"
+        entry.elapsed_s = time.perf_counter() - start
+        return entry
+    try:
+        _units, parse_errors = parse_source_collecting(
+            text, filename=str(path)
+        )
+        if parse_errors:
+            entry.errors = [str(err) for err in parse_errors]
+            entry.error = entry.errors[0]
+            entry.elapsed_s = time.perf_counter() - start
+            return entry
+        result = synthesize(
+            text,
+            options=options,
+            library=library,
+            source_filename=str(path),
+        )
+    except VaseError as err:
+        entry.error = str(err)
+    except Exception as err:  # noqa: BLE001 - isolation is the point
+        entry.error = f"internal error: {type(err).__name__}: {err}"
+    else:
+        entry.design = result.design.name
+        entry.summary = result.summary
+        entry.warnings = [
+            str(d)
+            for d in result.diagnostics
+            if d.severity is not Severity.NOTE
+        ]
+        entry.recovery = [e.as_dict() for e in result.recovery]
+        recovered = any(
+            e.outcome == "recovered" for e in result.recovery
+        )
+        entry.status = STATUS_DEGRADED if recovered else STATUS_OK
+    entry.elapsed_s = time.perf_counter() - start
+    return entry
+
+
 def run_batch(
     files: Iterable[Path],
     options: Optional[object] = None,
     library: Optional[object] = None,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
 ) -> BatchReport:
     """Synthesize every file, isolating failures per file.
 
@@ -158,63 +231,32 @@ def run_batch(
     over hard stops).  Nothing a single file does — syntax error,
     infeasible constraints, even an unexpected exception — stops the
     remaining files.
+
+    ``jobs`` widens the worker pool; entries always come back in input
+    order, so the report content is independent of the worker count.
+    ``cache`` is an artifact cache shared by every file of the run
+    (stage keys are content-addressed, so sharing is always safe).
     """
-    # Imported lazily: repro.flow imports the mapper, which imports the
-    # fault-injection hooks from this package.
-    from repro.diagnostics import Severity, VaseError
-    from repro.flow import FlowOptions, synthesize
-    from repro.vass.parser import parse_source_collecting
+    from dataclasses import replace
+
+    from repro.flow import FlowOptions
 
     if options is None:
         options = FlowOptions(recovery=True)
+    if cache is not None:
+        options = replace(options, cache=cache)
 
+    paths = [Path(path) for path in files]
     report = BatchReport()
     batch_start = time.perf_counter()
-    for path in files:
-        path = Path(path)
-        entry = BatchEntry(file=str(path), status=STATUS_FAILED)
-        start = time.perf_counter()
-        try:
-            text = path.read_text()
-        except OSError as err:
-            entry.error = f"cannot read: {err}"
-            entry.elapsed_s = time.perf_counter() - start
-            report.entries.append(entry)
-            continue
-        try:
-            _units, parse_errors = parse_source_collecting(
-                text, filename=str(path)
-            )
-            if parse_errors:
-                entry.errors = [str(err) for err in parse_errors]
-                entry.error = entry.errors[0]
-                entry.elapsed_s = time.perf_counter() - start
-                report.entries.append(entry)
-                continue
-            result = synthesize(
-                text,
-                options=options,
-                library=library,
-                source_filename=str(path),
-            )
-        except VaseError as err:
-            entry.error = str(err)
-        except Exception as err:  # noqa: BLE001 - isolation is the point
-            entry.error = f"internal error: {type(err).__name__}: {err}"
-        else:
-            entry.design = result.design.name
-            entry.summary = result.summary
-            entry.warnings = [
-                str(d)
-                for d in result.diagnostics
-                if d.severity is not Severity.NOTE
-            ]
-            entry.recovery = [e.as_dict() for e in result.recovery]
-            recovered = any(
-                e.outcome == "recovered" for e in result.recovery
-            )
-            entry.status = STATUS_DEGRADED if recovered else STATUS_OK
-        entry.elapsed_s = time.perf_counter() - start
-        report.entries.append(entry)
+    report.entries = run_parallel(
+        [
+            (lambda path=path: _run_one(path, options, library))
+            for path in paths
+        ],
+        jobs=jobs,
+    )
     report.elapsed_s = time.perf_counter() - batch_start
+    if cache is not None:
+        report.cache = cache.stats.as_dict()
     return report
