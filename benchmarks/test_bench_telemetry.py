@@ -1,0 +1,97 @@
+"""Benchmark: telemetry overhead — disabled free, quiet bus near-free.
+
+Three configurations of the same biquad synthesis, best-of-N each:
+
+1. **off** — no bus installed; every hot path takes the
+   ``active_bus() is None`` early-out.  This is the default.
+2. **quiet** — a bus is active process-wide but has no subscribers and
+   the flow does not force the tracer/explog on: measures the pure
+   publish cost (seq assignment + dispatch loop over zero subscribers).
+3. **sink** — ``FlowOptions(telemetry=...)`` with a JSONL sink: the
+   full-fat configuration (tracer and explog forced on, every event
+   serialized to disk).
+
+The gate is on (2) vs (1): an active-but-quiet bus must stay within a
+noise budget of the disabled path.  (3) is reported for the perf
+trajectory, not gated — paying for what you ask for is fine.
+"""
+
+import time
+from pathlib import Path
+
+from repro.flow import FlowOptions, synthesize
+from repro.instrument import JsonlSink, TelemetryBus, active_bus, telemetry
+
+from conftest import banner
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+BIQUAD = (EXAMPLES / "biquad.vhd").read_text()
+
+ROUNDS = 7
+
+
+def _best(run, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_telemetry_overhead(benchmark, bench_metrics, tmp_path):
+    assert active_bus() is None
+
+    def off():
+        synthesize(BIQUAD)
+
+    def quiet():
+        with telemetry():
+            synthesize(BIQUAD)
+
+    def sink():
+        bus = TelemetryBus()
+        with JsonlSink(str(tmp_path / "events.jsonl")) as handle:
+            bus.subscribe(handle)
+            synthesize(BIQUAD, options=FlowOptions(telemetry=bus))
+
+    def run():
+        off()  # warm caches/imports before timing anything
+        return _best(off), _best(quiet), _best(sink)
+
+    off_s, quiet_s, sink_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    count_bus = TelemetryBus()
+    with telemetry(count_bus):
+        synthesize(BIQUAD)
+    quiet_events = count_bus.published()
+    count_bus = TelemetryBus()
+    with JsonlSink(str(tmp_path / "count.jsonl")) as handle:
+        count_bus.subscribe(handle)
+        synthesize(BIQUAD, options=FlowOptions(telemetry=count_bus))
+    sink_events = count_bus.published()
+
+    banner("Telemetry overhead: off vs quiet bus vs JSONL sink")
+    print(f"off   : {off_s * 1e3:8.2f} ms  (no bus, best of {ROUNDS})")
+    print(f"quiet : {quiet_s * 1e3:8.2f} ms  "
+          f"({quiet_events} events, no subscribers; "
+          f"{quiet_s / off_s:.2f}x)")
+    print(f"sink  : {sink_s * 1e3:8.2f} ms  "
+          f"({sink_events} events incl. forced tracer+explog; "
+          f"{sink_s / off_s:.2f}x)")
+    bench_metrics["off_s"] = off_s
+    bench_metrics["quiet_s"] = quiet_s
+    bench_metrics["sink_s"] = sink_s
+    bench_metrics["quiet_events"] = quiet_events
+    bench_metrics["sink_events"] = sink_events
+
+    # The gate: an active bus nobody listens to must stay within 15%
+    # (plus a 5 ms absolute floor against scheduler noise on a ~10 ms
+    # flow) of the no-bus run — and by implication the no-bus run,
+    # whose only new cost is ``active_bus() is None`` checks, is free.
+    assert quiet_s <= off_s * 1.15 + 5e-3, (
+        f"quiet bus took {quiet_s * 1e3:.2f} ms vs "
+        f"telemetry-off {off_s * 1e3:.2f} ms"
+    )

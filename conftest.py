@@ -13,6 +13,16 @@ import os
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _no_default_ledger(monkeypatch):
+    """Keep test runs from appending to a ``.vase-ledger/`` in the cwd.
+
+    The CLI's run ledger is on by default; tests that want one pass an
+    explicit ``--ledger`` path (which overrides the environment).
+    """
+    monkeypatch.setenv("VASE_LEDGER", "off")
+
+
 @pytest.fixture
 def fault_injector():
     """Deterministic fault injection with guaranteed teardown.

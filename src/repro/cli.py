@@ -7,18 +7,27 @@ Subcommands::
                   [--trace] [--trace-json FILE]  #   + per-phase timing
                   [--cache [DIR]]                #   on-disk artifact cache
                   [--explore-solvers] [--jobs N] #   map all causalizations
+                  [--events FILE]                #   telemetry-bus JSONL
+                  [--ledger PATH] [--no-ledger]  #   run-ledger control
     vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
     vase verify   FILE [--amplitude A] [...]     # spec-vs-circuit check
     vase ac       FILE [--f-start F] [...]       # AC sweep of the circuit
     vase profile  FILE [--repeat N] [--cache]    # where does the time go
     vase explain  FILE [--jsonl F] [--dot F]     # why this architecture:
                   [--html F]                     #   decision-level replay
+    vase metrics  [FILE] [--prom] [--json]       # metrics snapshot: table,
+                  [--from-json F] [--out F]      #   Prometheus, or JSON
     vase bench-check [--update] [...]            # metrics regression gate
     vase check    FILE...                        # syntax check, all errors
     vase batch    DIR [--json F] [--strict]      # synthesize every file,
                   [--no-recovery] [--jobs N]     #   per-file isolation
                   [--cache [DIR]]                #   shared artifact cache
                   [--cache-stats F][--no-timing] #   deterministic output
+                  [--events FILE] [--progress]   #   live telemetry
+                  [--metrics-out FILE]           #   Prometheus dump
+    vase history  [--limit N] [--outcome O]      # recent runs from the
+                  [--source S] [--json]          #   persistent ledger
+    vase stats    [--json]                       # ledger-wide aggregates
     vase table1                                  # reproduce Table 1
     vase examples                                # list bundled applications
 
@@ -84,7 +93,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.flow import FlowOptions
+    from repro.instrument import JsonlSink, TelemetryBus, resolve_ledger
     from repro.pipeline import ArtifactCache
 
     source = _load_source(args.file)
@@ -94,18 +106,32 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         if args.cache is not None
         else None
     )
-    options = FlowOptions(
-        trace=want_trace,
-        explore_solvers=args.explore_solvers,
-        jobs=args.jobs,
-        cache=cache,
-    )
-    result = synthesize(
-        source,
-        entity_name=args.entity,
-        options=options,
-        source_filename=_source_filename(args.file),
-    )
+    with ExitStack() as stack:
+        bus = None
+        if args.events:
+            bus = TelemetryBus()
+            sink = stack.enter_context(JsonlSink(args.events))
+            bus.subscribe(sink)
+        options = FlowOptions(
+            trace=want_trace,
+            explore_solvers=args.explore_solvers,
+            jobs=args.jobs,
+            cache=cache,
+            telemetry=bus,
+            ledger=resolve_ledger(args.ledger, args.no_ledger),
+        )
+        result = synthesize(
+            source,
+            entity_name=args.entity,
+            options=options,
+            source_filename=_source_filename(args.file),
+        )
+        if bus is not None:
+            print(
+                f"telemetry: {bus.published()} event(s) "
+                f"(run {result.run_id}) written to {args.events}",
+                file=sys.stderr,
+            )
     for diagnostic in result.diagnostics:
         print(str(diagnostic), file=sys.stderr)
     if cache is not None:
@@ -113,7 +139,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(result.describe())
     print()
     print(result.netlist.describe())
-    if result.trace is not None:
+    if result.trace is not None and want_trace:
         from repro.instrument import metrics
 
         print("\ntiming tree:")
@@ -340,9 +366,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json as json_module
+    from contextlib import ExitStack
     from pathlib import Path
 
     from repro.flow import FlowOptions
+    from repro.instrument import (
+        JsonlSink,
+        ProgressRenderer,
+        TelemetryBus,
+        resolve_ledger,
+        telemetry,
+    )
     from repro.pipeline import ArtifactCache
     from repro.robust.batch import find_sources, run_batch
 
@@ -358,9 +392,40 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else None
     )
     timing = not args.no_timing
-    report = run_batch(
-        files, options=options, jobs=args.jobs, cache=cache
-    )
+    with ExitStack() as stack:
+        bus = None
+        if args.events or args.progress:
+            bus = TelemetryBus()
+            if args.events:
+                sink = stack.enter_context(JsonlSink(args.events))
+                bus.subscribe(sink)
+            if args.progress:
+                bus.subscribe(ProgressRenderer())
+            stack.enter_context(telemetry(bus))
+        report = run_batch(
+            files,
+            options=options,
+            jobs=args.jobs,
+            cache=cache,
+            ledger=resolve_ledger(args.ledger, args.no_ledger),
+            source_label=str(root),
+        )
+        if bus is not None and args.events:
+            print(
+                f"telemetry: {bus.published()} event(s) written to "
+                f"{args.events}",
+                file=sys.stderr,
+            )
+    if args.metrics_out:
+        from repro.instrument import metrics, render_prometheus
+
+        target = Path(args.metrics_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            render_prometheus(metrics().snapshot()), encoding="utf-8"
+        )
+        print(f"Prometheus metrics written to {args.metrics_out}",
+              file=sys.stderr)
     print(report.describe(timing=timing))
     if cache is not None:
         print(cache.stats.describe(), file=sys.stderr)
@@ -379,6 +444,116 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"cache stats written to {args.cache_stats}",
               file=sys.stderr)
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.instrument import metrics, render_prometheus
+
+    if args.from_json:
+        with open(args.from_json, "r", encoding="utf-8") as handle:
+            snapshot = json_module.load(handle)
+    else:
+        if not args.file:
+            print("error: vase metrics needs FILE (or --from-json SNAP)",
+                  file=sys.stderr)
+            return 1
+        source = _load_source(args.file)
+        registry = metrics()
+        registry.reset()
+        synthesize(
+            source,
+            entity_name=args.entity,
+            source_filename=_source_filename(args.file),
+        )
+        snapshot = registry.snapshot()
+
+    if args.prom:
+        text = render_prometheus(snapshot)
+    elif args.json:
+        text = json_module.dumps(snapshot, indent=2) + "\n"
+    else:
+        registry = metrics()
+        if args.from_json:
+            # Rebuild a table from the snapshot's plain data.
+            lines = []
+            for name, value in snapshot.get("counters", {}).items():
+                lines.append(f"{name:<40} {value:>12g}")
+            for name, value in snapshot.get("gauges", {}).items():
+                lines.append(f"{name:<40} {value:>12g}  (gauge)")
+            for name, hist in snapshot.get("histograms", {}).items():
+                lines.append(
+                    f"{name:<40} {hist.get('count', 0):>12g}  "
+                    f"(mean {hist.get('mean', 0.0):g})"
+                )
+            text = "\n".join(lines) + "\n"
+        else:
+            text = registry.format_table() + "\n"
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"metrics written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _resolve_cli_ledger(flag):
+    """The ledger a read-only verb should look at, or ``None``."""
+    from repro.instrument import resolve_ledger
+
+    return resolve_ledger(flag, disabled=False)
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    ledger = _resolve_cli_ledger(args.ledger)
+    if ledger is None or not ledger.exists():
+        where = ledger.path if ledger is not None else "(disabled)"
+        print(f"error: no run ledger at {where} — run `vase synth` or "
+              "`vase batch` first", file=sys.stderr)
+        return 1
+    records = ledger.tail(
+        limit=args.limit, outcome=args.outcome, source=args.source
+    )
+    if args.json:
+        print(json_module.dumps(
+            [record.as_dict() for record in records], indent=2
+        ))
+        return 0
+    if not records:
+        print("no matching runs")
+        return 0
+    for record in records:
+        print(record.describe())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.instrument import format_stats, summarize
+
+    ledger = _resolve_cli_ledger(args.ledger)
+    if ledger is None or not ledger.exists():
+        where = ledger.path if ledger is not None else "(disabled)"
+        print(f"error: no run ledger at {where} — run `vase synth` or "
+              "`vase batch` first", file=sys.stderr)
+        return 1
+    records = ledger.records()
+    stats = summarize(records)
+    if ledger.skipped:
+        print(f"warning: skipped {ledger.skipped} corrupt ledger line(s)",
+              file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(stats, indent=2))
+    else:
+        print(f"ledger: {ledger.path}")
+        print(format_stats(stats))
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -449,6 +624,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker-pool width for --explore-solvers",
+    )
+    p_synth.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="stream every telemetry event of the run (spans, metric "
+        "deltas, explog decisions, cache ops, lifecycle) as JSONL",
+    )
+    p_synth.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append the run record to this ledger (default "
+        ".vase-ledger/, or the VASE_LEDGER environment variable)",
+    )
+    p_synth.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the ledger",
     )
     p_synth.set_defaults(func=_cmd_synth)
 
@@ -584,7 +773,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="zero the wall-clock fields so repeated runs produce "
         "byte-identical output",
     )
+    p_batch.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="stream the whole batch's telemetry events as JSONL "
+        "(one shared run id; per-file lifecycle events included)",
+    )
+    p_batch.add_argument(
+        "--progress", action="store_true",
+        help="render live per-file progress from the telemetry bus",
+    )
+    p_batch.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics registry in Prometheus text "
+        "exposition format after the run",
+    )
+    p_batch.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append the batch record to this ledger (default "
+        ".vase-ledger/, or the VASE_LEDGER environment variable)",
+    )
+    p_batch.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the ledger",
+    )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="metrics snapshot of one synthesis run (or a saved "
+        "snapshot): text table, --prom, or --json",
+    )
+    p_metrics.add_argument(
+        "file", nargs="?", default=None,
+        help="VASS file or bundled app name (omit with --from-json)",
+    )
+    p_metrics.add_argument("--entity", default=None)
+    p_metrics.add_argument(
+        "--prom", action="store_true",
+        help="render in Prometheus text exposition format",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true",
+        help="render the raw snapshot as JSON",
+    )
+    p_metrics.add_argument(
+        "--from-json", default=None, metavar="SNAP",
+        help="render a previously saved snapshot JSON instead of "
+        "running a synthesis",
+    )
+    p_metrics.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_history = sub.add_parser(
+        "history", help="recent runs from the persistent run ledger"
+    )
+    p_history.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger to read (default .vase-ledger/ or VASE_LEDGER)",
+    )
+    p_history.add_argument(
+        "--limit", type=_positive_int, default=20, metavar="N",
+        help="show at most N runs (default 20)",
+    )
+    p_history.add_argument(
+        "--outcome", default=None, choices=["ok", "degraded", "failed"],
+        help="only runs with this outcome",
+    )
+    p_history.add_argument(
+        "--source", default=None, metavar="SUBSTR",
+        help="only runs whose source matches this substring",
+    )
+    p_history.add_argument("--json", action="store_true",
+                           help="emit the records as JSON")
+    p_history.set_defaults(func=_cmd_history)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="aggregates across the run ledger: outcome and "
+        "degradation rates, cache hit rate, duration percentiles",
+    )
+    p_stats.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger to read (default .vase-ledger/ or VASE_LEDGER)",
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the aggregates as JSON")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_table = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p_table.set_defaults(func=_cmd_table1)

@@ -17,6 +17,7 @@ all enumerated causalizations (concurrently when ``jobs > 1``), and
 
 from __future__ import annotations
 
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -32,6 +33,20 @@ from repro.instrument import (
     explogging,
     trace_phase,
     tracing,
+)
+from repro.instrument.events import (
+    CATEGORY_LIFECYCLE,
+    TelemetryBus,
+    active_bus,
+    current_run_id,
+    new_run_id,
+    run_scope,
+    telemetry,
+)
+from repro.instrument.ledger import (
+    RunLedger,
+    record_for_failure,
+    record_for_result,
 )
 from repro.library import ComponentLibrary, default_library
 from repro.pipeline import ArtifactCache, PipelineSession, run_parallel
@@ -114,6 +129,17 @@ class FlowOptions:
     #: are still reused *within* the run — ladder rungs, solver
     #: exploration — but repeated calls (``vase profile``) stay cold.
     cache: Optional[ArtifactCache] = None
+    #: telemetry bus for this run (``vase synth --events`` wires a
+    #: JSONL sink onto one).  Installing a bus process-wide for the
+    #: run's duration also turns on tracing and exploration logging if
+    #: they are off, so a single run emits every event category.  When
+    #: a bus is already active process-wide, events always join it
+    #: regardless of this knob.
+    telemetry: Optional[TelemetryBus] = None
+    #: run ledger this run appends its outcome record to (the CLI
+    #: resolves ``.vase-ledger/`` / ``VASE_LEDGER`` onto this knob;
+    #: ``None`` means no persistence)
+    ledger: Optional[RunLedger] = None
 
 
 @dataclass
@@ -178,6 +204,9 @@ class SynthesisResult:
     solver_exploration: List[SolverOutcome] = field(default_factory=list)
     #: artifact-cache counters of the run's pipeline session
     cache_stats: Optional[Dict[str, object]] = None
+    #: telemetry run id of this run (every bus event and the ledger
+    #: record of the run carry the same id)
+    run_id: Optional[str] = None
 
     @property
     def summary(self) -> str:
@@ -373,27 +402,90 @@ def synthesize(
         cache=options.cache,
     )
 
-    # Honour the trace/explog knobs: start a recorder unless one is
-    # already active (in which case this run's records join it).
+    # Honour the trace/explog/telemetry knobs: start a recorder unless
+    # one is already active (in which case this run's records join it).
     tracer = active_tracer()
     explog = active_explog()
+    started = time.perf_counter()
     with ExitStack() as stack:
+        if options.telemetry is not None and active_bus() is None:
+            stack.enter_context(telemetry(options.telemetry))
+            # A run that asked for a bus should put every category on
+            # it: give the run a tracer and an exploration recorder
+            # unless the caller already has them on.
+            if tracer is None:
+                tracer = stack.enter_context(tracing())
+            if explog is None:
+                explog = stack.enter_context(explogging())
         if options.trace and tracer is None:
             tracer = stack.enter_context(tracing())
         if options.explog and explog is None:
             explog = stack.enter_context(explogging())
+        run_id = current_run_id()
+        if run_id is None:
+            run_id = new_run_id()
+            stack.enter_context(run_scope(run_id))
+        source_label = source_filename or entity_name or "<vass>"
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_LIFECYCLE,
+                {"kind": "run", "phase": "started", "source": source_label},
+            )
         try:
-            if options.explore_solvers:
-                result = _explore_solvers(session)
-            else:
-                result = _synthesize_staged(session)
+            try:
+                if options.explore_solvers:
+                    result = _explore_solvers(session)
+                else:
+                    result = _synthesize_staged(session)
+            except SynthesisError as err:
+                if not options.recovery:
+                    raise
+                result = _recover(session, err)
         except SynthesisError as err:
-            if not options.recovery:
-                raise
-            result = _recover(session, err)
-    result.trace = tracer
-    result.explog = explog
-    result.cache_stats = session.cache.stats.as_dict()
+            elapsed = time.perf_counter() - started
+            if bus is not None:
+                bus.publish(
+                    CATEGORY_LIFECYCLE,
+                    {
+                        "kind": "run",
+                        "phase": "finished",
+                        "status": "failed",
+                        "source": source_label,
+                        "error": str(err),
+                        "elapsed_s": elapsed,
+                    },
+                )
+            if options.ledger is not None:
+                options.ledger.append(record_for_failure(
+                    run_id, source, source_label, elapsed, options, err,
+                ))
+            raise
+        result.trace = tracer
+        result.explog = explog
+        result.cache_stats = session.cache.stats.as_dict()
+        result.run_id = run_id
+        elapsed = time.perf_counter() - started
+        if bus is not None:
+            bus.publish(
+                CATEGORY_LIFECYCLE,
+                {
+                    "kind": "run",
+                    "phase": "finished",
+                    "status": "degraded" if result.degraded else "ok",
+                    "source": source_label,
+                    "design": result.design.name,
+                    "elapsed_s": elapsed,
+                },
+            )
+        if options.ledger is not None:
+            label = (
+                source_label if source_label != "<vass>"
+                else result.design.name
+            )
+            options.ledger.append(record_for_result(
+                result, source, label, elapsed, options,
+            ))
     return result
 
 
@@ -425,14 +517,19 @@ def _explore_solvers(session: PipelineSession) -> SynthesisResult:
             # usual spans/diagnostics shape is preserved.
             return _synthesize_staged(session)
 
+        # Workers inherit the submitting thread's run id, so their
+        # telemetry (cache ops, metric deltas) lands on this run.
+        rid = current_run_id()
+
         def attempt(index: int):
             def run():
-                try:
-                    return index, _synthesize_staged(
-                        session, solver_index=index
-                    ), None
-                except SynthesisError as err:
-                    return index, None, err
+                with run_scope(rid):
+                    try:
+                        return index, _synthesize_staged(
+                            session, solver_index=index
+                        ), None
+                    except SynthesisError as err:
+                        return index, None, err
 
             return run
 

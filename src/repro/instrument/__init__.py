@@ -27,6 +27,20 @@ simulation); this package gives all of them one measurement layer:
   tree and a self-contained HTML exploration report.
 * :mod:`repro.instrument.baseline` — a metrics regression gate over
   the benchmark metrics JSON dumps, exposed as ``vase bench-check``.
+* :mod:`repro.instrument.events` — the unified telemetry bus.  All of
+  the channels above double as publishers of typed, JSON-ready
+  :class:`~repro.instrument.events.TelemetryEvent` records (run id,
+  monotonic seq, wall-clock ts, category, payload) on one process-wide
+  bus; subscribers include a JSONL sink (``vase synth --events``), a
+  bounded ring buffer for programmatic consumers, and the live TTY
+  progress renderer behind ``vase batch --progress``.
+* :mod:`repro.instrument.ledger` — the persistent run ledger: one
+  append-only JSONL record per synthesize/batch run (source and
+  options fingerprints, outcome bucket, key metrics, cache counters,
+  durations), read back by ``vase history`` and ``vase stats``.
+* :mod:`repro.instrument.promexport` — Prometheus text exposition
+  rendering of any metrics snapshot (``vase metrics --prom``,
+  ``vase batch --metrics-out``) plus a dependency-free format lint.
 """
 
 from repro.instrument.baseline import (
@@ -36,10 +50,42 @@ from repro.instrument.baseline import (
     compare_metrics,
     extract_metrics,
 )
+from repro.instrument.events import (
+    CATEGORIES,
+    CATEGORY_CACHE,
+    CATEGORY_EXPLOG,
+    CATEGORY_LIFECYCLE,
+    CATEGORY_METRIC,
+    CATEGORY_RECOVERY,
+    CATEGORY_SPAN,
+    JsonlSink,
+    ProgressRenderer,
+    RingBuffer,
+    TelemetryBus,
+    TelemetryEvent,
+    active_bus,
+    current_run_id,
+    disable_telemetry,
+    enable_telemetry,
+    new_run_id,
+    run_scope,
+    telemetry,
+)
 from repro.instrument.explain import (
     events_summary,
     narrate,
     render_exploration_html,
+)
+from repro.instrument.ledger import (
+    LedgerRecord,
+    RunLedger,
+    format_stats,
+    resolve_ledger,
+    summarize,
+)
+from repro.instrument.promexport import (
+    render_prometheus,
+    validate_exposition,
 )
 from repro.instrument.explog import (
     ExplorationLog,
@@ -75,6 +121,32 @@ __all__ = [
     "check_baselines",
     "compare_metrics",
     "extract_metrics",
+    "CATEGORIES",
+    "CATEGORY_CACHE",
+    "CATEGORY_EXPLOG",
+    "CATEGORY_LIFECYCLE",
+    "CATEGORY_METRIC",
+    "CATEGORY_RECOVERY",
+    "CATEGORY_SPAN",
+    "JsonlSink",
+    "ProgressRenderer",
+    "RingBuffer",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "active_bus",
+    "current_run_id",
+    "disable_telemetry",
+    "enable_telemetry",
+    "new_run_id",
+    "run_scope",
+    "telemetry",
+    "LedgerRecord",
+    "RunLedger",
+    "format_stats",
+    "resolve_ledger",
+    "summarize",
+    "render_prometheus",
+    "validate_exposition",
     "events_summary",
     "narrate",
     "render_exploration_html",

@@ -51,8 +51,10 @@ Event vocabulary (the ``event`` field):
     rung, the action tried, and whether it ``failed`` / ``recovered`` /
     was ``skipped``.
 
-Every event also carries ``seq`` (a process-wide monotonically
-increasing sequence number) and, when the mapper collects the
+Every event also carries ``seq`` (a per-recorder monotonically
+increasing sequence number), ``ts`` (the wall-clock epoch time of the
+decision, so exploration JSONL correlates with trace spans and
+telemetry events) and, when the mapper collects the
 Figure-6 tree, the decision-tree ``node``/``parent`` ids, so the JSONL
 replays into the same structure ``vase explain --dot`` renders.
 """
@@ -61,7 +63,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from typing import Dict, IO, Iterator, List, Optional
+
+from repro.instrument.events import CATEGORY_EXPLOG, active_bus
 
 
 class ExplorationLog:
@@ -81,12 +86,19 @@ class ExplorationLog:
 
     def emit(self, event: str, **fields: object) -> Dict[str, object]:
         """Record one event; returns the stored dict."""
-        record: Dict[str, object] = {"seq": self._seq, "event": event}
+        record: Dict[str, object] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "event": event,
+        }
         self._seq += 1
         record.update(fields)
         self.events.append(record)
         if self._stream is not None:
             self._stream.write(json.dumps(record, default=str) + "\n")
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(CATEGORY_EXPLOG, dict(record))
         return record
 
     # -- reading -----------------------------------------------------------

@@ -22,20 +22,37 @@ private registries.
 
 from __future__ import annotations
 
+import math
+import random
 import threading
 from typing import Dict, Optional
 
+from repro.instrument.events import CATEGORY_METRIC, active_bus
+
+#: reservoir size per histogram — enough for stable p50/p95 at the
+#: observation counts the flow produces, small enough to stay cheap
+RESERVOIR_SIZE = 512
+
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max)."""
+    """Streaming summary of observed values.
 
-    __slots__ = ("count", "total", "min", "max")
+    Besides the exact count/sum/min/max running aggregates, a bounded
+    reservoir (algorithm R with a fixed seed, so snapshots are
+    deterministic for a given observation sequence) retains a sample
+    of the values, from which :meth:`quantile` estimates p50/p95 for
+    snapshots and the Prometheus summary export.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._reservoir: list = []
+        self._rng = random.Random(0)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -44,10 +61,26 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the reservoir."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1)
+        )
+        return ordered[index]
 
     def snapshot(self) -> Dict[str, float]:
         if not self.count:
@@ -58,6 +91,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
         }
 
 
@@ -78,12 +113,24 @@ class MetricsRegistry:
             return
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_METRIC,
+                {"kind": "counter", "name": name, "delta": value},
+            )
 
     def gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
         with self._lock:
             self._gauges[name] = value
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_METRIC,
+                {"kind": "gauge", "name": name, "value": value},
+            )
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
@@ -93,6 +140,12 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[name] = Histogram()
             histogram.observe(value)
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_METRIC,
+                {"kind": "histogram", "name": name, "value": value},
+            )
 
     # -- switches ----------------------------------------------------------------
 

@@ -1,0 +1,170 @@
+"""Prometheus text exposition rendering for metrics snapshots.
+
+:func:`render_prometheus` turns any :meth:`MetricsRegistry.snapshot`
+dict into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ a
+Prometheus server scrapes: counters become ``<ns>_<name>_total``
+counter families, gauges become gauge families, and histograms are
+rendered as summaries with ``quantile="0.5"``/``quantile="0.95"``
+series plus the conventional ``_sum``/``_count`` children.  Dotted
+registry names map to underscore-separated Prometheus names under the
+``vase_`` namespace (``mapper.nodes_visited`` →
+``vase_mapper_nodes_visited_total``).
+
+:func:`validate_exposition` is a dependency-free, regex-level lint of
+the same format (used by the CI artifact check): it verifies comment
+lines, sample-line syntax, metric-name legality, that ``TYPE``
+declarations precede their samples, and that no family is declared
+twice.  It is not a full openmetrics parser — it catches the mistakes
+a renderer bug would actually produce.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+DEFAULT_NAMESPACE = "vase"
+
+#: quantiles rendered for each histogram summary
+SUMMARY_QUANTILES = (0.5, 0.95)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, namespace: str = DEFAULT_NAMESPACE) -> str:
+    """Map a dotted registry name to a legal Prometheus metric name."""
+    flat = _SANITIZE.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, object]],
+    namespace: str = DEFAULT_NAMESPACE,
+) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is the :meth:`MetricsRegistry.snapshot` shape:
+    ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``.
+    Returns the full scrape body, newline-terminated.
+    """
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        family = metric_name(name, namespace) + "_total"
+        lines.append(f"# HELP {family} Counter {name!r} from the vase registry.")
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        family = metric_name(name, namespace)
+        lines.append(f"# HELP {family} Gauge {name!r} from the vase registry.")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        family = metric_name(name, namespace)
+        lines.append(
+            f"# HELP {family} Histogram {name!r} from the vase registry."
+        )
+        lines.append(f"# TYPE {family} summary")
+        for quantile in SUMMARY_QUANTILES:
+            key = f"p{int(quantile * 100)}"
+            value = data.get(key)
+            if value is None:
+                continue
+            lines.append(
+                f'{family}{{quantile="{quantile}"}} {_format_value(value)}'
+            )
+        lines.append(f"{family}_sum {_format_value(data.get('sum', 0.0))}")
+        lines.append(f"{family}_count {_format_value(data.get('count', 0))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- validation ---------------------------------------------------------------
+
+_COMMENT = re.compile(
+    r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$"
+)
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\")*\})?"  # more labels
+    r" (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)"  # value
+    r"( [0-9]+)?$"  # optional timestamp
+)
+_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in ("_sum", "_count", "_bucket", "_total"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Regex-level lint of Prometheus text exposition format.
+
+    Returns a list of ``"line N: problem"`` strings — empty when the
+    document is clean.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    seen_samples: set = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _COMMENT.match(line)
+            if not match:
+                errors.append(
+                    f"line {number}: malformed comment (expected "
+                    f"'# HELP name ...' or '# TYPE name type')"
+                )
+                continue
+            keyword, family = match.group(1), match.group(2)
+            if keyword == "TYPE":
+                declared = (match.group(3) or "").strip()
+                if declared not in _TYPES:
+                    errors.append(
+                        f"line {number}: unknown TYPE {declared!r} "
+                        f"for {family}"
+                    )
+                if family in typed:
+                    errors.append(
+                        f"line {number}: duplicate TYPE for {family}"
+                    )
+                if family in seen_samples:
+                    errors.append(
+                        f"line {number}: TYPE for {family} after its samples"
+                    )
+                typed[family] = declared
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {number}: malformed sample line: {line!r}")
+            continue
+        seen_samples.add(_family_of(match.group(1)))
+    return errors

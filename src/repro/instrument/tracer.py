@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.instrument.events import CATEGORY_SPAN, active_bus
+
 
 @dataclass
 class Span:
@@ -102,6 +104,12 @@ class Tracer:
         else:
             self.roots.append(span)
         self._stack.append(span)
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_SPAN,
+                {"phase": "open", "name": name, "depth": len(self._stack)},
+            )
         return _LiveSpan(self, span)
 
     def _close(self, span: Span) -> None:
@@ -111,9 +119,26 @@ class Tracer:
         while self._stack and self._stack[-1] is not span:
             dangling = self._stack.pop()
             dangling.duration_s = now - dangling.start_s
+            self._publish_close(dangling)
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         span.duration_s = now - span.start_s
+        self._publish_close(span)
+
+    def _publish_close(self, span: Span) -> None:
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(
+                CATEGORY_SPAN,
+                {
+                    "phase": "close",
+                    "name": span.name,
+                    "duration_s": span.duration_s,
+                    "attrs": {
+                        k: _jsonable(v) for k, v in span.attrs.items()
+                    },
+                },
+            )
 
     # -- rendering ---------------------------------------------------------------
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.instrument.events import CATEGORY_CACHE, active_bus
 from repro.instrument.metrics import metrics
 
 #: Sentinel returned by :meth:`ArtifactCache.get` on a miss (``None``
@@ -111,6 +112,9 @@ class ArtifactCache:
         registry.inc(f"pipeline.cache.{kind}")
         if stage is not None:
             registry.inc(f"pipeline.stage.{stage}.{kind}")
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(CATEGORY_CACHE, {"op": kind, "stage": stage})
 
     # -- the cache protocol ------------------------------------------------
 

@@ -39,9 +39,11 @@ untouched.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
+from repro.instrument.metrics import metrics
 from repro.instrument.tracer import trace_phase
 from repro.pipeline.cache import MISS, ArtifactCache
 from repro.pipeline.fingerprint import fingerprint, library_fingerprint
@@ -126,7 +128,14 @@ class PipelineSession:
             if value is not MISS:
                 span.annotate(cache="hit", key=digest[:12])
             else:
+                started = time.perf_counter()
                 value = compute()
+                # The ``_s`` suffix keeps this out of bench-check
+                # baselines (extract_metrics gates timing keys).
+                metrics().observe(
+                    f"pipeline.stage.{stage.name}.runtime_s",
+                    time.perf_counter() - started,
+                )
                 self.cache.put(digest, value, stage=stage.name)
                 span.annotate(cache="miss", key=digest[:12])
             if annotate is not None:

@@ -107,6 +107,8 @@ def generate_report(
 
     lines.append("## Timing and search effort")
     lines.append("")
+    if result.run_id:
+        lines.append(f"- run id: `{result.run_id}`")
     lines.append(
         f"- decision nodes visited: {search.nodes_visited} "
         f"({search.nodes_pruned} pruned by the bounding rule)"
@@ -122,6 +124,11 @@ def generate_report(
         )
     lines.append(f"- sharing branches taken: {search.shared_branches}")
     lines.append(f"- runtime: {search.runtime_s * 1e3:.2f} ms")
+    if result.cache_stats:
+        lines.append(
+            f"- pipeline cache: {result.cache_stats.get('hits', 0)} stage "
+            f"hit(s), {result.cache_stats.get('misses', 0)} miss(es)"
+        )
     if search.truncated:
         budget = (
             "wall-clock deadline"

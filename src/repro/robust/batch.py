@@ -34,6 +34,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from repro.instrument.events import (
+    CATEGORY_LIFECYCLE,
+    active_bus,
+    current_run_id,
+    new_run_id,
+    run_scope,
+)
 from repro.pipeline import ArtifactCache, run_parallel
 
 #: Per-file outcome buckets.
@@ -174,13 +181,19 @@ def _run_one(path: Path, options, library) -> BatchEntry:
     from repro.vass.parser import parse_source_collecting
 
     entry = BatchEntry(file=str(path), status=STATUS_FAILED)
+    bus = active_bus()
+    if bus is not None:
+        bus.publish(
+            CATEGORY_LIFECYCLE,
+            {"kind": "file", "phase": "started", "file": str(path)},
+        )
     start = time.perf_counter()
     try:
         text = path.read_text()
     except OSError as err:
         entry.error = f"cannot read: {err}"
         entry.elapsed_s = time.perf_counter() - start
-        return entry
+        return _finish_entry(entry, bus)
     try:
         _units, parse_errors = parse_source_collecting(
             text, filename=str(path)
@@ -189,7 +202,7 @@ def _run_one(path: Path, options, library) -> BatchEntry:
             entry.errors = [str(err) for err in parse_errors]
             entry.error = entry.errors[0]
             entry.elapsed_s = time.perf_counter() - start
-            return entry
+            return _finish_entry(entry, bus)
         result = synthesize(
             text,
             options=options,
@@ -214,6 +227,23 @@ def _run_one(path: Path, options, library) -> BatchEntry:
         )
         entry.status = STATUS_DEGRADED if recovered else STATUS_OK
     entry.elapsed_s = time.perf_counter() - start
+    return _finish_entry(entry, bus)
+
+
+def _finish_entry(entry: BatchEntry, bus) -> BatchEntry:
+    """Publish the terminal lifecycle event of one file's entry."""
+    if bus is not None:
+        payload: Dict[str, object] = {
+            "kind": "file",
+            "phase": entry.status,
+            "file": entry.file,
+            "elapsed_s": entry.elapsed_s,
+        }
+        if entry.design:
+            payload["design"] = entry.design
+        if entry.status == STATUS_FAILED and (entry.error or entry.errors):
+            payload["error"] = entry.error or entry.errors[0]
+        bus.publish(CATEGORY_LIFECYCLE, payload)
     return entry
 
 
@@ -223,6 +253,8 @@ def run_batch(
     library: Optional[object] = None,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
+    ledger=None,
+    source_label: Optional[str] = None,
 ) -> BatchReport:
     """Synthesize every file, isolating failures per file.
 
@@ -236,6 +268,13 @@ def run_batch(
     order, so the report content is independent of the worker count.
     ``cache`` is an artifact cache shared by every file of the run
     (stage keys are content-addressed, so sharing is always safe).
+
+    With a telemetry bus active, the whole batch shares one run id:
+    every file emits ``lifecycle`` events (``queued`` up front, then
+    ``started`` and a terminal ``ok``/``degraded``/``failed``), and the
+    per-file synthesis events carry the same id from the worker
+    threads.  A ``ledger`` (:class:`~repro.instrument.ledger.RunLedger`)
+    gets one batch-level record appended.
     """
     from dataclasses import replace
 
@@ -248,15 +287,40 @@ def run_batch(
 
     paths = [Path(path) for path in files]
     report = BatchReport()
-    batch_start = time.perf_counter()
-    report.entries = run_parallel(
-        [
-            (lambda path=path: _run_one(path, options, library))
-            for path in paths
-        ],
-        jobs=jobs,
-    )
-    report.elapsed_s = time.perf_counter() - batch_start
-    if cache is not None:
-        report.cache = cache.stats.as_dict()
+    rid = current_run_id() or new_run_id()
+    with run_scope(rid):
+        bus = active_bus()
+        if bus is not None:
+            for path in paths:
+                bus.publish(
+                    CATEGORY_LIFECYCLE,
+                    {"kind": "file", "phase": "queued", "file": str(path)},
+                )
+        batch_start = time.perf_counter()
+
+        def job(path: Path):
+            # Workers enter the batch's run scope so their telemetry
+            # carries the shared run id.
+            def run():
+                with run_scope(rid):
+                    return _run_one(path, options, library)
+
+            return run
+
+        report.entries = run_parallel(
+            [job(path) for path in paths], jobs=jobs,
+        )
+        report.elapsed_s = time.perf_counter() - batch_start
+        if cache is not None:
+            report.cache = cache.stats.as_dict()
+        if ledger is not None:
+            from repro.instrument.ledger import record_for_batch
+
+            ledger.append(record_for_batch(
+                report,
+                rid,
+                source_label or (str(paths[0]) if paths else "<empty>"),
+                paths,
+                options,
+            ))
     return report

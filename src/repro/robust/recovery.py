@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.estimation.constraints import ConstraintSet
+from repro.instrument.events import CATEGORY_RECOVERY, active_bus
 
 #: Ladder rung names, in climbing order.
 RUNG_BASELINE = "baseline"
@@ -173,4 +174,7 @@ class RecoveryLog:
             attempt=len(self.events) + 1,
         )
         self.events.append(event)
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(CATEGORY_RECOVERY, event.as_dict())
         return event

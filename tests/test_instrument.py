@@ -195,6 +195,56 @@ class TestMetricsRegistry:
         assert "some.histogram" in table
 
 
+class TestHistogramReservoir:
+    def test_snapshot_reports_p50_and_p95(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            registry.observe("h", float(value))
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["count"] == 100
+        # Below the reservoir bound the quantiles are exact
+        # (nearest-rank on every observed value).
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+
+    def test_empty_histogram_snapshot_shape_unchanged(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        registry.histogram("h").count = 0  # simulate an empty histogram
+        from repro.instrument.metrics import Histogram
+
+        assert Histogram().snapshot() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        from repro.instrument.metrics import RESERVOIR_SIZE, Histogram
+
+        def fill():
+            histogram = Histogram()
+            for value in range(10 * RESERVOIR_SIZE):
+                histogram.observe(float(value))
+            return histogram
+
+        first, second = fill(), fill()
+        assert len(first._reservoir) == RESERVOIR_SIZE
+        # Seeded sampling: two identical streams sample identically.
+        assert first._reservoir == second._reservoir
+        assert first.quantile(0.5) == second.quantile(0.5)
+
+    def test_quantiles_are_approximate_beyond_the_bound(self):
+        from repro.instrument.metrics import RESERVOIR_SIZE, Histogram
+
+        histogram = Histogram()
+        total = 20 * RESERVOIR_SIZE
+        for value in range(total):
+            histogram.observe(float(value))
+        # Algorithm R keeps a uniform sample, so the estimates stay
+        # within a loose band of the true quantiles.
+        assert abs(histogram.quantile(0.5) - total / 2) < total * 0.15
+        assert histogram.quantile(0.95) > total * 0.8
+
+
 class TestFlowTracing:
     def test_trace_knob_collects_phase_tree(self):
         result = synthesize(

@@ -1,0 +1,257 @@
+"""Tests for the persistent run ledger and its CLI verbs."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.instrument import LedgerRecord, RunLedger, resolve_ledger, summarize
+from repro.instrument.ledger import (
+    OUTCOME_DEGRADED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    format_stats,
+    percentile,
+)
+
+
+def record(run_id="r1", outcome=OUTCOME_OK, source="a.vhd", ts=1000.0,
+           **extra):
+    fields = dict(
+        run_id=run_id,
+        kind="synth",
+        ts=ts,
+        source=source,
+        source_fp="f" * 16,
+        options_fp="o" * 16,
+        outcome=outcome,
+        degraded=outcome == OUTCOME_DEGRADED,
+        metrics={"area_um2": 1.0},
+        cache={"hits": 2, "misses": 1},
+        durations={"total_s": 0.25},
+    )
+    fields.update(extra)
+    return LedgerRecord(**fields)
+
+
+class TestRunLedger:
+    def test_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        assert not ledger.exists()
+        ledger.append(record("r1"))
+        ledger.append(record("r2", outcome=OUTCOME_FAILED))
+        assert ledger.exists()
+        back = ledger.records()
+        assert [r.run_id for r in back] == ["r1", "r2"]
+        assert back[0].as_dict() == record("r1").as_dict()
+        assert back[1].outcome == OUTCOME_FAILED
+
+    def test_directory_path_gets_default_filename(self, tmp_path):
+        ledger = RunLedger(tmp_path / "some-dir")
+        assert ledger.path.name == "ledger.jsonl"
+        ledger.append(record())
+        assert (tmp_path / "some-dir" / "ledger.jsonl").exists()
+
+    def test_corrupt_lines_are_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(record("good1"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{ not json\n")
+            handle.write('{"json_but": "not a record"}\n')
+        ledger.append(record("good2"))
+        back = ledger.records()
+        assert [r.run_id for r in back] == ["good1", "good2"]
+        assert ledger.skipped == 2
+
+    def test_tail_filters(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append(record("r1", OUTCOME_OK, "designs/alpha.vhd", ts=1))
+        ledger.append(record("r2", OUTCOME_FAILED, "designs/beta.vhd",
+                             ts=2))
+        ledger.append(record("r3", OUTCOME_DEGRADED, "Other/ALPHA2.vhd",
+                             ts=3))
+        # Newest first.
+        assert [r.run_id for r in ledger.tail()] == ["r3", "r2", "r1"]
+        assert [r.run_id for r in ledger.tail(limit=2)] == ["r3", "r2"]
+        assert [r.run_id for r in ledger.tail(outcome=OUTCOME_FAILED)] \
+            == ["r2"]
+        # Source filter is a case-insensitive substring.
+        assert [r.run_id for r in ledger.tail(source="alpha")] \
+            == ["r3", "r1"]
+        assert ledger.tail(source="nope") == []
+
+    def test_describe_is_one_line(self):
+        text = record("abc123def456").describe()
+        assert "\n" not in text
+        assert "abc123def456" in text
+        assert "OK" in text
+        assert "a.vhd" in text
+
+
+class TestSummarize:
+    def test_rates_and_percentiles(self):
+        records = [
+            record("r1", OUTCOME_OK, durations={"total_s": 0.1}),
+            record("r2", OUTCOME_OK, durations={"total_s": 0.2}),
+            record("r3", OUTCOME_DEGRADED, durations={"total_s": 0.3}),
+            record("r4", OUTCOME_FAILED, durations={}),
+        ]
+        stats = summarize(records)
+        assert stats["runs"] == 4
+        assert stats["outcomes"] == {"ok": 2, "degraded": 1, "failed": 1}
+        # 1 degraded of 3 usable runs; 1 failure of 4 runs.
+        assert stats["degradation_rate"] == pytest.approx(1 / 3)
+        assert stats["failure_rate"] == pytest.approx(1 / 4)
+        assert stats["cache"]["hits"] == 8
+        assert stats["cache"]["misses"] == 4
+        assert stats["cache"]["hit_rate"] == pytest.approx(8 / 12)
+        total = stats["durations"]["total"]
+        assert total["count"] == 3
+        assert total["mean_s"] == pytest.approx(0.2)
+        assert total["p50_s"] == pytest.approx(0.2)
+        assert total["p95_s"] == pytest.approx(0.3)
+
+    def test_empty(self):
+        stats = summarize([])
+        assert stats["runs"] == 0
+        text = format_stats(stats)
+        assert "runs: 0" in text
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile([7.5], 0.5) == 7.5
+
+    def test_format_stats_mentions_phases(self):
+        stats = summarize([
+            record("r1", durations={"total_s": 0.1, "mapping": 0.05}),
+        ])
+        text = format_stats(stats)
+        assert "mapping" in text
+        assert "p95" in text
+
+
+class TestResolveLedger:
+    def test_disabled_flag_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("VASE_LEDGER", str(tmp_path / "env.jsonl"))
+        assert resolve_ledger(str(tmp_path / "x.jsonl"), disabled=True) \
+            is None
+
+    def test_explicit_flag_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("VASE_LEDGER", "off")
+        ledger = resolve_ledger(str(tmp_path / "x.jsonl"), disabled=False)
+        assert ledger is not None
+        assert ledger.path == tmp_path / "x.jsonl"
+
+    def test_env_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("VASE_LEDGER", str(tmp_path / "env.jsonl"))
+        ledger = resolve_ledger(None, disabled=False)
+        assert ledger.path == tmp_path / "env.jsonl"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "false",
+                                       "OFF", "False"])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("VASE_LEDGER", value)
+        assert resolve_ledger(None, disabled=False) is None
+
+    def test_default_location(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("VASE_LEDGER", raising=False)
+        monkeypatch.chdir(tmp_path)
+        ledger = resolve_ledger(None, disabled=False)
+        assert ledger.path.name == "ledger.jsonl"
+        assert ledger.path.parent.name == ".vase-ledger"
+
+
+class TestLedgerCli:
+    def test_history_and_stats_read_back_two_runs(self, tmp_path, capsys):
+        """Acceptance criterion: a cold-started ledger accumulates runs
+        that ``vase history`` / ``vase stats`` read back."""
+        path = str(tmp_path / "ledger.jsonl")
+        assert main(["synth", "biquad_filter", "--ledger", path]) == 0
+        assert main(["synth", "power_meter", "--ledger", path]) == 0
+        capsys.readouterr()
+
+        assert main(["history", "--ledger", path]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert "synth" in out
+        assert "OK" in out
+
+        assert main(["stats", "--ledger", path]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 2" in out
+        assert "failure rate" in out
+
+    def test_history_json_and_filters(self, tmp_path, capsys):
+        path = str(tmp_path / "ledger.jsonl")
+        assert main(["synth", "biquad_filter", "--ledger", path]) == 0
+        assert main(["synth", "power_meter", "--ledger", path]) == 0
+        capsys.readouterr()
+        assert main([
+            "history", "--ledger", path, "--json", "--source", "power",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert "power_meter" in records[0]["source"]
+        assert records[0]["outcome"] == OUTCOME_OK
+        assert records[0]["metrics"]["opamps"] >= 1
+
+    def test_failed_runs_are_recorded(self, tmp_path, capsys):
+        from repro.apps import biquad_filter
+        from repro.diagnostics import SynthesisError
+        from repro.estimation import ConstraintSet
+        from repro.flow import FlowOptions, synthesize
+
+        path = str(tmp_path / "ledger.jsonl")
+        with pytest.raises(SynthesisError):
+            synthesize(
+                biquad_filter.VASS_SOURCE,
+                options=FlowOptions(
+                    ledger=RunLedger(path),
+                    constraints=ConstraintSet(max_opamps=1),
+                ),
+            )
+        assert main([
+            "history", "--ledger", path, "--outcome", "failed", "--json",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert "error" in records[0]["metrics"]
+
+    def test_history_missing_ledger_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "history", "--ledger", str(tmp_path / "nope.jsonl"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_missing_ledger_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "stats", "--ledger", str(tmp_path / "nope.jsonl"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_ledger_flag_writes_nothing(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("VASE_LEDGER", raising=False)
+        assert main(["synth", "biquad_filter", "--no-ledger"]) == 0
+        assert not (tmp_path / ".vase-ledger").exists()
+
+    def test_batch_appends_one_record(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        from repro.apps import biquad_filter
+        (corpus / "one.vhd").write_text(biquad_filter.VASS_SOURCE)
+        path = str(tmp_path / "ledger.jsonl")
+        assert main(["batch", str(corpus), "--ledger", path]) == 0
+        capsys.readouterr()
+        assert main(["history", "--ledger", path, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["kind"] == "batch"
+        assert records[0]["metrics"]["files"] == 1
+        assert records[0]["metrics"]["ok"] == 1

@@ -1,0 +1,161 @@
+"""Tests for the Prometheus text-exposition export and its linter."""
+
+import json
+
+import pytest
+
+from repro.apps import biquad_filter
+from repro.cli import main
+from repro.instrument import render_prometheus, validate_exposition
+from repro.instrument.promexport import metric_name
+
+
+SNAPSHOT = {
+    "counters": {
+        "mapper.nodes_visited": 42,
+        "cache.hits": 3,
+    },
+    "gauges": {
+        "flow.last_area_um2": 12.5,
+    },
+    "histograms": {
+        "mapper.runtime_s": {
+            "count": 4, "sum": 2.0, "min": 0.1, "max": 1.0,
+            "mean": 0.5, "p50": 0.4, "p95": 1.0,
+        },
+    },
+}
+
+
+class TestMetricName:
+    def test_dots_become_underscores_and_namespace_prefixes(self):
+        assert metric_name("mapper.nodes_visited") \
+            == "vase_mapper_nodes_visited"
+
+    def test_hostile_characters_are_sanitized(self):
+        name = metric_name("weird-name with spaces!")
+        assert " " not in name
+        assert "-" not in name
+        assert name.startswith("vase_")
+
+    def test_custom_namespace(self):
+        assert metric_name("x", namespace="acme") == "acme_x"
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix_and_counter_type(self):
+        text = render_prometheus(SNAPSHOT)
+        assert "# TYPE vase_mapper_nodes_visited_total counter" in text
+        assert "vase_mapper_nodes_visited_total 42" in text
+        assert "vase_cache_hits_total 3" in text
+
+    def test_gauges(self):
+        text = render_prometheus(SNAPSHOT)
+        assert "# TYPE vase_flow_last_area_um2 gauge" in text
+        assert "vase_flow_last_area_um2 12.5" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = render_prometheus(SNAPSHOT)
+        assert "# TYPE vase_mapper_runtime_s summary" in text
+        assert 'vase_mapper_runtime_s{quantile="0.5"} 0.4' in text
+        assert 'vase_mapper_runtime_s{quantile="0.95"} 1' in text
+        assert "vase_mapper_runtime_s_sum 2" in text
+        assert "vase_mapper_runtime_s_count 4" in text
+
+    def test_output_passes_the_linter(self):
+        assert validate_exposition(render_prometheus(SNAPSHOT)) == []
+
+    def test_empty_snapshot_is_valid(self):
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        assert validate_exposition(text) == []
+
+    def test_real_run_passes_the_linter(self):
+        from repro.flow import synthesize
+        from repro.instrument.metrics import metrics
+
+        registry = metrics()
+        registry.reset()
+        synthesize(biquad_filter.VASS_SOURCE)
+        text = render_prometheus(registry.snapshot())
+        assert validate_exposition(text) == []
+        assert "vase_mapper_nodes_visited_total" in text
+        registry.reset()
+
+
+class TestValidateExposition:
+    def test_flags_malformed_sample_lines(self):
+        errors = validate_exposition("this is not prometheus\n")
+        assert errors
+        assert "line 1" in errors[0]
+
+    def test_flags_unknown_type(self):
+        errors = validate_exposition("# TYPE x frobnicator\n")
+        assert any("frobnicator" in e for e in errors)
+
+    def test_flags_duplicate_type(self):
+        text = "# TYPE x counter\nx_total 1\n# TYPE x counter\n"
+        errors = validate_exposition(text)
+        assert any("duplicate" in e.lower() for e in errors)
+
+    def test_flags_type_after_samples(self):
+        text = "x_total 1\n# TYPE x counter\n"
+        errors = validate_exposition(text)
+        assert any("after" in e.lower() for e in errors)
+
+    def test_accepts_labels_nan_and_inf(self):
+        text = (
+            "# TYPE demo summary\n"
+            'demo{quantile="0.5"} NaN\n'
+            'demo{quantile="0.95"} +Inf\n'
+            "demo_sum 1e-3\n"
+            "demo_count 0\n"
+        )
+        assert validate_exposition(text) == []
+
+
+class TestMetricsCli:
+    def test_metrics_prom_for_one_run(self, capsys):
+        assert main(["metrics", "biquad_filter", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert validate_exposition(out) == []
+        assert "vase_mapper_nodes_visited_total" in out
+
+    def test_metrics_prom_to_file(self, tmp_path, capsys):
+        target = tmp_path / "run.prom"
+        assert main([
+            "metrics", "biquad_filter", "--prom", "--out", str(target),
+        ]) == 0
+        assert validate_exposition(target.read_text()) == []
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "biquad_filter", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["mapper.nodes_visited"] >= 1
+
+    def test_metrics_from_json(self, tmp_path, capsys):
+        source = tmp_path / "snapshot.json"
+        source.write_text(json.dumps(SNAPSHOT))
+        assert main([
+            "metrics", "--from-json", str(source), "--prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vase_mapper_nodes_visited_total 42" in out
+        assert validate_exposition(out) == []
+
+    def test_metrics_without_input_is_an_error(self, capsys):
+        assert main(["metrics"]) != 0
+
+    def test_batch_metrics_out(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "one.vhd").write_text(biquad_filter.VASS_SOURCE)
+        target = tmp_path / "artifacts" / "batch.prom"
+        assert main([
+            "batch", str(corpus), "--metrics-out", str(target),
+            "--no-ledger",
+        ]) == 0
+        text = target.read_text()
+        assert validate_exposition(text) == []
+        assert "vase_" in text
