@@ -7,13 +7,16 @@ Three configurations of the same biquad synthesis, best-of-N each:
 2. **quiet** — a bus is active process-wide but has no subscribers and
    the flow does not force the tracer/explog on: measures the pure
    publish cost (seq assignment + dispatch loop over zero subscribers).
-3. **sink** — ``FlowOptions(telemetry=...)`` with a JSONL sink: the
-   full-fat configuration (tracer and explog forced on, every event
-   serialized to disk).
+3. **sink** — ``FlowOptions(telemetry=...)`` with a JSONL sink at the
+   default per-event flush (``flush_every=1``, the live-tailing
+   behavior): the full-fat configuration (tracer and explog forced
+   on, every event serialized and flushed to disk).
+4. **buffered** — the same sink with ``flush_every=64``: the batched
+   flush policy hot runs should use when nobody is tailing the file.
 
 The gate is on (2) vs (1): an active-but-quiet bus must stay within a
-noise budget of the disabled path.  (3) is reported for the perf
-trajectory, not gated — paying for what you ask for is fine.
+noise budget of the disabled path.  (3) and (4) are reported for the
+perf trajectory, not gated — paying for what you ask for is fine.
 """
 
 import time
@@ -55,11 +58,19 @@ def test_bench_telemetry_overhead(benchmark, bench_metrics, tmp_path):
             bus.subscribe(handle)
             synthesize(BIQUAD, options=FlowOptions(telemetry=bus))
 
+    def buffered():
+        bus = TelemetryBus()
+        with JsonlSink(
+            str(tmp_path / "buffered.jsonl"), flush_every=64
+        ) as handle:
+            bus.subscribe(handle)
+            synthesize(BIQUAD, options=FlowOptions(telemetry=bus))
+
     def run():
         off()  # warm caches/imports before timing anything
-        return _best(off), _best(quiet), _best(sink)
+        return _best(off), _best(quiet), _best(sink), _best(buffered)
 
-    off_s, quiet_s, sink_s = benchmark.pedantic(
+    off_s, quiet_s, sink_s, buffered_s = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
 
@@ -74,16 +85,19 @@ def test_bench_telemetry_overhead(benchmark, bench_metrics, tmp_path):
     sink_events = count_bus.published()
 
     banner("Telemetry overhead: off vs quiet bus vs JSONL sink")
-    print(f"off   : {off_s * 1e3:8.2f} ms  (no bus, best of {ROUNDS})")
-    print(f"quiet : {quiet_s * 1e3:8.2f} ms  "
+    print(f"off     : {off_s * 1e3:8.2f} ms  (no bus, best of {ROUNDS})")
+    print(f"quiet   : {quiet_s * 1e3:8.2f} ms  "
           f"({quiet_events} events, no subscribers; "
           f"{quiet_s / off_s:.2f}x)")
-    print(f"sink  : {sink_s * 1e3:8.2f} ms  "
-          f"({sink_events} events incl. forced tracer+explog; "
-          f"{sink_s / off_s:.2f}x)")
+    print(f"sink    : {sink_s * 1e3:8.2f} ms  "
+          f"({sink_events} events incl. forced tracer+explog, "
+          f"flush_every=1; {sink_s / off_s:.2f}x)")
+    print(f"buffered: {buffered_s * 1e3:8.2f} ms  "
+          f"(same sink, flush_every=64; {buffered_s / off_s:.2f}x)")
     bench_metrics["off_s"] = off_s
     bench_metrics["quiet_s"] = quiet_s
     bench_metrics["sink_s"] = sink_s
+    bench_metrics["buffered_sink_s"] = buffered_s
     bench_metrics["quiet_events"] = quiet_events
     bench_metrics["sink_events"] = sink_events
 

@@ -25,6 +25,11 @@ Subcommands::
                   [--cache-stats F][--no-timing] #   deterministic output
                   [--events FILE] [--progress]   #   live telemetry
                   [--metrics-out FILE]           #   Prometheus dump
+    vase serve    [--host H] [--port P]          # HTTP service: job queue,
+                  [--jobs N] [--queue-limit N]   #   SSE telemetry streams,
+                  [--cache [DIR]]                #   /metrics, /history
+                  [--ledger PATH] [--no-ledger]
+    vase watch    URL [--since N] [--verbose]    # tail a served job's SSE
     vase history  [--limit N] [--outcome O]      # recent runs from the
                   [--source S] [--json]          #   persistent ledger
     vase stats    [--json]                       # ledger-wide aggregates
@@ -556,6 +561,55 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.flow import FlowOptions
+    from repro.instrument import TelemetryBus, resolve_ledger, telemetry
+    from repro.pipeline import ArtifactCache
+    from repro.serve import JobManager, create_server
+
+    # One shared two-tier cache for every served job: the resident
+    # service is exactly the setting where warm stage artifacts pay off.
+    cache = ArtifactCache(disk_dir=args.cache)
+    options = FlowOptions(
+        trace=True, explog=True, recovery=True, cache=cache,
+    )
+    manager = JobManager(
+        options,
+        ledger=resolve_ledger(args.ledger, args.no_ledger),
+        workers=args.jobs,
+        queue_limit=args.queue_limit,
+    )
+    bus = TelemetryBus()
+    bus.subscribe(manager.route)
+    server = create_server(
+        args.host, args.port, manager,
+        heartbeat_s=args.heartbeat, verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"vase serve listening on http://{host}:{port} "
+          f"({args.jobs} worker(s), queue limit {args.queue_limit})",
+          file=sys.stderr)
+    with telemetry(bus):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down", file=sys.stderr)
+        finally:
+            server.server_close()
+            manager.stop(wait=True)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.serve import watch
+
+    try:
+        return watch(args.url, since=args.since, verbose=args.verbose)
+    except OSError as err:  # URLError / ConnectionError / socket errors
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     del args
     header = (
@@ -826,6 +880,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to FILE instead of stdout",
     )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the flow as an HTTP service: POST jobs, stream "
+        "telemetry as SSE, scrape /metrics, browse /history",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8626,
+                         help="port (default 8626; 0 picks a free one)")
+    p_serve.add_argument(
+        "--jobs", type=_positive_int, default=2, metavar="N",
+        help="resident synthesis workers (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=_positive_int, default=64, metavar="N",
+        help="waiting jobs before POST /jobs returns 503 (default 64)",
+    )
+    p_serve.add_argument(
+        "--cache", nargs="?", const=".vase-cache", default=None,
+        metavar="DIR",
+        help="back the shared artifact cache with an on-disk tier "
+        "(default directory .vase-cache); in-memory only when omitted",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=10.0, metavar="S",
+        help="idle-stream SSE heartbeat interval (default 10 s)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    p_serve.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="record served jobs in this ledger (default .vase-ledger/, "
+        "or the VASE_LEDGER environment variable)",
+    )
+    p_serve.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record served jobs in a ledger",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="tail a served job's SSE telemetry stream in the terminal",
+    )
+    p_watch.add_argument(
+        "url",
+        help="job URL, e.g. http://127.0.0.1:8626/jobs/<id> "
+        "(/events is appended automatically)",
+    )
+    p_watch.add_argument(
+        "--since", type=int, default=-1, metavar="SEQ",
+        help="resume after this event seq (default: replay from 0)",
+    )
+    p_watch.add_argument(
+        "--verbose", action="store_true",
+        help="print every event as JSON instead of progress lines",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_history = sub.add_parser(
         "history", help="recent runs from the persistent run ledger"

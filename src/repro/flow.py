@@ -428,9 +428,18 @@ def synthesize(
         source_label = source_filename or entity_name or "<vass>"
         bus = active_bus()
         if bus is not None:
+            # The effective knobs ride on the started event so stream
+            # consumers (the SSE watch client, the serve job router)
+            # can label the run without a second lookup.
             bus.publish(
                 CATEGORY_LIFECYCLE,
-                {"kind": "run", "phase": "started", "source": source_label},
+                {
+                    "kind": "run",
+                    "phase": "started",
+                    "source": source_label,
+                    "recovery": options.recovery,
+                    "explore_solvers": options.explore_solvers,
+                },
             )
         try:
             try:

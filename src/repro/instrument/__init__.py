@@ -84,6 +84,7 @@ from repro.instrument.ledger import (
     summarize,
 )
 from repro.instrument.promexport import (
+    render_family,
     render_prometheus,
     validate_exposition,
 )
@@ -145,6 +146,7 @@ __all__ = [
     "format_stats",
     "resolve_ledger",
     "summarize",
+    "render_family",
     "render_prometheus",
     "validate_exposition",
     "events_summary",

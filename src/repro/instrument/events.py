@@ -13,7 +13,7 @@ consume the one merged stream:
 * :class:`JsonlSink` — one JSON line per event
   (``FlowOptions.telemetry`` / ``vase synth --events FILE``);
 * :class:`RingBuffer` — a bounded in-memory buffer for programmatic
-  consumers (the future ``vase serve`` WebSocket reader);
+  consumers (``vase serve`` replays per-job buffers over SSE);
 * :class:`ProgressRenderer` — a live TTY view of batch lifecycle
   events (``vase batch --progress``).
 
@@ -205,7 +205,21 @@ class TelemetryBus:
                     subscriber(event)
                 except Exception:  # noqa: BLE001 - never kill the flow
                     self.errors += 1
+                    self._count_subscriber_error()
         return event
+
+    @staticmethod
+    def _count_subscriber_error() -> None:
+        """Mirror a swallowed subscriber exception into the metrics
+        registry so a broken sink (e.g. a dead SSE client) is visible.
+
+        ``publish=False`` keeps the increment off the bus: publishing
+        from inside dispatch would re-enter the failing subscriber and
+        recurse without bound.
+        """
+        from repro.instrument.metrics import metrics
+
+        metrics().inc("telemetry.subscriber_errors", publish=False)
 
     # -- introspection ------------------------------------------------------
 
@@ -219,6 +233,25 @@ class TelemetryBus:
         with self._lock:
             return self._seqs.get(run_id, 0)
 
+    def stats(self) -> Dict[str, object]:
+        """Plain-data health summary: published counts, runs, errors."""
+        with self._lock:
+            return {
+                "published": sum(self.counts.values()),
+                "counts": dict(sorted(self.counts.items())),
+                "runs": len(self._seqs),
+                "subscribers": len(self._subscribers),
+                "subscriber_errors": self.errors,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<TelemetryBus subscribers={len(self._subscribers)} "
+                f"published={sum(self.counts.values())} "
+                f"runs={len(self._seqs)} errors={self.errors}>"
+            )
+
 
 # -- subscribers -------------------------------------------------------------
 
@@ -229,9 +262,25 @@ class JsonlSink:
     Thread-safe; when constructed from a path the file is opened
     immediately (truncating) and :meth:`close` — or use as a context
     manager — flushes and closes it.
+
+    Flush policy: the default ``flush_every=1`` flushes after every
+    event, so the file can be tailed live and tests can read it
+    mid-run.  Hot runs publish thousands of events, where a flush (a
+    syscall) per event dominates the sink cost; ``flush_every=N``
+    batches the flushes, and ``flush_interval_s`` bounds how stale the
+    file can get regardless of the event rate.  ``flush_every=None``
+    with no interval leaves flushing to the stream's own buffering
+    (everything is flushed on :meth:`close`).
     """
 
-    def __init__(self, target: Union[str, IO[str]]):
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        flush_every: Optional[int] = 1,
+        flush_interval_s: Optional[float] = None,
+    ):
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be >= 1 (or None)")
         self._lock = threading.Lock()
         if isinstance(target, str):
             self._stream: IO[str] = open(target, "w", encoding="utf-8")
@@ -240,16 +289,44 @@ class JsonlSink:
             self._stream = target
             self._owns = False
         self.written = 0
+        self.flush_every = flush_every
+        self.flush_interval_s = flush_interval_s
+        #: flush() calls actually issued (tests and benchmarks)
+        self.flushes = 0
+        self._pending = 0
+        self._last_flush = time.monotonic()
 
     def __call__(self, event: TelemetryEvent) -> None:
         line = event.to_json()
         with self._lock:
             self._stream.write(line + "\n")
             self.written += 1
+            self._pending += 1
+            if self._should_flush():
+                self._flush_locked()
+
+    def _should_flush(self) -> bool:
+        if self.flush_every is not None and self._pending >= self.flush_every:
+            return True
+        if (
+            self.flush_interval_s is not None
+            and time.monotonic() - self._last_flush >= self.flush_interval_s
+        ):
+            return True
+        return False
+
+    def _flush_locked(self) -> None:
+        self._stream.flush()
+        self.flushes += 1
+        self._pending = 0
+        self._last_flush = time.monotonic()
 
     def close(self) -> None:
         with self._lock:
-            self._stream.flush()
+            if self._pending:
+                self._flush_locked()
+            else:
+                self._stream.flush()
             if self._owns:
                 self._stream.close()
 
@@ -265,9 +342,9 @@ class RingBuffer:
     """Bounded in-memory subscriber: keeps the newest ``capacity``
     events.
 
-    The programmatic consumer surface: the future WebSocket server
-    drains this, tests assert on it.  ``deque`` appends are atomic, so
-    no extra lock is needed on the publish path.
+    The programmatic consumer surface: ``vase serve`` keeps one per
+    job for SSE replay, tests assert on it.  ``deque`` appends are
+    atomic, so no extra lock is needed on the publish path.
     """
 
     def __init__(self, capacity: int = 4096):

@@ -132,12 +132,33 @@ class RunLedger:
         self.skipped = 0
 
     def append(self, record: LedgerRecord) -> None:
-        """Append one record (creating the ledger on first use)."""
-        line = json.dumps(record.as_dict(), default=str)
+        """Append one record (creating the ledger on first use).
+
+        The whole line goes down in a single ``os.write`` on an
+        ``O_APPEND`` file descriptor: POSIX makes such writes atomic
+        with respect to other appenders, so concurrent server jobs —
+        or two ``vase batch`` processes sharing one ledger — can never
+        interleave bytes mid-line.  (A buffered ``open(..., "a")``
+        offers no such guarantee: the libc buffer may split one line
+        across several writes.)
+        """
+        line = json.dumps(record.as_dict(), default=str) + "\n"
+        payload = line.encode("utf-8")
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            fd = os.open(
+                str(self.path),
+                os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                0o644,
+            )
+            try:
+                written = os.write(fd, payload)
+                if written != len(payload):  # pragma: no cover - POSIX
+                    raise OSError(
+                        f"short ledger write: {written}/{len(payload)} bytes"
+                    )
+            finally:
+                os.close(fd)
 
     def exists(self) -> bool:
         return self.path.is_file()

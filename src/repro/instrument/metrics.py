@@ -108,11 +108,20 @@ class MetricsRegistry:
 
     # -- publishing (hot path) ---------------------------------------------------
 
-    def inc(self, name: str, value: float = 1) -> None:
+    def inc(self, name: str, value: float = 1, publish: bool = True) -> None:
+        """Add ``value`` to counter ``name``.
+
+        ``publish=False`` skips the telemetry-bus mirror of the delta —
+        required when the increment happens *inside* bus dispatch (the
+        ``telemetry.subscriber_errors`` counter), where re-publishing
+        would recurse into the failing subscriber forever.
+        """
         if not self.enabled:
             return
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
+        if not publish:
+            return
         bus = active_bus()
         if bus is not None:
             bus.publish(

@@ -102,6 +102,35 @@ def render_prometheus(
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def render_family(
+    name: str,
+    mtype: str,
+    help_text: str,
+    samples,
+) -> str:
+    """Render one metric family with optional labels.
+
+    ``samples`` is an iterable of ``(labels_dict, value)`` pairs; pass
+    ``{}`` for an unlabeled sample.  Used by ``vase serve`` for the
+    server-level gauges and the ``vase_serve_jobs_done_total`` counter
+    (labeled by outcome), which the dotted-registry renderer above
+    cannot express.  The output concatenates cleanly after
+    :func:`render_prometheus` as long as the family name is fresh.
+    """
+    if not _NAME_OK.match(name):
+        raise ValueError(f"illegal Prometheus metric name: {name!r}")
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {mtype}"]
+    for labels, value in samples:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{labels[key]}"' for key in sorted(labels)
+            )
+            lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
 # -- validation ---------------------------------------------------------------
 
 _COMMENT = re.compile(

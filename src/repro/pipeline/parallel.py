@@ -1,23 +1,63 @@
 """A bounded worker pool with deterministic result ordering.
 
-Used by the solver-space exploration (``FlowOptions.explore_solvers``)
-and by ``vase batch --jobs``: callers pass a list of zero-argument
-thunks and always get the results back **in submission order**, no
-matter how many workers ran them or in which order they finished — so
-a parallel run is output-identical to the serial one.
+Used by the solver-space exploration (``FlowOptions.explore_solvers``),
+by ``vase batch --jobs`` and — as a persistent pool — by the ``vase
+serve`` job queue: callers pass zero-argument thunks and always get the
+results back **in submission order**, no matter how many workers ran
+them or in which order they finished — so a parallel run is
+output-identical to the serial one.
 
 Thunks are expected to capture their own failures (the batch runner
 and the solver explorer both return outcome objects rather than
 raising); an exception that does escape a thunk propagates to the
 caller exactly as in the serial case.
+
+:class:`WorkerPool` is the resident form: the one-shot
+:func:`run_parallel` creates and drains a pool per call, while
+long-running consumers (the ``vase serve`` job queue) keep one pool
+alive across many submissions and shut it down explicitly.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, List, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+class WorkerPool:
+    """A persistent bounded thread pool.
+
+    ``submit`` hands one thunk to the pool and returns its
+    :class:`~concurrent.futures.Future`; ``map_ordered`` runs a whole
+    batch and returns results in submission order.  Usable as a context
+    manager (``shutdown(wait=True)`` on exit).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(max_workers=workers)
+
+    def submit(self, thunk: Callable[[], T]) -> "Future[T]":
+        return self._executor.submit(thunk)
+
+    def map_ordered(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run every thunk on the pool; results in submission order."""
+        futures = [self._executor.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown(wait=True)
+        return False
 
 
 def run_parallel(
@@ -28,7 +68,5 @@ def run_parallel(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(thunks) <= 1:
         return [thunk() for thunk in thunks]
-    workers = min(jobs, len(thunks))
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
+    with WorkerPool(min(jobs, len(thunks))) as pool:
+        return pool.map_ordered(thunks)

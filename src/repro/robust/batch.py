@@ -172,47 +172,58 @@ def find_sources(root: Path) -> List[Path]:
     )
 
 
-def _run_one(path: Path, options, library) -> BatchEntry:
-    """Synthesize one file; every failure becomes a FAILED entry."""
+def run_source(
+    text: str,
+    label: str,
+    options,
+    library=None,
+    entity_name: Optional[str] = None,
+):
+    """Synthesize one source text with per-entry fault isolation.
+
+    The shared execution core of ``vase batch`` and the ``vase serve``
+    job queue: every failure mode — syntax errors (collected, so all
+    of them are reported), semantic/synthesis errors, unexpected
+    exceptions — becomes a FAILED :class:`BatchEntry` instead of an
+    exception.  Returns ``(entry, result, error)``: ``result`` is the
+    :class:`~repro.flow.SynthesisResult` on success (the server builds
+    its artifacts from it), ``error`` the captured exception on
+    failure (the server feeds it to the ledger's ``record_for_failure``);
+    exactly one of the two is not ``None`` unless parsing failed, in
+    which case ``error`` is the first collected parse error.
+    """
     # Imported lazily: repro.flow imports the mapper, which imports the
     # fault-injection hooks from this package.
     from repro.diagnostics import Severity, VaseError
     from repro.flow import synthesize
     from repro.vass.parser import parse_source_collecting
 
-    entry = BatchEntry(file=str(path), status=STATUS_FAILED)
-    bus = active_bus()
-    if bus is not None:
-        bus.publish(
-            CATEGORY_LIFECYCLE,
-            {"kind": "file", "phase": "started", "file": str(path)},
-        )
+    entry = BatchEntry(file=label, status=STATUS_FAILED)
     start = time.perf_counter()
-    try:
-        text = path.read_text()
-    except OSError as err:
-        entry.error = f"cannot read: {err}"
-        entry.elapsed_s = time.perf_counter() - start
-        return _finish_entry(entry, bus)
+    result = None
+    error: Optional[BaseException] = None
     try:
         _units, parse_errors = parse_source_collecting(
-            text, filename=str(path)
+            text, filename=label
         )
         if parse_errors:
             entry.errors = [str(err) for err in parse_errors]
             entry.error = entry.errors[0]
             entry.elapsed_s = time.perf_counter() - start
-            return _finish_entry(entry, bus)
+            return entry, None, parse_errors[0]
         result = synthesize(
             text,
+            entity_name=entity_name,
             options=options,
             library=library,
-            source_filename=str(path),
+            source_filename=label,
         )
     except VaseError as err:
         entry.error = str(err)
+        error = err
     except Exception as err:  # noqa: BLE001 - isolation is the point
         entry.error = f"internal error: {type(err).__name__}: {err}"
+        error = err
     else:
         entry.design = result.design.name
         entry.summary = result.summary
@@ -227,6 +238,30 @@ def _run_one(path: Path, options, library) -> BatchEntry:
         )
         entry.status = STATUS_DEGRADED if recovered else STATUS_OK
     entry.elapsed_s = time.perf_counter() - start
+    return entry, result, error
+
+
+def _run_one(path: Path, options, library) -> BatchEntry:
+    """Synthesize one file; every failure becomes a FAILED entry."""
+    bus = active_bus()
+    if bus is not None:
+        bus.publish(
+            CATEGORY_LIFECYCLE,
+            {"kind": "file", "phase": "started", "file": str(path)},
+        )
+    start = time.perf_counter()
+    try:
+        text = path.read_text()
+    except OSError as err:
+        entry = BatchEntry(
+            file=str(path), status=STATUS_FAILED,
+            error=f"cannot read: {err}",
+        )
+        entry.elapsed_s = time.perf_counter() - start
+        return _finish_entry(entry, bus)
+    entry, _result, _error = run_source(
+        text, str(path), options, library
+    )
     return _finish_entry(entry, bus)
 
 

@@ -1,0 +1,54 @@
+"""``vase serve``: the synthesis flow as a live observability service.
+
+A stdlib-only HTTP layer over the existing machinery — the
+:class:`~repro.serve.queue.JobManager` feeds submitted sources to the
+pipeline's resident worker pool, every job's telemetry is routed off
+the process bus into a per-job replay buffer, and the server exposes
+job status, live SSE event streams, Prometheus metrics, and the run
+ledger.  See ``serve/server.py`` for the endpoint map and
+``serve/queue.py`` for the job model.
+"""
+
+from repro.serve.queue import (
+    ALLOWED_OPTIONS,
+    Job,
+    JobError,
+    JobEventLog,
+    JobManager,
+    JobOptionsError,
+    QueueFullError,
+    UnknownJobError,
+    build_job_options,
+)
+from repro.serve.server import VaseServer, create_server, render_server_metrics
+from repro.serve.sse import (
+    END_EVENT,
+    SseMessage,
+    format_comment,
+    format_event,
+    format_message,
+    parse_sse,
+)
+from repro.serve.watch import watch
+
+__all__ = [
+    "ALLOWED_OPTIONS",
+    "END_EVENT",
+    "Job",
+    "JobError",
+    "JobEventLog",
+    "JobManager",
+    "JobOptionsError",
+    "QueueFullError",
+    "SseMessage",
+    "UnknownJobError",
+    "VaseServer",
+    "build_job_options",
+    "create_server",
+    "format_comment",
+    "format_event",
+    "format_message",
+    "parse_sse",
+    "render_server_metrics",
+    "watch",
+]

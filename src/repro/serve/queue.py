@@ -1,0 +1,476 @@
+"""The ``vase serve`` job queue: bounded admission, resident workers.
+
+A :class:`JobManager` owns everything the HTTP layer needs but nothing
+HTTP-specific, so it is directly testable:
+
+* **admission** — :meth:`JobManager.submit` validates the request
+  payload against a whitelist of flow options
+  (:func:`build_job_options`), assigns the job id (which doubles as
+  the telemetry run id), and rejects with :class:`QueueFullError` once
+  ``queue_limit`` jobs are already waiting;
+* **execution** — a persistent
+  :class:`~repro.pipeline.parallel.WorkerPool` (the same pool
+  machinery behind ``run_parallel``) runs each job through
+  :func:`~repro.robust.batch.run_source`, the batch runner's
+  fault-isolating core, inside a
+  :func:`~repro.instrument.events.run_scope` tagged with the job id —
+  so every telemetry event of the job carries it;
+* **observability** — :meth:`JobManager.route`, subscribed to the
+  process-wide bus, files each event into the owning job's bounded
+  :class:`JobEventLog`; late SSE subscribers replay from seq 0 and
+  then tail live, and :meth:`JobManager.counts` feeds the
+  ``vase_serve_*`` gauges on ``/metrics``;
+* **persistence** — every completed job is appended to the run ledger
+  through :func:`~repro.instrument.ledger.record_for_result` /
+  :func:`~repro.instrument.ledger.record_for_failure`, so ``/history``
+  and ``/stats`` see served jobs exactly like CLI runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.events import (
+    CATEGORY_LIFECYCLE,
+    TelemetryEvent,
+    active_bus,
+    new_run_id,
+    run_scope,
+)
+from repro.pipeline.parallel import WorkerPool
+
+#: job states before the terminal batch buckets take over
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+#: terminal states (the batch runner's vocabulary)
+TERMINAL_STATUSES = ("ok", "degraded", "failed")
+
+#: whitelisted per-job flow options a POST may override
+ALLOWED_OPTIONS = ("deadline_s", "recovery", "explore_solvers", "jobs")
+#: cap on the per-job ``jobs`` override (solver-exploration fan-out)
+MAX_JOB_FANOUT = 8
+
+#: per-job event-log capacity; a full synthesis run is a few thousand
+#: events, so replay-from-0 survives any realistic job
+DEFAULT_EVENT_CAPACITY = 65536
+
+#: terminal jobs kept for artifact fetches before pruning
+DEFAULT_MAX_JOBS = 512
+
+
+class JobError(Exception):
+    """Base of the admission errors the HTTP layer maps to 4xx/503."""
+
+
+class JobOptionsError(JobError):
+    """The request payload failed whitelist validation (HTTP 400)."""
+
+
+class QueueFullError(JobError):
+    """The bounded queue is at capacity, or the server is shutting
+    down (HTTP 503)."""
+
+
+class UnknownJobError(JobError):
+    """No job with that id (HTTP 404)."""
+
+
+def build_job_options(base, payload: Optional[Dict[str, object]]):
+    """A per-job :class:`~repro.flow.FlowOptions` from the whitelist.
+
+    ``payload`` is the request's ``options`` object.  Only
+    :data:`ALLOWED_OPTIONS` may appear; anything else — unknown keys,
+    wrong types, out-of-range values — raises :class:`JobOptionsError`
+    (the server's 400).  The returned options share the base's cache
+    (the whole point of the resident service) but never its ledger:
+    the manager records outcomes itself, exactly once per job.
+    """
+    payload = dict(payload or {})
+    unknown = sorted(set(payload) - set(ALLOWED_OPTIONS))
+    if unknown:
+        raise JobOptionsError(
+            f"unknown option(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(ALLOWED_OPTIONS)})"
+        )
+    options = replace(base, ledger=None)
+    if "deadline_s" in payload:
+        deadline = payload["deadline_s"]
+        if isinstance(deadline, bool) or not isinstance(
+            deadline, (int, float)
+        ) or deadline <= 0:
+            raise JobOptionsError("deadline_s must be a positive number")
+        options = replace(
+            options,
+            mapper=replace(base.mapper, deadline_s=float(deadline)),
+        )
+    for name in ("recovery", "explore_solvers"):
+        if name in payload:
+            value = payload[name]
+            if not isinstance(value, bool):
+                raise JobOptionsError(f"{name} must be a boolean")
+            options = replace(options, **{name: value})
+    if "jobs" in payload:
+        fanout = payload["jobs"]
+        if isinstance(fanout, bool) or not isinstance(fanout, int) \
+                or not 1 <= fanout <= MAX_JOB_FANOUT:
+            raise JobOptionsError(
+                f"jobs must be an integer in [1, {MAX_JOB_FANOUT}]"
+            )
+        options = replace(options, jobs=fanout)
+    return options
+
+
+class JobEventLog:
+    """Bounded per-job event buffer with replay and blocking tail.
+
+    The serve-side sibling of
+    :class:`~repro.instrument.events.RingBuffer`: bounded like it, but
+    with a condition variable so SSE handlers can block for the next
+    event instead of polling, and a ``closed`` flag the manager raises
+    once the job is terminal and no further events can arrive —
+    the signal that lets a stream end instead of heartbeating forever.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self.closed = False
+        self._events: deque = deque(maxlen=capacity)
+        self._cond = threading.Condition()
+
+    def append(self, event: TelemetryEvent) -> None:
+        with self._cond:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def last_seq(self) -> int:
+        """Highest buffered seq, or -1 while empty."""
+        with self._cond:
+            return self._events[-1].seq if self._events else -1
+
+    def since(self, seq: int) -> List[TelemetryEvent]:
+        """Buffered events with ``seq`` strictly greater than ``seq``
+        (pass -1 for a full replay), oldest first."""
+        with self._cond:
+            return [e for e in self._events if e.seq > seq]
+
+    def wait(
+        self, seq: int, timeout: Optional[float] = None
+    ) -> Tuple[List[TelemetryEvent], bool]:
+        """Block until an event newer than ``seq`` arrives, the log
+        closes, or ``timeout`` elapses; returns ``(new_events,
+        closed)``.  An empty list with ``closed=False`` is the
+        heartbeat case."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self.closed
+                or (self._events and self._events[-1].seq > seq),
+                timeout,
+            )
+            return [e for e in self._events if e.seq > seq], self.closed
+
+
+@dataclass
+class Job:
+    """One submitted synthesis, from POST body to artifacts."""
+
+    id: str
+    label: str
+    source: str
+    entity: Optional[str]
+    options: object
+    status: str = STATUS_QUEUED
+    created_ts: float = 0.0
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    elapsed_s: float = 0.0
+    design: Optional[str] = None
+    summary: str = ""
+    error: str = ""
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    recovery: List[Dict[str, object]] = field(default_factory=list)
+    #: rendered artifacts by name (report/netlist/spice/explain)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    events: JobEventLog = field(default_factory=JobEventLog)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def as_dict(self, brief: bool = False) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "id": self.id,
+            "label": self.label,
+            "status": self.status,
+            "design": self.design,
+            "created_ts": self.created_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "events": {
+                "count": len(self.events),
+                "dropped": self.events.dropped,
+            },
+        }
+        if brief:
+            return data
+        data.update({
+            "summary": self.summary,
+            "error": self.error,
+            "errors": list(self.errors),
+            "warnings": list(self.warnings),
+            "recovery": list(self.recovery),
+            "artifacts": sorted(self.artifacts),
+        })
+        return data
+
+
+class JobManager:
+    """Admission, execution and bookkeeping for served jobs."""
+
+    def __init__(
+        self,
+        options,
+        library=None,
+        ledger=None,
+        workers: int = 2,
+        queue_limit: int = 64,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.options = options
+        self.library = library
+        self.ledger = ledger
+        self.queue_limit = queue_limit
+        self.event_capacity = event_capacity
+        self.max_jobs = max_jobs
+        self._pool = WorkerPool(workers)
+        self._lock = threading.Lock()
+        self._jobs: "Dict[str, Job]" = {}
+        self._closed = False
+        #: completed jobs by terminal status, for /metrics
+        self.done: Dict[str, int] = {name: 0 for name in TERMINAL_STATUSES}
+
+    # -- telemetry routing (bus subscriber) --------------------------------
+
+    def route(self, event: TelemetryEvent) -> None:
+        """File a bus event into the owning job's event log.
+
+        Runs under the bus dispatch lock, so it must stay cheap: one
+        dict lookup and a deque append.  Events whose run id is no
+        job's (CLI runs sharing the process, the unscoped sentinel)
+        are ignored.
+        """
+        job = self._jobs.get(event.run_id)
+        if job is not None:
+            job.events.append(event)
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        entity: Optional[str] = None,
+        label: Optional[str] = None,
+        options: Optional[Dict[str, object]] = None,
+    ) -> Job:
+        """Validate, enqueue and schedule one job; returns it queued."""
+        if not isinstance(source, str) or not source.strip():
+            raise JobOptionsError("source must be a non-empty string")
+        if entity is not None and not isinstance(entity, str):
+            raise JobOptionsError("entity must be a string")
+        if label is not None and not isinstance(label, str):
+            raise JobOptionsError("label must be a string")
+        job_options = build_job_options(self.options, options)
+        job = Job(
+            id=new_run_id(),
+            label=label or f"<job {entity or 'vass'}>",
+            source=source,
+            entity=entity,
+            options=job_options,
+            created_ts=time.time(),
+            events=JobEventLog(self.event_capacity),
+        )
+        with self._lock:
+            if self._closed:
+                raise QueueFullError("server is shutting down")
+            queued = sum(
+                1 for j in self._jobs.values()
+                if j.status == STATUS_QUEUED
+            )
+            if queued >= self.queue_limit:
+                raise QueueFullError(
+                    f"job queue is full ({queued} waiting, "
+                    f"limit {self.queue_limit})"
+                )
+            self._prune_locked()
+            self._jobs[job.id] = job
+        # Seq 0 of the job's run: the queued lifecycle event, published
+        # outside the manager lock (bus dispatch takes its own lock and
+        # calls back into route()).
+        bus = active_bus()
+        if bus is not None:
+            with run_scope(job.id):
+                bus.publish(
+                    CATEGORY_LIFECYCLE,
+                    {"kind": "job", "phase": "queued", "label": job.label},
+                )
+        self._pool.submit(lambda: self._execute(job))
+        return job
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest terminal jobs once ``max_jobs`` is exceeded."""
+        overflow = len(self._jobs) + 1 - self.max_jobs
+        if overflow <= 0:
+            return
+        for job_id in [
+            job.id for job in self._jobs.values() if job.terminal
+        ][:overflow]:
+            del self._jobs[job_id]
+
+    # -- execution (worker threads) -----------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        from repro.instrument.ledger import (
+            record_for_failure,
+            record_for_result,
+        )
+        from repro.robust.batch import run_source
+
+        with self._lock:
+            if job.status != STATUS_QUEUED:  # pragma: no cover - defensive
+                return
+            job.status = STATUS_RUNNING
+            job.started_ts = time.time()
+        bus = active_bus()
+        with run_scope(job.id):
+            if bus is not None:
+                bus.publish(
+                    CATEGORY_LIFECYCLE,
+                    {"kind": "job", "phase": "running", "label": job.label},
+                )
+            entry, result, error = run_source(
+                job.source,
+                job.label,
+                job.options,
+                self.library,
+                entity_name=job.entity,
+            )
+            if result is not None:
+                job.artifacts = self._render_artifacts(job, result)
+            if bus is not None:
+                payload: Dict[str, object] = {
+                    "kind": "job",
+                    "phase": entry.status,
+                    "label": job.label,
+                    "elapsed_s": entry.elapsed_s,
+                }
+                if entry.design:
+                    payload["design"] = entry.design
+                if entry.status == "failed" and entry.error:
+                    payload["error"] = entry.error
+                bus.publish(CATEGORY_LIFECYCLE, payload)
+        if self.ledger is not None:
+            try:
+                if result is not None:
+                    self.ledger.append(record_for_result(
+                        result, job.source, job.label,
+                        entry.elapsed_s, job.options,
+                    ))
+                else:
+                    self.ledger.append(record_for_failure(
+                        job.id, job.source, job.label, entry.elapsed_s,
+                        job.options,
+                        error if error is not None
+                        else RuntimeError(entry.error or "failed"),
+                    ))
+            except OSError:  # pragma: no cover - ledger on a full disk
+                pass
+        with self._lock:
+            job.design = entry.design
+            job.summary = entry.summary
+            job.error = entry.error
+            job.errors = list(entry.errors)
+            job.warnings = list(entry.warnings)
+            job.recovery = list(entry.recovery)
+            job.elapsed_s = entry.elapsed_s
+            job.finished_ts = time.time()
+            job.status = entry.status
+            self.done[entry.status] = self.done.get(entry.status, 0) + 1
+        # Terminal status is visible before close(): an SSE handler
+        # woken by close() always observes the final state.
+        job.events.close()
+
+    def _render_artifacts(self, job: Job, result) -> Dict[str, str]:
+        """Render the fetchable artifacts of a finished synthesis."""
+        from repro.report import generate_report
+        from repro.spice import to_spice_deck
+
+        artifacts = {
+            "netlist": result.netlist.describe() + "\n",
+            "spice": to_spice_deck(result.netlist),
+            "report": generate_report(result, title=job.label),
+        }
+        if result.explog is not None:
+            try:
+                from repro.instrument.explain import (
+                    render_exploration_html,
+                )
+
+                artifacts["explain"] = render_exploration_html(
+                    result, title=job.label
+                )
+            except Exception:  # noqa: BLE001 - optional artifact
+                pass
+        return artifacts
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, object]:
+        """The /metrics gauges: queue depth, running, done by outcome."""
+        with self._lock:
+            statuses = [job.status for job in self._jobs.values()]
+            return {
+                "queued": statuses.count(STATUS_QUEUED),
+                "running": statuses.count(STATUS_RUNNING),
+                "done": dict(self.done),
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self, wait: bool = True) -> None:
+        """Refuse new jobs and shut the worker pool down."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,114 @@
+"""Server-Sent Events framing and parsing (stdlib only).
+
+``vase serve`` streams each job's :class:`TelemetryEvent`s as SSE
+frames::
+
+    id: <seq>
+    event: <category>
+    data: {"run_id": ..., "seq": ..., "ts": ..., "category": ..., "payload": ...}
+
+The ``id`` field carries the event's dense per-run ``seq``, so a
+reconnecting client can resume with ``Last-Event-ID`` (or ``?since=``)
+and the server replays exactly the missing suffix — no gaps, no
+duplicates.  Idle streams emit comment frames (``: heartbeat``) so
+proxies and clients can tell a quiet job from a dead connection; the
+stream ends with a ``event: end`` frame once the job is terminal and
+every event has been delivered.
+
+:func:`parse_sse` is the inverse, used by the ``vase watch`` client:
+it folds a line iterator back into :class:`SseMessage` records per the
+WHATWG dispatch rules (blank line dispatches, ``data:`` lines
+accumulate, comments are surfaced separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.instrument.events import TelemetryEvent
+
+#: event name of the stream-terminating frame
+END_EVENT = "end"
+
+
+def format_event(event: TelemetryEvent) -> bytes:
+    """One telemetry event as an SSE frame (id = seq, event = category)."""
+    return (
+        f"id: {event.seq}\n"
+        f"event: {event.category}\n"
+        f"data: {event.to_json()}\n\n"
+    ).encode("utf-8")
+
+
+def format_message(
+    data: str, event: Optional[str] = None, event_id: Optional[str] = None
+) -> bytes:
+    """A generic SSE frame (the ``end`` frame, error notices)."""
+    lines: List[str] = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_comment(text: str) -> bytes:
+    """A comment frame (heartbeats; ignored by SSE clients)."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+@dataclass
+class SseMessage:
+    """One dispatched SSE message (or comment) on the client side."""
+
+    data: str = ""
+    event: Optional[str] = None
+    id: Optional[str] = None
+    #: comment lines seen since the previous dispatch (heartbeats)
+    comments: List[str] = field(default_factory=list)
+
+    @property
+    def is_comment(self) -> bool:
+        return not self.data and self.event is None and self.id is None
+
+
+def parse_sse(lines: Iterable[str]) -> Iterator[SseMessage]:
+    """Fold decoded text lines into dispatched :class:`SseMessage`s.
+
+    Follows the WHATWG EventSource dispatch rules closely enough for
+    our own frames: ``data:`` lines accumulate (joined by newlines),
+    a blank line dispatches, ``:`` lines are comments.  A trailing
+    unterminated message is discarded, comments pending at a dispatch
+    ride on the dispatched message.
+    """
+    data: List[str] = []
+    event: Optional[str] = None
+    event_id: Optional[str] = None
+    comments: List[str] = []
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line:
+            if data or event is not None or event_id is not None or comments:
+                yield SseMessage(
+                    data="\n".join(data),
+                    event=event,
+                    id=event_id,
+                    comments=comments,
+                )
+            data, event, event_id, comments = [], None, None, []
+            continue
+        if line.startswith(":"):
+            comments.append(line[1:].lstrip())
+            continue
+        name, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if name == "data":
+            data.append(value)
+        elif name == "event":
+            event = value
+        elif name == "id":
+            event_id = value
+        # unknown field names are ignored, per the spec

@@ -1,0 +1,125 @@
+"""``vase watch``: tail a served job's telemetry stream in a terminal.
+
+The client half of the SSE endpoint: connect to
+``http://host:port/jobs/<id>/events`` (or just the job status URL —
+``/events`` is appended when missing), parse the stream with
+:func:`~repro.serve.sse.parse_sse`, rebuild each frame into a
+:class:`~repro.instrument.events.TelemetryEvent`, and render it with
+the same :class:`~repro.instrument.events.ProgressRenderer` the local
+``vase batch --progress`` uses — plus one line per job/run lifecycle
+phase, so a watcher sees ``queued`` → ``running`` → terminal status
+exactly as the server does.
+
+Exit code mirrors the job: ``0`` for ``ok``/``degraded``, ``1`` for
+``failed`` (or when the stream ends without a terminal status).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+from urllib.request import Request, urlopen
+
+from repro.instrument.events import (
+    CATEGORY_LIFECYCLE,
+    ProgressRenderer,
+    TelemetryEvent,
+)
+from repro.serve.sse import END_EVENT, parse_sse
+
+#: job statuses that map to exit code 0
+_GOOD_STATUSES = ("ok", "degraded")
+
+
+def _event_url(url: str) -> str:
+    """Normalize a job URL to its SSE endpoint."""
+    trimmed = url.rstrip("/")
+    if not trimmed.endswith("/events"):
+        trimmed += "/events"
+    return trimmed
+
+
+def event_from_frame(data: str) -> Optional[TelemetryEvent]:
+    """Rebuild a TelemetryEvent from an SSE data payload (or None)."""
+    try:
+        record = json.loads(data)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    try:
+        return TelemetryEvent(
+            run_id=str(record["run_id"]),
+            seq=int(record["seq"]),
+            ts=float(record["ts"]),
+            category=str(record["category"]),
+            payload=dict(record.get("payload") or {}),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def watch(
+    url: str,
+    stream: Optional[IO[str]] = None,
+    since: int = -1,
+    verbose: bool = False,
+) -> int:
+    """Tail one job's SSE stream until its ``end`` frame.
+
+    ``since`` resumes mid-stream (the server replays seq ``since+1``
+    onward); ``verbose`` prints every event as JSON instead of the
+    progress rendering.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+    renderer = ProgressRenderer(stream=out)
+    final_status: Optional[str] = None
+    request = Request(
+        _event_url(url) + (f"?since={since}" if since >= 0 else ""),
+        headers={"Accept": "text/event-stream"},
+    )
+    with urlopen(request) as response:
+        lines = (raw.decode("utf-8") for raw in response)
+        for message in parse_sse(lines):
+            if message.is_comment:
+                continue
+            if message.event == END_EVENT:
+                try:
+                    final_status = json.loads(message.data).get("status")
+                except (json.JSONDecodeError, AttributeError):
+                    final_status = None
+                break
+            event = event_from_frame(message.data)
+            if event is None:
+                continue
+            if verbose:
+                out.write(event.to_json() + "\n")
+                out.flush()
+                continue
+            renderer(event)
+            _render_job_line(event, out)
+    if final_status is not None:
+        out.write(f"job finished: {final_status}\n")
+        out.flush()
+    return 0 if final_status in _GOOD_STATUSES else 1
+
+
+def _render_job_line(event: TelemetryEvent, out: IO[str]) -> None:
+    """One line per job/run lifecycle phase (the renderer only shows
+    per-file phases)."""
+    if event.category != CATEGORY_LIFECYCLE:
+        return
+    payload = event.payload
+    kind = payload.get("kind")
+    if kind not in ("job", "run"):
+        return
+    phase = payload.get("phase", "?")
+    line = f"{kind} {event.run_id}: {phase}"
+    if payload.get("design"):
+        line += f" ({payload['design']})"
+    if payload.get("error"):
+        line += f": {payload['error']}"
+    out.write(line + "\n")
+    out.flush()

@@ -2,6 +2,7 @@
 
 import io
 import json
+import time
 
 import pytest
 
@@ -214,6 +215,92 @@ class TestSubscribers:
         progress(self._event(category=CATEGORY_SPAN))
         progress(self._event(payload={"kind": "run", "phase": "ok"}))
         assert progress.counts.done == 2
+
+
+class TestBusStatsAndErrorMetric:
+    def test_subscriber_errors_feed_the_metric(self):
+        from repro.instrument import metrics
+
+        registry = metrics()
+        registry.reset()
+        bus = TelemetryBus()
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.publish(CATEGORY_SPAN, {})
+        bus.publish(CATEGORY_SPAN, {})
+        assert bus.errors == 2
+        assert registry.counter("telemetry.subscriber_errors") == 2
+        # The increment must not publish back onto the bus — that
+        # would recurse through the failing subscriber forever.
+        assert bus.published() == 2
+        registry.reset()
+
+    def test_stats_and_repr(self):
+        bus = TelemetryBus()
+        bus.subscribe(lambda event: None)
+        with run_scope("run-x"):
+            bus.publish(CATEGORY_SPAN, {})
+            bus.publish(CATEGORY_CACHE, {})
+        stats = bus.stats()
+        assert stats["published"] == 2
+        assert stats["counts"] == {CATEGORY_SPAN: 1, CATEGORY_CACHE: 1}
+        assert stats["runs"] == 1
+        assert stats["subscribers"] == 1
+        assert stats["subscriber_errors"] == 0
+        assert repr(bus) == (
+            "<TelemetryBus subscribers=1 published=2 runs=1 errors=0>"
+        )
+
+
+class TestJsonlSinkFlushPolicy:
+    def _event(self, seq=0):
+        return TelemetryEvent(
+            run_id="r", seq=seq, ts=0.0, category=CATEGORY_SPAN,
+            payload={},
+        )
+
+    def test_default_flushes_every_event(self):
+        sink = JsonlSink(io.StringIO())
+        assert sink.flush_every == 1
+        sink(self._event(0))
+        sink(self._event(1))
+        assert sink.flushes == 2
+        sink.close()
+
+    def test_flush_every_batches(self):
+        sink = JsonlSink(io.StringIO(), flush_every=3)
+        for seq in range(7):
+            sink(self._event(seq))
+        assert sink.flushes == 2  # after events 3 and 6
+        sink.close()  # the pending 7th event flushes on close
+        assert sink.flushes == 3
+
+    def test_interval_flush(self):
+        sink = JsonlSink(
+            io.StringIO(), flush_every=None, flush_interval_s=0.05
+        )
+        sink(self._event(0))
+        assert sink.flushes == 0
+        time.sleep(0.06)
+        sink(self._event(1))
+        assert sink.flushes == 1
+        sink.close()
+
+    def test_unflushed_lines_still_written_on_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), flush_every=1000)
+        for seq in range(5):
+            sink(self._event(seq))
+        assert sink.flushes == 0
+        sink.close()
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_rejects_bad_flush_every(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), flush_every=0)
 
 
 class TestFlowIntegration:

@@ -89,6 +89,52 @@ class TestRunLedger:
         assert "OK" in text
         assert "a.vhd" in text
 
+    def test_concurrent_appends_from_two_processes(self, tmp_path):
+        """Each append is a single O_APPEND write, so two writers
+        interleave at line granularity: no torn or merged records."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "ledger.jsonl"
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        script = (
+            "import sys, time\n"
+            "from repro.instrument.ledger import RunLedger, LedgerRecord\n"
+            "ledger = RunLedger(sys.argv[1])\n"
+            "who = sys.argv[2]\n"
+            "for n in range(50):\n"
+            "    ledger.append(LedgerRecord(\n"
+            "        run_id=f'{who}-{n}', kind='synth', ts=0.0,\n"
+            "        source='x.vhd', source_fp='fp', options_fp='fp',\n"
+            "        outcome='ok',\n"
+            "    ))\n"
+            "    time.sleep(0)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=src, VASE_LEDGER="off")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), who],
+                env=env,
+            )
+            for who in ("alpha", "beta")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        ledger = RunLedger(path)
+        back = ledger.records()
+        assert ledger.skipped == 0  # no torn lines
+        assert len(back) == 100
+        ids = [r.run_id for r in back]
+        assert sorted(ids) == sorted(
+            f"{who}-{n}" for who in ("alpha", "beta") for n in range(50)
+        )
+        # Per-writer order is preserved even though writers interleave.
+        for who in ("alpha", "beta"):
+            ours = [i for i in ids if i.startswith(who)]
+            assert ours == [f"{who}-{n}" for n in range(50)]
+
 
 class TestSummarize:
     def test_rates_and_percentiles(self):
