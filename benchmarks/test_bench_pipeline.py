@@ -5,17 +5,20 @@ JSON for the perf trajectory:
 
 1. cold-vs-warm synthesis: the same design through a shared on-disk
    artifact cache — the warm run should skip every stage;
-2. serial-vs-``--jobs`` batch wall-clock over a small corpus, with the
-   report content proven identical.
+2. executor-backend batch wall-clock (serial vs thread vs process) over
+   a corpus heavy enough for the GIL to matter, with the report content
+   proven byte-identical across all three backends.
 """
 
+import os
 import time
 from pathlib import Path
 
 from repro.apps import ALL_APPLICATIONS
 from repro.flow import FlowOptions, synthesize
-from repro.pipeline import ArtifactCache
+from repro.pipeline import ArtifactCache, ParallelOptions
 from repro.robust.batch import run_batch
+from repro.synth.mapper import MapperOptions
 
 from conftest import banner
 
@@ -54,35 +57,69 @@ def test_bench_cache_cold_vs_warm(benchmark, bench_metrics, tmp_path):
     assert warm_stats.misses == 0
 
 
-def test_bench_batch_serial_vs_jobs(benchmark, bench_metrics, tmp_path):
+def test_bench_batch_executors(benchmark, bench_metrics, tmp_path):
+    """Serial vs thread vs process backends over a CPU-heavy corpus.
+
+    The corpus replicates the Table-1 applications and disables the
+    mapper's cost bounding, so every file spends real CPU time in the
+    branch-and-bound search — the regime where threads serialize on the
+    GIL and spawned worker processes actually buy multi-core speedup.
+    The ``>= 1.4x`` process-over-serial assertion only fires on hosts
+    with at least 4 usable cores (CI runners qualify; a single-core
+    container cannot speed anything up).
+    """
     corpus = tmp_path / "corpus"
     corpus.mkdir()
+    # iterative_solver is the heavyweight once bounding is off
+    # (~0.3 s of pure branch-and-bound per file); replicating it keeps
+    # the serial baseline in the multi-second range so executor
+    # overheads (worker spawn, pickling) cannot mask the comparison.
+    for copy in range(30):
+        (corpus / f"iterative_solver_{copy:02d}.vhd").write_text(
+            ALL_APPLICATIONS["iterative_solver"].VASS_SOURCE
+        )
     (corpus / "biquad.vhd").write_text(BIQUAD)
-    for name in ("power_meter", "iterative_solver", "function_generator"):
+    for name in ("power_meter", "function_generator", "missile_solver"):
         (corpus / f"{name}.vhd").write_text(
             ALL_APPLICATIONS[name].VASS_SOURCE
         )
     files = sorted(corpus.iterdir())
+    options = FlowOptions(mapper=MapperOptions(enable_bounding=False))
+
+    def timed(executor, workers):
+        t0 = time.perf_counter()
+        report = run_batch(
+            files, options=options,
+            parallel=ParallelOptions(executor=executor, workers=workers),
+        )
+        return report, time.perf_counter() - t0
 
     def run():
-        t0 = time.perf_counter()
-        serial = run_batch(files)
-        serial_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        parallel = run_batch(files, jobs=4)
-        parallel_s = time.perf_counter() - t0
-        return serial, serial_s, parallel, parallel_s
+        serial, serial_s = timed("serial", 1)
+        thread, thread_s = timed("thread", 4)
+        process, process_s = timed("process", 4)
+        return serial, serial_s, thread, thread_s, process, process_s
 
-    serial, serial_s, parallel, parallel_s = benchmark.pedantic(
-        run, rounds=1, iterations=1
+    serial, serial_s, thread, thread_s, process, process_s = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
     )
-    banner("Parallel batch: serial vs --jobs 4")
-    print(f"files    : {len(files)}")
+    cores = len(os.sched_getaffinity(0))
+    banner("Executor backends: serial vs thread vs process (--workers 4)")
+    print(f"files    : {len(files)}  (usable cores: {cores})")
     print(f"serial   : {serial_s * 1e3:8.2f} ms")
-    print(f"--jobs 4 : {parallel_s * 1e3:8.2f} ms")
-    print(f"speedup  : {serial_s / parallel_s:8.2f}x")
+    print(f"thread 4 : {thread_s * 1e3:8.2f} ms "
+          f"({serial_s / thread_s:.2f}x)")
+    print(f"process 4: {process_s * 1e3:8.2f} ms "
+          f"({serial_s / process_s:.2f}x)")
     bench_metrics["files"] = len(files)
+    bench_metrics["cores"] = cores
     bench_metrics["serial_s"] = serial_s
-    bench_metrics["jobs4_s"] = parallel_s
-    assert serial.as_dict(timing=False) == parallel.as_dict(timing=False)
+    bench_metrics["thread4_s"] = thread_s
+    bench_metrics["process4_s"] = process_s
+    assert serial.as_dict(timing=False) == thread.as_dict(timing=False)
+    assert serial.as_dict(timing=False) == process.as_dict(timing=False)
     assert serial.failed == 0
+    if cores >= 4:
+        # The acceptance bar: real multi-core speedup once the host
+        # actually has the cores to spend.
+        assert serial_s / process_s >= 1.4

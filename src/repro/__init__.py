@@ -12,11 +12,20 @@ The public API mirrors the paper's design flow (Figure 1):
 * :mod:`repro.spice` — netlisting and circuit-level simulation
   (Section 6's experiments);
 * :mod:`repro.apps` — the five Table-1 applications.
+
+The stable entry points for embedding the flow are
+:func:`synthesize` with a :class:`FlowOptions` bag — including
+:class:`ParallelOptions`, which picks the execution backend
+(``serial`` / ``thread`` / ``process``) for solver exploration and
+batch runs — returning a :class:`SynthesisResult`; every error the
+flow raises deliberately derives from :class:`VaseError`.
 """
 
 from repro.compiler import CompilerOptions, compile_design
+from repro.diagnostics import VaseError
 from repro.flow import FlowOptions, SynthesisResult, synthesize
 from repro.instrument import Tracer, metrics, trace_phase, tracing
+from repro.pipeline import ParallelOptions
 from repro.vass import analyze_source, parse_source
 from repro.verify import EquivalenceReport, verify_equivalence
 
@@ -24,9 +33,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CompilerOptions",
+    "EquivalenceReport",
     "FlowOptions",
+    "ParallelOptions",
     "SynthesisResult",
     "Tracer",
+    "VaseError",
     "analyze_source",
     "compile_design",
     "metrics",
@@ -35,6 +47,5 @@ __all__ = [
     "trace_phase",
     "tracing",
     "verify_equivalence",
-    "EquivalenceReport",
     "__version__",
 ]

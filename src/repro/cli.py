@@ -6,7 +6,8 @@ Subcommands::
     vase synth    FILE [--entity NAME]           # full flow -> netlist
                   [--trace] [--trace-json FILE]  #   + per-phase timing
                   [--cache [DIR]]                #   on-disk artifact cache
-                  [--explore-solvers] [--jobs N] #   map all causalizations
+                  [--explore-solvers]            #   map all causalizations
+                  [--executor serial|thread|process] [--workers N]
                   [--events FILE]                #   telemetry-bus JSONL
                   [--ledger PATH] [--no-ledger]  #   run-ledger control
     vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
@@ -20,14 +21,16 @@ Subcommands::
     vase bench-check [--update] [...]            # metrics regression gate
     vase check    FILE...                        # syntax check, all errors
     vase batch    DIR [--json F] [--strict]      # synthesize every file,
-                  [--no-recovery] [--jobs N]     #   per-file isolation
+                  [--no-recovery]                #   per-file isolation
+                  [--executor serial|thread|process] [--workers N]
                   [--cache [DIR]]                #   shared artifact cache
                   [--cache-stats F][--no-timing] #   deterministic output
                   [--events FILE] [--progress]   #   live telemetry
                   [--metrics-out FILE]           #   Prometheus dump
     vase serve    [--host H] [--port P]          # HTTP service: job queue,
-                  [--jobs N] [--queue-limit N]   #   SSE telemetry streams,
-                  [--cache [DIR]]                #   /metrics, /history
+                  [--executor thread|process]    #   SSE telemetry streams,
+                  [--workers N] [--queue-limit N]#   /metrics, /history
+                  [--cache [DIR]]
                   [--ledger PATH] [--no-ledger]
     vase watch    URL [--since N] [--verbose]    # tail a served job's SSE
     vase history  [--limit N] [--outcome O]      # recent runs from the
@@ -65,6 +68,59 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_executor_args(parser, what: str) -> None:
+    """The shared ``--executor`` / ``--workers`` / ``--jobs`` trio."""
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default=None,
+        help=f"execution backend for {what}: serial, the in-process "
+        "thread pool, or process (multiprocessing spawn workers — "
+        "true multi-core; output is identical across backends)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker count for --executor (default: the CPU count "
+        "when an executor is chosen, else 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="deprecated alias: thread-pool width (use "
+        "--executor/--workers)",
+    )
+
+
+def _resolve_parallel(args: argparse.Namespace):
+    """A :class:`~repro.pipeline.ParallelOptions` from the CLI trio.
+
+    ``--jobs`` is the deprecated width knob: honored (as the thread
+    backend) with a stderr warning, overridden by the first-class
+    flags when both are given.  ``--executor`` without ``--workers``
+    defaults to every available core; ``--workers`` without
+    ``--executor`` picks the thread backend.
+    """
+    import os
+
+    from repro.pipeline import ParallelOptions
+
+    executor = getattr(args, "executor", None)
+    workers = getattr(args, "workers", None)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        print(
+            "warning: --jobs is deprecated; use --executor/--workers",
+            file=sys.stderr,
+        )
+        if executor is None and workers is None:
+            return ParallelOptions.from_jobs(jobs)
+    if executor is None and workers is None:
+        return ParallelOptions()
+    if workers is None:
+        workers = 1 if executor == "serial" else (os.cpu_count() or 1)
+    if executor is None:
+        executor = "thread" if workers > 1 else "serial"
+    return ParallelOptions(executor=executor, workers=workers)
 
 
 def _load_source(spec: str) -> str:
@@ -120,7 +176,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         options = FlowOptions(
             trace=want_trace,
             explore_solvers=args.explore_solvers,
-            jobs=args.jobs,
+            parallel=_resolve_parallel(args),
             cache=cache,
             telemetry=bus,
             ledger=resolve_ledger(args.ledger, args.no_ledger),
@@ -410,7 +466,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         report = run_batch(
             files,
             options=options,
-            jobs=args.jobs,
+            parallel=_resolve_parallel(args),
             cache=cache,
             ledger=resolve_ledger(args.ledger, args.no_ledger),
             source_label=str(root),
@@ -564,11 +620,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.flow import FlowOptions
     from repro.instrument import TelemetryBus, resolve_ledger, telemetry
-    from repro.pipeline import ArtifactCache
+    from repro.pipeline import ArtifactCache, ParallelOptions
     from repro.serve import JobManager, create_server
 
+    if args.jobs is not None:
+        print("warning: --jobs is deprecated; use --workers",
+              file=sys.stderr)
+    width = args.workers or args.jobs or 2
+    execution = ParallelOptions(
+        executor=args.executor or "thread", workers=width,
+    )
     # One shared two-tier cache for every served job: the resident
-    # service is exactly the setting where warm stage artifacts pay off.
+    # service is exactly the setting where warm stage artifacts pay off
+    # — and, under --executor process, its on-disk tier is the store
+    # the worker processes share.
     cache = ArtifactCache(disk_dir=args.cache)
     options = FlowOptions(
         trace=True, explog=True, recovery=True, cache=cache,
@@ -576,8 +641,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     manager = JobManager(
         options,
         ledger=resolve_ledger(args.ledger, args.no_ledger),
-        workers=args.jobs,
         queue_limit=args.queue_limit,
+        execution=execution,
     )
     bus = TelemetryBus()
     bus.subscribe(manager.route)
@@ -587,7 +652,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     host, port = server.server_address[:2]
     print(f"vase serve listening on http://{host}:{port} "
-          f"({args.jobs} worker(s), queue limit {args.queue_limit})",
+          f"({execution.describe()} worker(s), "
+          f"queue limit {args.queue_limit})",
           file=sys.stderr)
     with telemetry(bus):
         try:
@@ -675,10 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="map every enumerated DAE causalization and keep the "
         "best-area feasible result",
     )
-    p_synth.add_argument(
-        "--jobs", type=_positive_int, default=1, metavar="N",
-        help="worker-pool width for --explore-solvers",
-    )
+    _add_executor_args(p_synth, "--explore-solvers")
     p_synth.add_argument(
         "--events", default=None, metavar="FILE",
         help="stream every telemetry event of the run (spans, metric "
@@ -807,9 +870,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-recovery", action="store_true",
                          help="disable the recovery ladder (a failing "
                          "file fails outright)")
-    p_batch.add_argument(
-        "--jobs", type=_positive_int, default=1, metavar="N",
-        help="synthesize N files concurrently (output is identical "
+    _add_executor_args(
+        p_batch, "concurrent file synthesis (output is identical "
         "to the serial run)",
     )
     p_batch.add_argument(
@@ -891,8 +953,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8626,
                          help="port (default 8626; 0 picks a free one)")
     p_serve.add_argument(
-        "--jobs", type=_positive_int, default=2, metavar="N",
+        "--executor", choices=("serial", "thread", "process"),
+        default=None,
+        help="resident execution backend: thread (default) or "
+        "process (spawned synthesis workers off the GIL; pair with "
+        "--cache so they share the on-disk artifact store)",
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
         help="resident synthesis workers (default 2)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="deprecated alias for --workers",
     )
     p_serve.add_argument(
         "--queue-limit", type=_positive_int, default=64, metavar="N",

@@ -11,15 +11,19 @@ Since the staged-pipeline refactor the flow runs on
 :class:`repro.pipeline.PipelineSession`: every phase is a cacheable
 stage with a content-addressed key, so the recovery ladder compiles
 the source once per distinct causalization, ``explore_solvers`` maps
-all enumerated causalizations (concurrently when ``jobs > 1``), and
-``vase batch``/``vase synth --cache`` can share artifacts across runs.
+all enumerated causalizations (concurrently on the backend
+``FlowOptions.parallel`` selects — threads or spawned worker
+processes), and ``vase batch``/``vase synth --cache`` can share
+artifacts across runs (and across worker processes, through the
+cache's on-disk tier).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.compiler import CompilerOptions
@@ -49,7 +53,15 @@ from repro.instrument.ledger import (
     record_for_result,
 )
 from repro.library import ComponentLibrary, default_library
-from repro.pipeline import ArtifactCache, PipelineSession, run_parallel
+from repro.pipeline import (
+    ArtifactCache,
+    ParallelOptions,
+    PipelineSession,
+    Task,
+    create_executor,
+    stats_delta,
+    worker_cache,
+)
 from repro.robust.recovery import (
     OUTCOME_FAILED,
     OUTCOME_RECOVERED,
@@ -120,10 +132,17 @@ class FlowOptions:
     #: per-solver outcomes land on ``SynthesisResult.solver_exploration``
     #: and in the exploration log
     explore_solvers: bool = False
-    #: worker-pool width for ``explore_solvers`` (and the default for
-    #: batch runs built on this options bag); results are deterministic
-    #: regardless of the worker count
-    jobs: int = 1
+    #: execution backend and width for ``explore_solvers`` (and the
+    #: default for batch runs built on this options bag): ``serial``,
+    #: ``thread`` (the in-process pool) or ``process`` (spawned
+    #: workers, true multi-core).  Results are deterministic — and
+    #: byte-identical — regardless of backend and worker count.
+    parallel: ParallelOptions = field(default_factory=ParallelOptions)
+    #: deprecated — the pre-:class:`ParallelOptions` width knob.  Any
+    #: non-``None`` value emits a :class:`DeprecationWarning` and is
+    #: mapped onto ``parallel`` (``jobs > 1`` → the thread backend)
+    #: unless ``parallel`` was set explicitly, which wins.
+    jobs: Optional[int] = None
     #: artifact cache shared across runs (``vase synth --cache`` wires
     #: an on-disk one).  ``None`` means a private per-run cache: stages
     #: are still reused *within* the run — ladder rungs, solver
@@ -140,6 +159,21 @@ class FlowOptions:
     #: resolves ``.vase-ledger/`` / ``VASE_LEDGER`` onto this knob;
     #: ``None`` means no persistence)
     ledger: Optional[RunLedger] = None
+
+    def __post_init__(self):
+        if self.jobs is not None:
+            warnings.warn(
+                "FlowOptions.jobs is deprecated; use "
+                "FlowOptions.parallel=ParallelOptions(executor=..., "
+                "workers=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.parallel == ParallelOptions():
+                self.parallel = ParallelOptions.from_jobs(self.jobs)
+            # Consume the shim so dataclasses.replace() on this bag
+            # does not warn again (the mapping is already on parallel).
+            self.jobs = None
 
 
 @dataclass
@@ -386,9 +420,10 @@ def synthesize(
     every attempt on ``SynthesisResult.recovery``.
 
     With ``options.explore_solvers`` enabled, every enumerated DAE
-    causalization is mapped (``options.jobs`` of them concurrently)
-    and the best-area feasible result is returned, the others recorded
-    on ``SynthesisResult.solver_exploration``.
+    causalization is mapped (concurrently, on the backend
+    ``options.parallel`` selects) and the best-area feasible result is
+    returned, the others recorded on
+    ``SynthesisResult.solver_exploration``.
     """
     options = options or FlowOptions()
     library = library or default_library()
@@ -505,16 +540,96 @@ def _emit_recovery(event: RecoveryEvent) -> None:
         explog.emit("recovery", **event.as_dict())
 
 
+def transportable_options(options: FlowOptions) -> FlowOptions:
+    """A copy of ``options`` fit for the process-backend pickling
+    boundary: live in-process resources (cache, telemetry bus, ledger)
+    are dropped — workers rebuild the cache from its disk directory,
+    telemetry is forwarded over the result channel, the ledger is
+    written by the submitting side — and ``parallel`` is reset to
+    serial so a worker never recursively spawns its own pool."""
+    return replace(
+        options,
+        cache=None,
+        telemetry=None,
+        ledger=None,
+        parallel=ParallelOptions(),
+        jobs=None,
+    )
+
+
+@dataclass(frozen=True)
+class _SessionPayload:
+    """Everything a worker process needs to rebuild a pipeline session."""
+
+    source: str
+    entity_name: Optional[str]
+    architecture_name: Optional[str]
+    source_filename: Optional[str]
+    options: FlowOptions
+    library: ComponentLibrary
+    #: shared on-disk cache tier (``None``: worker-private memory cache)
+    cache_dir: Optional[str]
+
+
+def _session_payload(session: PipelineSession) -> _SessionPayload:
+    disk_dir = session.cache.disk_dir
+    return _SessionPayload(
+        source=session.source,
+        entity_name=session.entity_name,
+        architecture_name=session.architecture_name,
+        source_filename=session.source_filename,
+        options=transportable_options(session.options),
+        library=session.library,
+        cache_dir=str(disk_dir) if disk_dir is not None else None,
+    )
+
+
+def _solver_attempt_local(session: PipelineSession, index: int):
+    """One causalization attempt against the shared live session."""
+    try:
+        return index, _synthesize_staged(session, solver_index=index), \
+            None, None
+    except SynthesisError as err:
+        return index, None, err, None
+
+
+def _solver_attempt_remote(payload: _SessionPayload, index: int):
+    """One causalization attempt inside a worker process.
+
+    Rebuilds the session from the picklable payload (per-process cache
+    over the shared disk tier) and ships back the cache-counter delta
+    this attempt caused, so the submitting side's aggregate stats stay
+    truthful."""
+    cache = (
+        worker_cache(payload.cache_dir)
+        if payload.cache_dir is not None else None
+    )
+    session = PipelineSession(
+        payload.source,
+        entity_name=payload.entity_name,
+        architecture_name=payload.architecture_name,
+        source_filename=payload.source_filename,
+        options=payload.options,
+        library=payload.library,
+        cache=cache,
+    )
+    before = session.cache.stats.as_dict()
+    index, result, error, _ = _solver_attempt_local(session, index)
+    delta = stats_delta(before, session.cache.stats.as_dict())
+    return index, result, error, delta
+
+
 def _explore_solvers(session: PipelineSession) -> SynthesisResult:
     """Map every enumerated causalization, keep the best-area result.
 
     The paper states that each DAE causalization yields a distinct
     solver SFG and that synthesis considers all of them; this is that
-    mode.  Attempts run on the bounded worker pool
-    (``options.jobs``-wide); the winner is ``min`` by ``(area,
-    solver_index)``, so the choice is deterministic no matter how many
-    workers raced.  One ``solver_explored`` explog event per solver is
-    emitted — from the calling thread, after the pool joined.
+    mode.  Attempts run on the executor ``options.parallel`` selects
+    (inline, thread pool, or spawned worker processes); the winner is
+    ``min`` by ``(area, solver_index)``, so the choice is
+    deterministic no matter how many workers raced.  One
+    ``solver_explored`` explog event per solver is emitted — from the
+    calling thread, after the executor drained.
     """
     options = session.options
     with trace_phase("explore_solvers") as span:
@@ -526,32 +641,31 @@ def _explore_solvers(session: PipelineSession) -> SynthesisResult:
             # usual spans/diagnostics shape is preserved.
             return _synthesize_staged(session)
 
-        # Workers inherit the submitting thread's run id, so their
-        # telemetry (cache ops, metric deltas) lands on this run.
-        rid = current_run_id()
-
-        def attempt(index: int):
-            def run():
-                with run_scope(rid):
-                    try:
-                        return index, _synthesize_staged(
-                            session, solver_index=index
-                        ), None
-                    except SynthesisError as err:
-                        return index, None, err
-
-            return run
-
-        outcomes = run_parallel(
-            [attempt(index) for index in range(count)],
-            jobs=max(1, options.jobs),
-        )
+        # Workers inherit the submitting thread's run id (the executor
+        # re-enters / forwards it), so their telemetry — cache ops,
+        # metric deltas — lands on this run with dense seqs.
+        with create_executor(options.parallel.bounded(count)) as executor:
+            span.annotate(executor=executor.kind)
+            if executor.distributed:
+                payload = _session_payload(session)
+                tasks = [
+                    Task(_solver_attempt_remote, (payload, index))
+                    for index in range(count)
+                ]
+            else:
+                tasks = [
+                    Task(_solver_attempt_local, (session, index))
+                    for index in range(count)
+                ]
+            outcomes = executor.map_ordered(tasks)
 
         best_index: Optional[int] = None
         best_result: Optional[SynthesisResult] = None
         exploration: List[SolverOutcome] = []
         last_error: Optional[SynthesisError] = None
-        for index, result, error in outcomes:
+        for index, result, error, delta in outcomes:
+            if delta is not None:
+                session.cache.stats.apply_delta(delta)
             if result is not None:
                 area = result.estimate.area
                 if best_result is None or (

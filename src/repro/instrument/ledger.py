@@ -211,8 +211,9 @@ class RunLedger:
 
 def options_digest(options) -> str:
     """Fingerprint of the :class:`~repro.flow.FlowOptions` subtrees
-    that shape a synthesis result (runtime knobs like ``jobs``,
-    ``trace`` or ``telemetry`` are deliberately excluded)."""
+    that shape a synthesis result (runtime knobs like ``parallel``,
+    ``trace`` or ``telemetry`` are deliberately excluded — the
+    execution backend must never change what is produced)."""
     from repro.pipeline.fingerprint import fingerprint
 
     return fingerprint(

@@ -3,18 +3,38 @@
 The Figure-1 flow of the paper, restructured as first-class stages.
 See :mod:`repro.pipeline.stages` for the stage graph,
 :mod:`repro.pipeline.cache` for the two-tier artifact cache and
-:mod:`repro.pipeline.parallel` for the deterministic worker pool used
-by ``FlowOptions.explore_solvers`` and ``vase batch --jobs``.
+:mod:`repro.pipeline.executor` for the pluggable execution backends
+(``serial`` / ``thread`` / ``process``) behind
+:class:`~repro.pipeline.executor.ParallelOptions`, used by
+``FlowOptions.explore_solvers``, ``vase batch`` and ``vase serve``.
+:mod:`repro.pipeline.parallel` keeps the underlying bounded thread
+pool.
 """
 
-from repro.pipeline.cache import MISS, ArtifactCache, CacheStats
+from repro.pipeline.cache import (
+    MISS,
+    ArtifactCache,
+    CacheStats,
+    stats_delta,
+    worker_cache,
+)
+from repro.pipeline.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ParallelOptions,
+    ProcessExecutor,
+    SerialExecutor,
+    Task,
+    ThreadExecutor,
+    create_executor,
+)
 from repro.pipeline.fingerprint import (
     canonicalize,
     fingerprint,
     library_fingerprint,
     stage_key,
 )
-from repro.pipeline.parallel import run_parallel
+from repro.pipeline.parallel import WorkerPool, run_parallel
 from repro.pipeline.stages import (
     ALL_STAGES,
     COMPILE,
@@ -36,17 +56,28 @@ __all__ = [
     "COMPILE",
     "ENUMERATE",
     "ESTIMATE",
+    "EXECUTOR_KINDS",
+    "Executor",
     "FRONTEND",
     "INTERFACE",
     "MAP",
     "MISS",
     "OPTIMIZE",
+    "ParallelOptions",
     "PipelineSession",
+    "ProcessExecutor",
     "REALIZE_FSM",
+    "SerialExecutor",
     "StageDef",
+    "Task",
+    "ThreadExecutor",
+    "WorkerPool",
     "canonicalize",
+    "create_executor",
     "fingerprint",
     "library_fingerprint",
     "run_parallel",
     "stage_key",
+    "stats_delta",
+    "worker_cache",
 ]

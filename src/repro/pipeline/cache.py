@@ -82,6 +82,43 @@ class CacheStats:
             f"{self.evictions} evicted"
         )
 
+    def apply_delta(self, delta: Dict[str, object]) -> None:
+        """Fold a :func:`stats_delta` snapshot into these counters.
+
+        The process execution backend runs stages against per-worker
+        caches; each task ships back the counter delta it caused, and
+        the submitting side folds the deltas in here so aggregate
+        stats (``vase batch --cache-stats``, ``report.cache``) account
+        for work done in other processes."""
+        for name in ("hits", "misses", "stores", "evictions",
+                     "disk_hits", "disk_stores", "disk_errors"):
+            setattr(self, name, getattr(self, name) + int(
+                delta.get(name, 0) or 0
+            ))
+        for field_name in ("stage_hits", "stage_misses"):
+            counts = getattr(self, field_name)
+            for stage, n in (delta.get(field_name) or {}).items():
+                counts[stage] = counts.get(stage, 0) + int(n)
+
+
+def stats_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """``after - before`` of two :meth:`CacheStats.as_dict` snapshots."""
+    delta: Dict[str, object] = {}
+    for key, value in after.items():
+        if isinstance(value, dict):
+            base = before.get(key, {}) or {}
+            diff = {
+                stage: n - base.get(stage, 0)
+                for stage, n in value.items()
+                if n - base.get(stage, 0)
+            }
+            delta[key] = diff
+        else:
+            delta[key] = value - int(before.get(key, 0) or 0)
+    return delta
+
 
 class ArtifactCache:
     """Thread-safe content-addressed store of immutable stage artifacts."""
@@ -218,3 +255,27 @@ class ArtifactCache:
         """Drop the in-memory tier (the disk tier, if any, survives)."""
         with self._lock:
             self._memory.clear()
+
+
+#: Per-process caches of the ``process`` execution backend, one per
+#: disk directory: the memory tier stays warm across every task a
+#: worker runs, while the shared on-disk tier is how workers (and
+#: separate machines pointed at one directory) see each other's work.
+_WORKER_CACHES: Dict[str, ArtifactCache] = {}
+_WORKER_CACHES_LOCK = threading.Lock()
+
+
+def worker_cache(disk_dir: object) -> ArtifactCache:
+    """This process's :class:`ArtifactCache` over ``disk_dir``.
+
+    Process-backend tasks cannot carry the submitting side's live
+    cache object across the pickling boundary; they carry the disk
+    directory instead and rebuild (or reuse) the per-process cache
+    here."""
+    key = str(Path(disk_dir).resolve())
+    with _WORKER_CACHES_LOCK:
+        cache = _WORKER_CACHES.get(key)
+        if cache is None:
+            cache = ArtifactCache(disk_dir=key)
+            _WORKER_CACHES[key] = cache
+        return cache

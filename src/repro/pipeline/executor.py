@@ -1,0 +1,629 @@
+"""Pluggable execution backends: one API, three ways to run tasks.
+
+Every parallel surface of the flow — ``FlowOptions.explore_solvers``,
+``vase batch``, the ``vase serve`` resident pool — used to hard-code a
+thread pool behind a bare ``jobs: int`` knob.  Threads are the wrong
+tool for the CPU-bound half of the flow: the branch-and-bound mapper
+and the MNA factorizations serialize on the GIL, so ``--jobs 4`` buys
+fault isolation and overlap of the (small) I/O slices but no
+multi-core speedup.  This module makes the executor a first-class
+choice:
+
+``serial``
+    Run tasks inline on the calling thread, in order.  The reference
+    semantics every other backend must be output-identical to.
+``thread``
+    The existing bounded :class:`~repro.pipeline.parallel.WorkerPool`.
+    Cheap to start, shares all in-process state (artifact cache
+    memory tier, metrics registry, telemetry bus) — but GIL-bound.
+``process``
+    ``multiprocessing`` **spawn** workers behind a Pipe task bridge.
+    True multi-core execution of CPU-bound synthesis.  Tasks cross
+    the pickling boundary: a task is a *module-level function* plus
+    picklable arguments (closures and live sessions stay home — see
+    ``Executor.distributed``), results and escaped exceptions are
+    pickled back.  The on-disk ``.vase-cache/`` tier is the shared
+    store across workers; telemetry events published inside a worker
+    are forwarded over the result channel and re-published onto the
+    submitting run's bus, so per-run seqs stay dense no matter where
+    the event originated.
+
+All backends implement the same :class:`Executor` interface:
+``submit`` (one task, returns a :class:`~concurrent.futures.Future`),
+``map_ordered`` (a batch, results in submission order), ``shutdown``,
+and context-manager use.  ``map_ordered`` cancels every outstanding
+future before propagating an escaped task exception, so a failing
+task never leaks the remaining work into the background.
+
+Worker lifecycle of the ``process`` backend: workers are spawned
+eagerly, live for the executor's lifetime (one interpreter start and
+one ``import repro`` per worker, amortized over all its tasks), and
+are shut down gracefully with a poison-pill message.  A worker that
+crashes (killed, segfaulted, ``os._exit``) is detected by EOF on its
+pipe: its in-flight task fails with a :class:`~repro.diagnostics.VaseError`
+— never a hang — and a replacement worker is spawned.  An optional
+``task_timeout_s`` terminates workers stuck on one task.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics import VaseError
+from repro.pipeline.parallel import WorkerPool
+
+#: The executor kinds ``ParallelOptions.executor`` accepts.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Poison pill sent to a process worker to make it exit its loop.
+_PILL = None
+
+#: How long ``shutdown`` waits for a worker to exit after the pill
+#: before terminating it.
+_JOIN_TIMEOUT_S = 5.0
+
+#: Bridge-thread poll interval (crash/timeout detection granularity).
+_POLL_S = 0.2
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """Where and how wide parallel work runs.
+
+    Replaces the bare ``jobs: int`` knob: the executor *kind* and the
+    worker count are one value, validated at construction, carried on
+    :class:`~repro.flow.FlowOptions` and accepted by ``vase
+    synth|batch|serve --executor/--workers``.  Deliberately excluded
+    from every content fingerprint (stage cache keys, ledger options
+    digests): the backend must never change *what* is produced, only
+    how fast.
+    """
+
+    #: one of :data:`EXECUTOR_KINDS`
+    executor: str = "serial"
+    #: worker count (pool width; ignored by ``serial``)
+    workers: int = 1
+    #: fail a ``process`` task stuck longer than this (``None``: never)
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {'/'.join(EXECUTOR_KINDS)}, "
+                f"got {self.executor!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive (or None)")
+
+    @classmethod
+    def from_jobs(cls, jobs: int) -> "ParallelOptions":
+        """The legacy ``jobs: int`` knob as a :class:`ParallelOptions`
+        (``jobs > 1`` meant the thread pool, ``jobs == 1`` serial)."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        return cls(executor="thread" if jobs > 1 else "serial", workers=jobs)
+
+    def bounded(self, n_tasks: int) -> "ParallelOptions":
+        """A copy whose width never exceeds the task count."""
+        return ParallelOptions(
+            executor=self.executor,
+            workers=max(1, min(self.workers, n_tasks)),
+            task_timeout_s=self.task_timeout_s,
+        )
+
+    def describe(self) -> str:
+        if self.executor == "serial":
+            return "serial"
+        return f"{self.executor} x{self.workers}"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a callable plus positional arguments.
+
+    For the ``process`` backend ``fn`` must be a module-level function
+    and ``args`` must pickle (the task crosses a process boundary);
+    in-process backends accept anything callable.
+    """
+
+    fn: Callable
+    args: Tuple = ()
+
+
+class Executor:
+    """The common backend interface (see the module docstring)."""
+
+    #: backend name (one of :data:`EXECUTOR_KINDS`)
+    kind: str = "serial"
+    #: True when tasks run in *other processes*: callers must submit
+    #: picklable module-level functions, and unpicklable context (live
+    #: sessions, caches, buses) must be rebuilt worker-side.
+    distributed: bool = False
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    # -- the protocol -------------------------------------------------------
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        raise NotImplementedError
+
+    def map_ordered(self, tasks: Sequence[Task]) -> List[object]:
+        """Run every task; results in submission order.
+
+        An exception escaping a task propagates to the caller — after
+        every outstanding future has been cancelled, so no stray work
+        keeps running (or holding pool slots) behind the raise.
+        """
+        futures = [self.submit(task.fn, *task.args) for task in tasks]
+        results: List[object] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown(wait=True)
+        return False
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, in submission order — the reference backend."""
+
+    kind = "serial"
+
+    def __init__(self):
+        super().__init__(workers=1)
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        future: "Future" = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as err:  # noqa: BLE001 - future carries it
+            future.set_exception(err)
+        return future
+
+    def map_ordered(self, tasks: Sequence[Task]) -> List[object]:
+        # Inline and lazy: a raising task means the tasks after it are
+        # never started — exactly the pre-executor serial semantics.
+        return [task.fn(*task.args) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """The bounded in-process thread pool (GIL-bound but cheap).
+
+    Wraps :class:`~repro.pipeline.parallel.WorkerPool`.  The
+    submitting thread's telemetry run id is captured per task and
+    re-entered on the worker thread, so events from workers land on
+    the run that submitted them.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: int):
+        super().__init__(workers=workers)
+        self._pool = WorkerPool(workers)
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        from repro.instrument.events import current_run_id, run_scope
+
+        rid = current_run_id()
+
+        def run():
+            with run_scope(rid):
+                return fn(*args)
+
+        return self._pool.submit(run)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+# -- the process backend ------------------------------------------------------
+
+
+def _jsonable_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """A payload reduced to plain JSON-ready data (events must cross
+    the pipe even when a publisher attached an exotic object)."""
+    import json
+
+    try:
+        return json.loads(json.dumps(payload, default=str))
+    except (TypeError, ValueError):
+        return {"unforwardable": repr(payload)}
+
+
+def _encode_error(err: BaseException) -> Tuple[Optional[bytes], str, str]:
+    """(pickled exception or None, summary text, traceback text)."""
+    summary = f"{type(err).__name__}: {err}"
+    tb = "".join(traceback.format_exception(type(err), err, err.__traceback__))
+    try:
+        return pickle.dumps(err), summary, tb
+    except Exception:  # noqa: BLE001 - exotic exception state
+        return None, summary, tb
+
+
+def _decode_error(encoded: Tuple[Optional[bytes], str, str]) -> BaseException:
+    payload, summary, tb = encoded
+    if payload is not None:
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - fall through to the summary
+            pass
+    return VaseError(f"worker task failed: {summary}\n{tb}")
+
+
+def _worker_main(conn) -> None:
+    """The loop of one spawn worker: recv task, run, send result.
+
+    Messages from the parent are ``(task_id, fn, args, run_id,
+    forward)`` tuples, or the poison pill (``None``) meaning exit.
+    Replies are ``("event", task_id, category, payload)`` — telemetry
+    forwarded live while the task runs — and one terminal ``("done",
+    task_id, ok, value)``.  All sends happen from this single thread,
+    in order, so the parent always sees a task's events before its
+    result.
+    """
+    import signal
+    from contextlib import ExitStack
+
+    from repro.instrument.events import TelemetryBus, run_scope, telemetry
+
+    try:  # the parent handles interrupts; workers die by pill or pipe
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is _PILL:
+            break
+        task_id, fn, args, run_id, forward = message
+
+        def forward_event(event, _tid=task_id):
+            try:
+                conn.send((
+                    "event", _tid, event.category,
+                    _jsonable_payload(event.payload),
+                ))
+            except Exception:  # noqa: BLE001 - never kill the task
+                pass
+
+        ok = True
+        try:
+            with ExitStack() as stack:
+                if forward:
+                    bus = TelemetryBus()
+                    bus.subscribe(forward_event)
+                    stack.enter_context(telemetry(bus))
+                if run_id is not None:
+                    stack.enter_context(run_scope(run_id))
+                value = fn(*args)
+        except BaseException as err:  # noqa: BLE001 - shipped to parent
+            ok = False
+            value = _encode_error(err)
+        try:
+            conn.send(("done", task_id, ok, value))
+        except Exception as err:  # noqa: BLE001 - unpicklable result
+            conn.send((
+                "done", task_id, False,
+                _encode_error(VaseError(
+                    f"task result is not picklable: {err!r}"
+                )),
+            ))
+    conn.close()
+
+
+@dataclass
+class _Pending:
+    """Parent-side bookkeeping of one submitted process task."""
+
+    id: int
+    fn: Callable
+    args: Tuple
+    run_id: Optional[str]
+    forward: bool
+    future: "Future" = field(default_factory=Future)
+
+
+class _WorkerHandle:
+    """One spawn worker: its process, pipe, and current assignment."""
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"vase-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps only its end
+        self.busy: Optional[_Pending] = None
+        self.busy_since: float = 0.0
+
+
+class ProcessExecutor(Executor):
+    """Spawn-worker pool behind a Pipe task bridge (see module doc).
+
+    A dedicated *bridge* thread owns all scheduling: it assigns queued
+    tasks to idle workers, multiplexes result pipes with
+    :func:`multiprocessing.connection.wait`, re-publishes forwarded
+    telemetry onto the parent's active bus, resolves futures, detects
+    crashed workers by pipe EOF (failing their in-flight task with a
+    :class:`VaseError` and spawning a replacement) and enforces the
+    optional per-task timeout.
+    """
+
+    kind = "process"
+    distributed = True
+
+    def __init__(
+        self,
+        workers: int,
+        task_timeout_s: Optional[float] = None,
+        start_method: str = "spawn",
+    ):
+        super().__init__(workers=workers)
+        self.task_timeout_s = task_timeout_s
+        self._ctx = get_context(start_method)
+        self._lock = threading.Lock()
+        self._queue: Deque[_Pending] = deque()
+        self._handles: List[_WorkerHandle] = []
+        self._next_id = 0
+        self._closed = False
+        self._stopping = False
+        self._idle = threading.Condition(self._lock)
+        # Self-pipe: submit() pokes the bridge out of its wait().
+        self._wake_recv, self._wake_send = self._ctx.Pipe(duplex=False)
+        for index in range(workers):
+            self._handles.append(_WorkerHandle(self._ctx, index))
+        self._bridge = threading.Thread(
+            target=self._bridge_loop, name="vase-executor-bridge",
+            daemon=True,
+        )
+        self._bridge.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        from repro.instrument.events import active_bus, current_run_id
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            pending = _Pending(
+                id=self._next_id,
+                fn=fn,
+                args=args,
+                run_id=current_run_id(),
+                forward=active_bus() is not None,
+            )
+            self._next_id += 1
+            self._queue.append(pending)
+        self._wake()
+        return pending.future
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except (OSError, ValueError):  # pragma: no cover - closing race
+            pass
+
+    # -- the bridge thread --------------------------------------------------
+
+    def _bridge_loop(self) -> None:
+        import time
+
+        while True:
+            with self._lock:
+                if self._stopping:
+                    break
+                self._dispatch_locked()
+                conns = [
+                    handle.conn for handle in self._handles
+                ] + [self._wake_recv]
+            try:
+                ready = connection.wait(conns, timeout=_POLL_S)
+            except OSError:  # pragma: no cover - shutdown race
+                ready = []
+            for conn in ready:
+                if conn is self._wake_recv:
+                    try:
+                        self._wake_recv.recv()
+                    except (EOFError, OSError):
+                        pass
+                    continue
+                self._drain_worker(conn)
+            if self.task_timeout_s is not None:
+                self._enforce_timeout(time.monotonic())
+
+    def _dispatch_locked(self) -> None:
+        """Hand queued tasks to idle workers (under the lock)."""
+        for handle in self._handles:
+            if handle.busy is not None:
+                continue
+            while self._queue:
+                pending = self._queue.popleft()
+                if not pending.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                try:
+                    handle.conn.send((
+                        pending.id, pending.fn, pending.args,
+                        pending.run_id, pending.forward,
+                    ))
+                except Exception as err:  # noqa: BLE001 - unpicklable task
+                    pending.future.set_exception(VaseError(
+                        f"task could not be shipped to a worker "
+                        f"process: {err}"
+                    ))
+                    continue
+                import time
+
+                handle.busy = pending
+                handle.busy_since = time.monotonic()
+                break
+
+    def _drain_worker(self, conn) -> None:
+        with self._lock:
+            handle = next(
+                (h for h in self._handles if h.conn is conn), None
+            )
+        if handle is None:  # pragma: no cover - already replaced
+            return
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            self._worker_died(handle)
+            return
+        kind = message[0]
+        if kind == "event":
+            _mkind, _tid, category, payload = message
+            self._republish(handle, category, payload)
+            return
+        if kind == "done":
+            _mkind, _tid, ok, value = message
+            with self._lock:
+                pending, handle.busy = handle.busy, None
+                self._idle.notify_all()
+            if pending is None:  # pragma: no cover - defensive
+                return
+            if ok:
+                pending.future.set_result(value)
+            else:
+                pending.future.set_exception(_decode_error(value))
+
+    def _republish(self, handle: _WorkerHandle, category: str,
+                   payload: Dict[str, object]) -> None:
+        """Re-publish one forwarded worker event on the parent bus.
+
+        The parent bus assigns the seq, under its own lock, in arrival
+        order — so a run's seqs stay dense even when its events were
+        produced in another process."""
+        from repro.instrument.events import active_bus
+
+        bus = active_bus()
+        pending = handle.busy
+        if bus is None or pending is None:
+            return
+        bus.publish(category, payload, run_id=pending.run_id)
+
+    def _worker_died(self, handle: _WorkerHandle) -> None:
+        """EOF on a worker pipe: fail its task, spawn a replacement."""
+        with self._lock:
+            pending, handle.busy = handle.busy, None
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if not self._closed:
+                replacement = _WorkerHandle(self._ctx, handle.index)
+                self._handles[self._handles.index(handle)] = replacement
+            else:
+                self._handles.remove(handle)
+            self._idle.notify_all()
+        handle.process.join(timeout=0.5)
+        if pending is not None:
+            pending.future.set_exception(VaseError(
+                f"pipeline worker crashed while running a task "
+                f"(exit code {handle.process.exitcode})"
+            ))
+
+    def _enforce_timeout(self, now: float) -> None:
+        stale: List[_WorkerHandle] = []
+        with self._lock:
+            for handle in self._handles:
+                if (
+                    handle.busy is not None
+                    and now - handle.busy_since > self.task_timeout_s
+                ):
+                    stale.append(handle)
+        for handle in stale:
+            handle.process.terminate()
+            # EOF on the pipe then routes through _worker_died, which
+            # fails the future and spawns the replacement.
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if wait:
+                self._idle.wait_for(
+                    lambda: not self._queue
+                    and all(h.busy is None for h in self._handles)
+                )
+            else:
+                while self._queue:
+                    self._queue.popleft().future.cancel()
+        with self._lock:
+            self._stopping = True
+            handles = list(self._handles)
+        self._wake()
+        self._bridge.join(timeout=_JOIN_TIMEOUT_S)
+        for handle in handles:
+            try:
+                handle.conn.send(_PILL)
+            except (OSError, ValueError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=_JOIN_TIMEOUT_S)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            self._wake_recv.close()
+            self._wake_send.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def create_executor(options: Optional[ParallelOptions] = None) -> Executor:
+    """The backend for ``options`` (default: serial).
+
+    ``thread`` with one worker degrades to :class:`SerialExecutor`
+    (a one-thread pool buys nothing); ``process`` always builds the
+    pool, even one worker wide — process isolation is part of what
+    was asked for.
+    """
+    options = options or ParallelOptions()
+    if options.executor == "process":
+        return ProcessExecutor(
+            options.workers, task_timeout_s=options.task_timeout_s
+        )
+    if options.executor == "thread" and options.workers > 1:
+        return ThreadExecutor(options.workers)
+    return SerialExecutor()

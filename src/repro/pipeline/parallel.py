@@ -45,9 +45,25 @@ class WorkerPool:
         return self._executor.submit(thunk)
 
     def map_ordered(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
-        """Run every thunk on the pool; results in submission order."""
+        """Run every thunk on the pool; results in submission order.
+
+        An exception escaping a thunk propagates to the caller — but
+        only after every outstanding future has been cancelled, so the
+        remaining work does not keep running (and holding pool slots)
+        behind the caller's back.  Thunks already running when the
+        first raise surfaces cannot be stopped mid-flight; queued ones
+        never start.
+        """
         futures = [self._executor.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
+        results: List[T] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

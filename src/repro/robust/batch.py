@@ -13,12 +13,16 @@ in exactly one bucket:
   error-recovery mode, so *all* of them are reported), semantic or
   synthesis errors, or an unexpected exception.
 
-``jobs > 1`` runs files on the pipeline's bounded worker pool; results
-come back in input order, so a parallel run's report is identical to
-the serial one (``--no-timing`` additionally zeroes the wall-clock
-fields, making the JSON byte-identical).  An
-:class:`~repro.pipeline.ArtifactCache` passed as ``cache`` is shared
-by every file — and, with a ``disk_dir``, across whole batch runs.
+``parallel`` selects the execution backend
+(:class:`~repro.pipeline.ParallelOptions`: ``serial``, the in-process
+``thread`` pool, or ``process`` spawn workers that sidestep the GIL);
+results come back in input order, so a parallel run's report is
+identical to the serial one no matter the backend (``--no-timing``
+additionally zeroes the wall-clock fields, making the JSON
+byte-identical).  An :class:`~repro.pipeline.ArtifactCache` passed as
+``cache`` is shared by every file — and, with a ``disk_dir``, across
+whole batch runs *and* across the worker processes of the ``process``
+backend, which share the disk tier.
 
 The exit-code policy is deliberate: ``0`` when every file is at least
 degraded, ``1`` when anything failed — and ``--strict`` promotes
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
@@ -41,7 +46,14 @@ from repro.instrument.events import (
     new_run_id,
     run_scope,
 )
-from repro.pipeline import ArtifactCache, run_parallel
+from repro.pipeline import (
+    ArtifactCache,
+    ParallelOptions,
+    Task,
+    create_executor,
+    stats_delta,
+    worker_cache,
+)
 
 #: Per-file outcome buckets.
 STATUS_OK = "ok"
@@ -282,14 +294,37 @@ def _finish_entry(entry: BatchEntry, bus) -> BatchEntry:
     return entry
 
 
+def _run_one_remote(
+    path_str: str, options, library, cache_dir: Optional[str]
+):
+    """One batch file inside a worker process.
+
+    The worker rebuilds its cache from the shared disk directory (the
+    memory tier stays warm per worker across tasks) and ships back the
+    cache-counter delta this file caused, so the submitting side's
+    aggregate report stays truthful."""
+    from dataclasses import replace
+
+    cache = worker_cache(cache_dir) if cache_dir is not None else None
+    before = cache.stats.as_dict() if cache is not None else None
+    opts = replace(options, cache=cache) if cache is not None else options
+    entry = _run_one(Path(path_str), opts, library)
+    delta = (
+        stats_delta(before, cache.stats.as_dict())
+        if cache is not None else None
+    )
+    return entry, delta
+
+
 def run_batch(
     files: Iterable[Path],
     options: Optional[object] = None,
     library: Optional[object] = None,
-    jobs: int = 1,
+    parallel: Optional[ParallelOptions] = None,
     cache: Optional[ArtifactCache] = None,
     ledger=None,
     source_label: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> BatchReport:
     """Synthesize every file, isolating failures per file.
 
@@ -299,24 +334,42 @@ def run_batch(
     infeasible constraints, even an unexpected exception — stops the
     remaining files.
 
-    ``jobs`` widens the worker pool; entries always come back in input
-    order, so the report content is independent of the worker count.
+    ``parallel`` selects the execution backend and width
+    (:class:`~repro.pipeline.ParallelOptions`; defaults to
+    ``options.parallel``).  Entries always come back in input order,
+    so the report content is independent of backend and worker count.
     ``cache`` is an artifact cache shared by every file of the run
-    (stage keys are content-addressed, so sharing is always safe).
+    (stage keys are content-addressed, so sharing is always safe);
+    under the ``process`` backend its on-disk tier is the store the
+    worker processes share.  ``jobs`` is the deprecated pre-executor
+    width knob (mapped onto ``parallel``, with a
+    :class:`DeprecationWarning`).
 
     With a telemetry bus active, the whole batch shares one run id:
     every file emits ``lifecycle`` events (``queued`` up front, then
-    ``started`` and a terminal ``ok``/``degraded``/``failed``), and the
-    per-file synthesis events carry the same id from the worker
-    threads.  A ``ledger`` (:class:`~repro.instrument.ledger.RunLedger`)
-    gets one batch-level record appended.
+    ``started`` and a terminal ``ok``/``degraded``/``failed``), and
+    the per-file synthesis events carry the same id from the workers —
+    process workers forward theirs over the result channel.  A
+    ``ledger`` (:class:`~repro.instrument.ledger.RunLedger`) gets one
+    batch-level record appended.
     """
     from dataclasses import replace
 
-    from repro.flow import FlowOptions
+    from repro.flow import FlowOptions, transportable_options
 
+    if jobs is not None:
+        warnings.warn(
+            "run_batch(jobs=...) is deprecated; pass "
+            "parallel=ParallelOptions(executor=..., workers=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if parallel is None:
+            parallel = ParallelOptions.from_jobs(jobs)
     if options is None:
         options = FlowOptions(recovery=True)
+    if parallel is None:
+        parallel = options.parallel
     if cache is not None:
         options = replace(options, cache=cache)
 
@@ -333,18 +386,35 @@ def run_batch(
                 )
         batch_start = time.perf_counter()
 
-        def job(path: Path):
-            # Workers enter the batch's run scope so their telemetry
-            # carries the shared run id.
-            def run():
-                with run_scope(rid):
-                    return _run_one(path, options, library)
-
-            return run
-
-        report.entries = run_parallel(
-            [job(path) for path in paths], jobs=jobs,
-        )
+        # The executor propagates this scope's run id to its workers
+        # (thread workers re-enter it, process workers ship it and
+        # forward their telemetry), so the whole batch shares one run.
+        with create_executor(
+            parallel.bounded(max(1, len(paths)))
+        ) as executor:
+            if executor.distributed:
+                shared = options.cache
+                cache_dir = (
+                    str(shared.disk_dir)
+                    if shared is not None and shared.disk_dir is not None
+                    else None
+                )
+                opts = transportable_options(options)
+                outcomes = executor.map_ordered([
+                    Task(_run_one_remote,
+                         (str(path), opts, library, cache_dir))
+                    for path in paths
+                ])
+                report.entries = []
+                for entry, delta in outcomes:
+                    if delta is not None and shared is not None:
+                        shared.stats.apply_delta(delta)
+                    report.entries.append(entry)
+            else:
+                report.entries = executor.map_ordered([
+                    Task(_run_one, (path, options, library))
+                    for path in paths
+                ])
         report.elapsed_s = time.perf_counter() - batch_start
         if cache is not None:
             report.cache = cache.stats.as_dict()

@@ -9,12 +9,17 @@ HTTP-specific, so it is directly testable:
   the telemetry run id), and rejects with :class:`QueueFullError` once
   ``queue_limit`` jobs are already waiting;
 * **execution** — a persistent
-  :class:`~repro.pipeline.parallel.WorkerPool` (the same pool
-  machinery behind ``run_parallel``) runs each job through
+  :class:`~repro.pipeline.parallel.WorkerPool` of orchestration
+  threads runs each job through
   :func:`~repro.robust.batch.run_source`, the batch runner's
   fault-isolating core, inside a
   :func:`~repro.instrument.events.run_scope` tagged with the job id —
-  so every telemetry event of the job carries it;
+  so every telemetry event of the job carries it.  With the
+  ``process`` backend (``vase serve --executor process``) the
+  synthesis itself is delegated to a resident
+  :class:`~repro.pipeline.ProcessExecutor`: spawned workers run the
+  flow off the GIL, share the cache's on-disk tier, and forward
+  their telemetry over the result channel so SSE streams stay dense;
 * **observability** — :meth:`JobManager.route`, subscribed to the
   process-wide bus, files each event into the owning job's bounded
   :class:`JobEventLog`; late SSE subscribers replay from seq 0 and
@@ -38,8 +43,15 @@ from repro.instrument.events import (
     CATEGORY_LIFECYCLE,
     TelemetryEvent,
     active_bus,
+    current_run_id,
     new_run_id,
     run_scope,
+)
+from repro.pipeline import (
+    EXECUTOR_KINDS,
+    ParallelOptions,
+    ProcessExecutor,
+    worker_cache,
 )
 from repro.pipeline.parallel import WorkerPool
 
@@ -50,8 +62,12 @@ STATUS_RUNNING = "running"
 TERMINAL_STATUSES = ("ok", "degraded", "failed")
 
 #: whitelisted per-job flow options a POST may override
-ALLOWED_OPTIONS = ("deadline_s", "recovery", "explore_solvers", "jobs")
-#: cap on the per-job ``jobs`` override (solver-exploration fan-out)
+ALLOWED_OPTIONS = (
+    "deadline_s", "recovery", "explore_solvers",
+    "executor", "workers", "jobs",
+)
+#: cap on the per-job ``workers``/``jobs`` override (solver-exploration
+#: fan-out; the ``process`` backend is capped by the same bound)
 MAX_JOB_FANOUT = 8
 
 #: per-job event-log capacity; a full synthesis run is a few thousand
@@ -113,6 +129,22 @@ def build_job_options(base, payload: Optional[Dict[str, object]]):
             if not isinstance(value, bool):
                 raise JobOptionsError(f"{name} must be a boolean")
             options = replace(options, **{name: value})
+    parallel = base.parallel
+    kind: Optional[str] = None
+    width: Optional[int] = None
+    if "executor" in payload:
+        kind = payload["executor"]
+        if not isinstance(kind, str) or kind not in EXECUTOR_KINDS:
+            raise JobOptionsError(
+                f"executor must be one of {', '.join(EXECUTOR_KINDS)}"
+            )
+    if "workers" in payload:
+        width = payload["workers"]
+        if isinstance(width, bool) or not isinstance(width, int) \
+                or not 1 <= width <= MAX_JOB_FANOUT:
+            raise JobOptionsError(
+                f"workers must be an integer in [1, {MAX_JOB_FANOUT}]"
+            )
     if "jobs" in payload:
         fanout = payload["jobs"]
         if isinstance(fanout, bool) or not isinstance(fanout, int) \
@@ -120,8 +152,96 @@ def build_job_options(base, payload: Optional[Dict[str, object]]):
             raise JobOptionsError(
                 f"jobs must be an integer in [1, {MAX_JOB_FANOUT}]"
             )
-        options = replace(options, jobs=fanout)
+        # The deprecated alias: only meaningful when the first-class
+        # knobs are absent.
+        if kind is None and width is None:
+            parallel = ParallelOptions.from_jobs(fanout)
+    if kind is not None or width is not None:
+        if width is None:
+            width = max(1, parallel.workers)
+        if kind is None:
+            kind = (
+                parallel.executor if parallel.executor != "serial"
+                else ("thread" if width > 1 else "serial")
+            )
+        parallel = ParallelOptions(executor=kind, workers=width)
+    if parallel != base.parallel:
+        options = replace(options, parallel=parallel)
     return options
+
+
+def render_artifacts(label: str, result) -> Dict[str, str]:
+    """Render the fetchable artifacts of a finished synthesis.
+
+    Module-level (not a manager method) because the ``process``
+    execution backend renders worker-side: strings pickle cheaply,
+    live :class:`~repro.flow.SynthesisResult` objects should not have
+    to."""
+    from repro.report import generate_report
+    from repro.spice import to_spice_deck
+
+    artifacts = {
+        "netlist": result.netlist.describe() + "\n",
+        "spice": to_spice_deck(result.netlist),
+        "report": generate_report(result, title=label),
+    }
+    if result.explog is not None:
+        try:
+            from repro.instrument.explain import render_exploration_html
+
+            artifacts["explain"] = render_exploration_html(
+                result, title=label
+            )
+        except Exception:  # noqa: BLE001 - optional artifact
+            pass
+    return artifacts
+
+
+def _run_job_remote(
+    source: str,
+    label: str,
+    entity: Optional[str],
+    options,
+    library,
+    cache_dir: Optional[str],
+    want_record: bool,
+) -> Dict[str, object]:
+    """One served job inside a worker process.
+
+    Runs the same fault-isolating core as the thread path
+    (:func:`~repro.robust.batch.run_source`), renders the artifacts
+    and builds the ledger record here — worker-side — and returns only
+    picklable plain data."""
+    from dataclasses import replace as _replace
+
+    from repro.instrument.ledger import (
+        record_for_failure,
+        record_for_result,
+    )
+    from repro.robust.batch import run_source
+
+    opts = options
+    if cache_dir is not None:
+        opts = _replace(options, cache=worker_cache(cache_dir))
+    entry, result, error = run_source(
+        source, label, opts, library, entity_name=entity
+    )
+    artifacts: Dict[str, str] = {}
+    record = None
+    if result is not None:
+        artifacts = render_artifacts(label, result)
+        if want_record:
+            record = record_for_result(
+                result, source, label, entry.elapsed_s, options,
+            )
+    elif want_record:
+        record = record_for_failure(
+            current_run_id() or "", source, label, entry.elapsed_s,
+            options,
+            error if error is not None
+            else RuntimeError(entry.error or "failed"),
+        )
+    return {"entry": entry, "artifacts": artifacts, "record": record}
 
 
 class JobEventLog:
@@ -255,7 +375,14 @@ class JobManager:
         queue_limit: int = 64,
         event_capacity: int = DEFAULT_EVENT_CAPACITY,
         max_jobs: int = DEFAULT_MAX_JOBS,
+        execution: Optional[ParallelOptions] = None,
     ):
+        """``execution`` selects the resident backend jobs run on:
+        ``thread`` (default; ``workers`` wide, the pre-executor
+        behavior) or ``process`` — the orchestration threads stay, but
+        each job's synthesis is delegated to a resident
+        :class:`~repro.pipeline.ProcessExecutor` of the same width.
+        ``serial`` degrades to one orchestration thread."""
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.options = options
@@ -264,7 +391,20 @@ class JobManager:
         self.queue_limit = queue_limit
         self.event_capacity = event_capacity
         self.max_jobs = max_jobs
-        self._pool = WorkerPool(workers)
+        self.execution = execution or ParallelOptions(
+            executor="thread", workers=workers,
+        )
+        width = (
+            1 if self.execution.executor == "serial"
+            else max(1, self.execution.workers)
+        )
+        self._pool = WorkerPool(width)
+        self._remote: Optional[ProcessExecutor] = (
+            ProcessExecutor(
+                width, task_timeout_s=self.execution.task_timeout_s
+            )
+            if self.execution.executor == "process" else None
+        )
         self._lock = threading.Lock()
         self._jobs: "Dict[str, Job]" = {}
         self._closed = False
@@ -369,15 +509,21 @@ class JobManager:
                     CATEGORY_LIFECYCLE,
                     {"kind": "job", "phase": "running", "label": job.label},
                 )
-            entry, result, error = run_source(
-                job.source,
-                job.label,
-                job.options,
-                self.library,
-                entity_name=job.entity,
-            )
-            if result is not None:
-                job.artifacts = self._render_artifacts(job, result)
+            result = None
+            error: Optional[BaseException] = None
+            record = None
+            if self._remote is not None:
+                entry, record = self._execute_remote(job)
+            else:
+                entry, result, error = run_source(
+                    job.source,
+                    job.label,
+                    job.options,
+                    self.library,
+                    entity_name=job.entity,
+                )
+                if result is not None:
+                    job.artifacts = render_artifacts(job.label, result)
             if bus is not None:
                 payload: Dict[str, object] = {
                     "kind": "job",
@@ -392,7 +538,11 @@ class JobManager:
                 bus.publish(CATEGORY_LIFECYCLE, payload)
         if self.ledger is not None:
             try:
-                if result is not None:
+                if record is not None:
+                    # Remote execution built the record worker-side;
+                    # only the append happens here.
+                    self.ledger.append(record)
+                elif result is not None:
                     self.ledger.append(record_for_result(
                         result, job.source, job.label,
                         entry.elapsed_s, job.options,
@@ -421,28 +571,50 @@ class JobManager:
         # woken by close() always observes the final state.
         job.events.close()
 
-    def _render_artifacts(self, job: Job, result) -> Dict[str, str]:
-        """Render the fetchable artifacts of a finished synthesis."""
-        from repro.report import generate_report
-        from repro.spice import to_spice_deck
+    def _execute_remote(self, job: Job):
+        """Run one job on the resident process pool.
 
-        artifacts = {
-            "netlist": result.netlist.describe() + "\n",
-            "spice": to_spice_deck(result.netlist),
-            "report": generate_report(result, title=job.label),
-        }
-        if result.explog is not None:
-            try:
-                from repro.instrument.explain import (
-                    render_exploration_html,
-                )
+        The worker gets a picklable payload (no live cache/bus/ledger;
+        the shared cache travels as its disk directory) and sends back
+        the entry, the rendered artifact strings and — when a ledger is
+        configured — the ready-to-append record, so nothing that needs
+        the live ``SynthesisResult`` runs on this side.  A crashed or
+        timed-out worker surfaces as a FAILED entry, never a hang.
+        """
+        from repro.diagnostics import VaseError
+        from repro.flow import transportable_options
+        from repro.robust.batch import BatchEntry
 
-                artifacts["explain"] = render_exploration_html(
-                    result, title=job.label
-                )
-            except Exception:  # noqa: BLE001 - optional artifact
-                pass
-        return artifacts
+        options = transportable_options(job.options)
+        fanout = job.options.parallel
+        if fanout != ParallelOptions():
+            # Preserve the job's solver-exploration fan-out inside the
+            # worker — downgraded to threads, since a spawned worker
+            # must not spawn its own process pool.
+            options = replace(options, parallel=ParallelOptions(
+                executor="thread" if fanout.workers > 1 else "serial",
+                workers=fanout.workers,
+            ))
+        shared = self.options.cache
+        cache_dir = (
+            str(shared.disk_dir)
+            if shared is not None and shared.disk_dir is not None
+            else None
+        )
+        future = self._remote.submit(
+            _run_job_remote,
+            job.source, job.label, job.entity, options,
+            self.library, cache_dir, self.ledger is not None,
+        )
+        try:
+            outcome = future.result()
+        except VaseError as err:
+            entry = BatchEntry(
+                file=job.label, status="failed", error=str(err),
+            )
+            return entry, None
+        job.artifacts = outcome["artifacts"]
+        return outcome["entry"], outcome["record"]
 
     # -- queries -------------------------------------------------------------
 
@@ -470,7 +642,9 @@ class JobManager:
     # -- lifecycle -----------------------------------------------------------
 
     def stop(self, wait: bool = True) -> None:
-        """Refuse new jobs and shut the worker pool down."""
+        """Refuse new jobs and shut the worker pool(s) down."""
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._remote is not None:
+            self._remote.shutdown(wait=wait)

@@ -1,9 +1,10 @@
 """Tests for parallel batch synthesis and the shared artifact cache.
 
-Satellite coverage: ``vase batch --jobs 4 --json`` must be
-byte-identical to the serial run (with ``--no-timing``, since
-wall-clock fields differ even between two serial runs), and a shared
-on-disk cache must make the second batch run all-hits.
+Satellite coverage: ``vase batch --executor thread --workers 4 --json``
+must be byte-identical to the serial run (with ``--no-timing``, since
+wall-clock fields differ even between two serial runs), a shared
+on-disk cache must make the second batch run all-hits, and the
+deprecated ``jobs`` knob must keep working behind a shim that warns.
 """
 
 import json
@@ -15,7 +16,8 @@ import pytest
 
 from repro.apps import ALL_APPLICATIONS
 from repro.cli import main
-from repro.pipeline import ArtifactCache, run_parallel
+from repro.flow import FlowOptions
+from repro.pipeline import ArtifactCache, ParallelOptions, run_parallel
 from repro.robust.batch import run_batch
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
@@ -74,7 +76,10 @@ class TestRunParallel:
 class TestParallelBatchDeterminism:
     def test_report_is_identical_to_serial(self, corpus):
         serial = run_batch(sorted(corpus.iterdir()))
-        parallel = run_batch(sorted(corpus.iterdir()), jobs=4)
+        parallel = run_batch(
+            sorted(corpus.iterdir()),
+            parallel=ParallelOptions(executor="thread", workers=4),
+        )
         assert serial.as_dict(timing=False) == parallel.as_dict(
             timing=False
         )
@@ -91,8 +96,8 @@ class TestParallelBatchDeterminism:
             "--no-timing",
         ])
         code_parallel = main([
-            "batch", str(corpus), "--jobs", "4", "--json",
-            str(out_parallel), "--no-timing",
+            "batch", str(corpus), "--executor", "thread",
+            "--workers", "4", "--json", str(out_parallel), "--no-timing",
         ])
         capsys.readouterr()
         assert code_serial == code_parallel == 1  # the broken file
@@ -112,7 +117,11 @@ class TestSharedBatchCache:
 
         # A fresh cache over the same directory models a restart.
         warm_cache = ArtifactCache(disk_dir=store)
-        warm = run_batch(files, jobs=4, cache=warm_cache)
+        warm = run_batch(
+            files,
+            parallel=ParallelOptions(executor="thread", workers=4),
+            cache=warm_cache,
+        )
         assert warm_cache.stats.misses == 0
         assert warm_cache.stats.hits > 0
         assert warm_cache.stats.disk_hits == warm_cache.stats.hits
@@ -133,3 +142,40 @@ class TestSharedBatchCache:
         stats = json.loads(stats_path.read_text())
         assert stats["misses"] == 0
         assert stats["hits"] > 0
+
+
+class TestDeprecatedJobsShim:
+    """The old bare ``jobs`` knob keeps working but warns, and maps
+    onto :class:`ParallelOptions` exactly as documented."""
+
+    def test_flow_options_jobs_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            options = FlowOptions(jobs=4)
+        assert options.jobs is None
+        assert options.parallel == ParallelOptions(
+            executor="thread", workers=4
+        )
+
+    def test_flow_options_jobs_one_stays_serial(self):
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            options = FlowOptions(jobs=1)
+        assert options.parallel == ParallelOptions()
+
+    def test_run_batch_jobs_warns_and_matches_new_api(self, corpus):
+        files = sorted(corpus.iterdir())
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            legacy = run_batch(files, jobs=4)
+        modern = run_batch(
+            files, parallel=ParallelOptions(executor="thread", workers=4)
+        )
+        assert legacy.as_dict(timing=False) == modern.as_dict(timing=False)
+
+    def test_cli_jobs_flag_warns_on_stderr(self, corpus, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main([
+            "batch", str(corpus), "--jobs", "2", "--json", str(out),
+            "--no-timing",
+        ])
+        captured = capsys.readouterr()
+        assert "--jobs is deprecated" in captured.err
+        assert out.exists()

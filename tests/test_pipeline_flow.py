@@ -17,7 +17,7 @@ from repro.diagnostics import Severity, SynthesisError, VaseError
 from repro.estimation import ConstraintSet
 from repro.flow import FlowOptions, SolverOutcome, synthesize
 from repro.instrument import explogging
-from repro.pipeline import ArtifactCache, PipelineSession
+from repro.pipeline import ArtifactCache, ParallelOptions, PipelineSession
 from repro.robust.faultinject import inject_faults
 from repro.robust.recovery import (
     OUTCOME_FAILED,
@@ -107,14 +107,20 @@ class TestExploreSolvers:
         assert len(chosen) == 1
         assert chosen[0].area == pytest.approx(min(areas.values()))
 
-    @pytest.mark.parametrize("jobs", [1, 2, 4, 8])
-    def test_same_winner_for_any_worker_count(self, jobs):
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_same_winner_for_any_worker_count(self, workers):
         serial = synthesize(
             TWO_SOLVERS, options=FlowOptions(explore_solvers=True)
         )
         parallel = synthesize(
             TWO_SOLVERS,
-            options=FlowOptions(explore_solvers=True, jobs=jobs),
+            options=FlowOptions(
+                explore_solvers=True,
+                parallel=ParallelOptions(
+                    executor="thread" if workers > 1 else "serial",
+                    workers=workers,
+                ),
+            ),
         )
         assert parallel.estimate.area == pytest.approx(
             serial.estimate.area
@@ -127,7 +133,10 @@ class TestExploreSolvers:
         with explogging() as log:
             synthesize(
                 TWO_SOLVERS,
-                options=FlowOptions(explore_solvers=True, jobs=4),
+                options=FlowOptions(
+                    explore_solvers=True,
+                    parallel=ParallelOptions(executor="thread", workers=4),
+                ),
             )
         events = log.of_kind("solver_explored")
         assert [e["solver"] for e in events] == [0, 1]

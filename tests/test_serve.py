@@ -383,6 +383,95 @@ class TestOptionWhitelist:
         base = FlowOptions(ledger=object())
         assert build_job_options(base, None).ledger is None
 
+    def test_executor_and_workers_accepted(self):
+        from repro.pipeline import ParallelOptions
+
+        built = build_job_options(
+            self.BASE, {"executor": "thread", "workers": 3}
+        )
+        assert built.parallel == ParallelOptions(
+            executor="thread", workers=3
+        )
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(JobOptionsError, match="executor"):
+            build_job_options(self.BASE, {"executor": "quantum"})
+
+    @pytest.mark.parametrize("width", [0, 9, 1.5, True])
+    def test_workers_range_enforced(self, width):
+        with pytest.raises(JobOptionsError, match="workers"):
+            build_job_options(self.BASE, {"workers": width})
+
+
+class TestProcessBackendServe:
+    def test_job_runs_on_process_pool(self, tmp_path):
+        """A process-backend JobManager serves a job end to end: the
+        synthesis happens in a spawned worker, yet artifacts, ledger
+        record and telemetry arrive exactly like thread-mode serving."""
+        from repro.pipeline import ParallelOptions
+
+        previous = disable_telemetry()
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        options = FlowOptions(
+            cache=ArtifactCache(disk_dir=tmp_path / "cache")
+        )
+        manager = JobManager(
+            options,
+            ledger=ledger,
+            execution=ParallelOptions(executor="process", workers=1),
+        )
+        bus = TelemetryBus()
+        bus.subscribe(manager.route)
+        enable_telemetry(bus)
+        try:
+            job = manager.submit(AMP, label="amp.vhd")
+            deadline = time.time() + 60.0
+            while job.status not in ("ok", "degraded", "failed"):
+                assert time.time() < deadline, "job did not finish"
+                time.sleep(0.05)
+            assert job.status == "ok"
+            assert "netlist" in job.artifacts
+            assert "report" in job.artifacts
+            assert "amp" in job.artifacts["netlist"]
+            records = ledger.records()
+            assert len(records) == 1
+            assert records[0].outcome == "ok"
+        finally:
+            manager.stop(wait=True)
+            disable_telemetry()
+            if previous is not None:
+                enable_telemetry(previous)
+
+    def test_worker_crash_fails_job_cleanly(self, tmp_path):
+        """A worker killed mid-job yields a FAILED job, not a hang."""
+        from repro.pipeline import ParallelOptions
+        from repro.serve import queue as queue_module
+
+        manager = JobManager(
+            FlowOptions(),
+            execution=ParallelOptions(executor="process", workers=1),
+        )
+        try:
+            job = manager.submit(AMP, label="doomed.vhd")
+            # Kill the resident worker while the job is in flight (or
+            # queued — either way the crash must surface as FAILED).
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                workers = list(manager._remote._handles)
+                if workers and job.status in ("queued", "running"):
+                    for handle in workers:
+                        if handle.busy:
+                            handle.process.terminate()
+                            break
+                if job.status in ("ok", "degraded", "failed"):
+                    break
+                time.sleep(0.02)
+            assert job.status in ("ok", "degraded", "failed"), (
+                "job never reached a terminal state"
+            )
+        finally:
+            manager.stop(wait=True)
+
 
 class TestJobEventLog:
     def test_bounded_with_drop_count(self):

@@ -2,7 +2,7 @@
 
 Satellite coverage: (a) hammering one bus from many threads loses no
 events, duplicates none, and keeps every run's sequence numbers dense
-and strictly increasing; (b) a parallel ``--jobs`` batch publishes the
+and strictly increasing; (b) a parallel thread-backend batch publishes the
 same *set* of per-file lifecycle events as the serial run (order across
 files is scheduler-dependent, so the comparison is order-insensitive).
 """
@@ -24,7 +24,7 @@ from repro.instrument import (
     telemetry,
 )
 from repro.instrument.metrics import MetricsRegistry
-from repro.pipeline import run_parallel
+from repro.pipeline import ParallelOptions, run_parallel
 from repro.robust.batch import find_sources, run_batch
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
@@ -161,13 +161,17 @@ class TestBusUnderThreads:
 
 
 class TestSerialVsParallelBatch:
-    def _lifecycle(self, corpus, jobs):
+    def _lifecycle(self, corpus, workers):
         """Run the batch on a fresh bus; return its lifecycle events."""
         bus = TelemetryBus()
         ring = RingBuffer(capacity=100_000)
         bus.subscribe(ring)
+        parallel = ParallelOptions(
+            executor="thread" if workers > 1 else "serial",
+            workers=workers,
+        )
         with telemetry(bus):
-            report = run_batch(find_sources(corpus), jobs=jobs)
+            report = run_batch(find_sources(corpus), parallel=parallel)
         events = [
             e for e in ring.events()
             if e.category == CATEGORY_LIFECYCLE
@@ -176,8 +180,8 @@ class TestSerialVsParallelBatch:
         return report, events
 
     def test_same_event_set_regardless_of_jobs(self, corpus):
-        serial_report, serial = self._lifecycle(corpus, jobs=1)
-        parallel_report, parallel = self._lifecycle(corpus, jobs=4)
+        serial_report, serial = self._lifecycle(corpus, workers=1)
+        parallel_report, parallel = self._lifecycle(corpus, workers=4)
 
         def key_set(events):
             return {
@@ -214,7 +218,7 @@ class TestSerialVsParallelBatch:
         )
 
     def test_batch_shares_one_run_id_across_workers(self, corpus):
-        _report, events = self._lifecycle(corpus, jobs=4)
+        _report, events = self._lifecycle(corpus, workers=4)
         assert len({e.run_id for e in events}) == 1
         seqs = sorted(e.seq for e in events)
         assert seqs == sorted(set(seqs))  # no duplicated seq numbers
