@@ -8,6 +8,7 @@ Subcommands::
                   [--cache [DIR]]                #   on-disk artifact cache
                   [--explore-solvers]            #   map all causalizations
                   [--executor serial|thread|process] [--workers N]
+                  [--budget S]                   #   hard wall-clock budget
                   [--events FILE]                #   telemetry-bus JSONL
                   [--ledger PATH] [--no-ledger]  #   run-ledger control
     vase spice    FILE [--entity NAME]           # full flow -> SPICE deck
@@ -27,12 +28,15 @@ Subcommands::
                   [--cache-stats F][--no-timing] #   deterministic output
                   [--events FILE] [--progress]   #   live telemetry
                   [--metrics-out FILE]           #   Prometheus dump
+                  [--resume [JOURNAL]]           #   crash-safe resume
     vase serve    [--host H] [--port P]          # HTTP service: job queue,
                   [--executor thread|process]    #   SSE telemetry streams,
-                  [--workers N] [--queue-limit N]#   /metrics, /history
-                  [--cache [DIR]]
+                  [--workers N] [--queue-limit N]#   /metrics, /history,
+                  [--cache [DIR]] [--token T]    #   POST /jobs/<id>/cancel
+                  [--drain-timeout S]            #   SIGTERM graceful drain
                   [--ledger PATH] [--no-ledger]
     vase watch    URL [--since N] [--verbose]    # tail a served job's SSE
+                  [--token T] [--retries N]      #   with auto-reconnect
     vase history  [--limit N] [--outcome O]      # recent runs from the
                   [--source S] [--json]          #   persistent ledger
     vase stats    [--json]                       # ledger-wide aggregates
@@ -180,6 +184,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             cache=cache,
             telemetry=bus,
             ledger=resolve_ledger(args.ledger, args.no_ledger),
+            deadline_s=args.budget,
         )
         result = synthesize(
             source,
@@ -453,7 +458,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else None
     )
     timing = not args.no_timing
+    journal = None
+    if args.resume is not None:
+        from repro.robust.journal import BatchJournal
+
+        journal = BatchJournal(args.resume)
     with ExitStack() as stack:
+        if journal is not None:
+            stack.callback(journal.close)
         bus = None
         if args.events or args.progress:
             bus = TelemetryBus()
@@ -470,6 +482,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache=cache,
             ledger=resolve_ledger(args.ledger, args.no_ledger),
             source_label=str(root),
+            journal=journal,
         )
         if bus is not None and args.events:
             print(
@@ -618,6 +631,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.flow import FlowOptions
     from repro.instrument import TelemetryBus, resolve_ledger, telemetry
     from repro.pipeline import ArtifactCache, ParallelOptions
@@ -626,6 +642,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         print("warning: --jobs is deprecated; use --workers",
               file=sys.stderr)
+    if args.token is None and args.host not in (
+        "127.0.0.1", "localhost", "::1"
+    ):
+        print(
+            f"error: refusing to bind non-loopback host {args.host!r} "
+            "without --token (bearer-token authentication)",
+            file=sys.stderr,
+        )
+        return 1
     width = args.workers or args.jobs or 2
     execution = ParallelOptions(
         executor=args.executor or "thread", workers=width,
@@ -649,12 +674,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = create_server(
         args.host, args.port, manager,
         heartbeat_s=args.heartbeat, verbose=args.verbose,
+        token=args.token,
     )
     host, port = server.server_address[:2]
     print(f"vase serve listening on http://{host}:{port} "
           f"({execution.describe()} worker(s), "
-          f"queue limit {args.queue_limit})",
+          f"queue limit {args.queue_limit}"
+          f"{', bearer auth' if args.token else ''})",
           file=sys.stderr)
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal API
+        del frame
+        print(f"\nsignal {signum}: shutting down", file=sys.stderr)
+        # serve_forever() must be stopped from another thread —
+        # shutdown() blocks until the serve loop exits.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_stop)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     with telemetry(bus):
         try:
             server.serve_forever()
@@ -662,7 +701,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("\nshutting down", file=sys.stderr)
         finally:
             server.server_close()
-            manager.stop(wait=True)
+            # Graceful drain: admission is closed, running jobs may
+            # finish within the timeout, the rest are cancelled
+            # cooperatively.
+            print(
+                f"draining: waiting up to {args.drain_timeout:.0f} s "
+                "for running jobs", file=sys.stderr,
+            )
+            counts = manager.drain(args.drain_timeout)
+            print(
+                f"drained: {counts['finished']} job(s) finished, "
+                f"{counts['cancelled']} cancelled", file=sys.stderr,
+            )
     return 0
 
 
@@ -670,7 +720,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.serve import watch
 
     try:
-        return watch(args.url, since=args.since, verbose=args.verbose)
+        return watch(
+            args.url,
+            since=args.since,
+            verbose=args.verbose,
+            token=args.token,
+            max_retries=args.retries,
+            retry_backoff_s=args.retry_backoff,
+        )
     except OSError as err:  # URLError / ConnectionError / socket errors
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -742,6 +799,13 @@ def build_parser() -> argparse.ArgumentParser:
         "best-area feasible result",
     )
     _add_executor_args(p_synth, "--explore-solvers")
+    p_synth.add_argument(
+        "--budget", type=float, default=None, metavar="S",
+        help="hard wall-clock budget for the whole flow in seconds: "
+        "the run is checked at every stage boundary and inside the "
+        "mapper search, and aborts with a deadline error once over "
+        "budget (the mapper's own soft deadline truncates instead)",
+    )
     p_synth.add_argument(
         "--events", default=None, metavar="FILE",
         help="stream every telemetry event of the run (spans, metric "
@@ -904,6 +968,14 @@ def build_parser() -> argparse.ArgumentParser:
         "exposition format after the run",
     )
     p_batch.add_argument(
+        "--resume", nargs="?", const=".vase-batch.journal",
+        default=None, metavar="JOURNAL",
+        help="journal every completed file (fsync'd JSONL; default "
+        ".vase-batch.journal) and, on restart after a crash or kill, "
+        "skip files the journal already records for the same source "
+        "content and options",
+    )
+    p_batch.add_argument(
         "--ledger", default=None, metavar="PATH",
         help="append the batch record to this ledger (default "
         ".vase-ledger/, or the VASE_LEDGER environment variable)",
@@ -982,6 +1054,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="idle-stream SSE heartbeat interval (default 10 s)",
     )
     p_serve.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every request "
+        "except GET /healthz; mandatory for non-loopback --host",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="on SIGTERM/SIGINT, let running jobs finish for up to "
+        "S seconds before cancelling them (default 30)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request to stderr",
     )
@@ -1013,6 +1095,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print every event as JSON instead of progress lines",
     )
+    p_watch.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="bearer token for token-protected servers",
+    )
+    p_watch.add_argument(
+        "--retries", type=int, default=5, metavar="N",
+        help="consecutive connection failures before giving up "
+        "(default 5); any received event resets the budget",
+    )
+    p_watch.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="S",
+        help="initial reconnect backoff in seconds, doubled per "
+        "consecutive failure up to 15 s (default 0.5)",
+    )
     p_watch.set_defaults(func=_cmd_watch)
 
     p_history = sub.add_parser(
@@ -1027,7 +1123,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most N runs (default 20)",
     )
     p_history.add_argument(
-        "--outcome", default=None, choices=["ok", "degraded", "failed"],
+        "--outcome", default=None,
+        choices=["ok", "degraded", "failed", "cancelled"],
         help="only runs with this outcome",
     )
     p_history.add_argument(

@@ -39,6 +39,7 @@ from repro.instrument import (
     tracing,
 )
 from repro.instrument.events import (
+    CATEGORY_CANCELLED,
     CATEGORY_LIFECYCLE,
     TelemetryBus,
     active_bus,
@@ -49,6 +50,7 @@ from repro.instrument.events import (
 )
 from repro.instrument.ledger import (
     RunLedger,
+    record_for_cancelled,
     record_for_failure,
     record_for_result,
 )
@@ -61,6 +63,12 @@ from repro.pipeline import (
     create_executor,
     stats_delta,
     worker_cache,
+)
+from repro.robust.lifecycle import (
+    CancelledError,
+    RunContext,
+    active_context,
+    run_context,
 )
 from repro.robust.recovery import (
     OUTCOME_FAILED,
@@ -159,6 +167,14 @@ class FlowOptions:
     #: resolves ``.vase-ledger/`` / ``VASE_LEDGER`` onto this knob;
     #: ``None`` means no persistence)
     ledger: Optional[RunLedger] = None
+    #: whole-flow wall-clock budget in seconds.  Generalises the
+    #: mapper's ``deadline_s``: the budget is installed on the run's
+    #: lifecycle context and checked at every pipeline stage boundary
+    #: *and* inside the mapper's branch loop; exhausting it raises
+    #: :class:`~repro.robust.lifecycle.DeadlineExceeded`.  A runtime
+    #: knob like ``parallel``: deliberately excluded from every content
+    #: fingerprint (stage cache keys, ledger options digests).
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if self.jobs is not None:
@@ -460,6 +476,17 @@ def synthesize(
         if run_id is None:
             run_id = new_run_id()
             stack.enter_context(run_scope(run_id))
+        # Install the run-lifecycle context: an enclosing context (a
+        # served job's cancellation token, a worker's relayed token)
+        # is narrowed to the tighter deadline; otherwise a whole-flow
+        # budget gets a fresh context of its own.
+        if options.deadline_s is not None:
+            enclosing = active_context()
+            stack.enter_context(run_context(
+                enclosing.child(options.deadline_s)
+                if enclosing is not None
+                else RunContext.create(options.deadline_s)
+            ))
         source_label = source_filename or entity_name or "<vass>"
         bus = active_bus()
         if bus is not None:
@@ -486,6 +513,37 @@ def synthesize(
                 if not options.recovery:
                     raise
                 result = _recover(session, err)
+        except CancelledError as err:
+            # Cancelled / over-budget runs still leave a full audit
+            # trail: a terminal lifecycle event, a cancellation event,
+            # and a ledger record with the "cancelled" outcome.
+            elapsed = time.perf_counter() - started
+            if bus is not None:
+                bus.publish(
+                    CATEGORY_LIFECYCLE,
+                    {
+                        "kind": "run",
+                        "phase": "finished",
+                        "status": "cancelled",
+                        "source": source_label,
+                        "error": str(err),
+                        "elapsed_s": elapsed,
+                    },
+                )
+                bus.publish(
+                    CATEGORY_CANCELLED,
+                    {
+                        "source": source_label,
+                        "reason": str(err),
+                        "elapsed_s": elapsed,
+                    },
+                )
+            if options.ledger is not None:
+                options.ledger.append(record_for_cancelled(
+                    run_id, source, source_label, elapsed, options,
+                    str(err),
+                ))
+            raise
         except SynthesisError as err:
             elapsed = time.perf_counter() - started
             if bus is not None:

@@ -53,10 +53,12 @@ from repro.instrument.baseline import (
 from repro.instrument.events import (
     CATEGORIES,
     CATEGORY_CACHE,
+    CATEGORY_CANCELLED,
     CATEGORY_EXPLOG,
     CATEGORY_LIFECYCLE,
     CATEGORY_METRIC,
     CATEGORY_RECOVERY,
+    CATEGORY_RETRY,
     CATEGORY_SPAN,
     JsonlSink,
     ProgressRenderer,
@@ -77,9 +79,14 @@ from repro.instrument.explain import (
     render_exploration_html,
 )
 from repro.instrument.ledger import (
+    OUTCOME_CANCELLED,
+    OUTCOME_DEGRADED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
     LedgerRecord,
     RunLedger,
     format_stats,
+    record_for_cancelled,
     resolve_ledger,
     summarize,
 )
@@ -124,10 +131,12 @@ __all__ = [
     "extract_metrics",
     "CATEGORIES",
     "CATEGORY_CACHE",
+    "CATEGORY_CANCELLED",
     "CATEGORY_EXPLOG",
     "CATEGORY_LIFECYCLE",
     "CATEGORY_METRIC",
     "CATEGORY_RECOVERY",
+    "CATEGORY_RETRY",
     "CATEGORY_SPAN",
     "JsonlSink",
     "ProgressRenderer",
@@ -142,8 +151,13 @@ __all__ = [
     "run_scope",
     "telemetry",
     "LedgerRecord",
+    "OUTCOME_CANCELLED",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
     "RunLedger",
     "format_stats",
+    "record_for_cancelled",
     "resolve_ledger",
     "summarize",
     "render_family",

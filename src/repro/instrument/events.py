@@ -58,6 +58,8 @@ CATEGORY_EXPLOG = "explog"      # exploration-log decisions
 CATEGORY_RECOVERY = "recovery"  # recovery-ladder attempts
 CATEGORY_CACHE = "cache"        # artifact-cache hit/miss/store/evict
 CATEGORY_LIFECYCLE = "lifecycle"  # run / per-file batch lifecycle
+CATEGORY_CANCELLED = "cancelled"  # cancellation requests and outcomes
+CATEGORY_RETRY = "retry"          # executor transient-failure retries
 
 CATEGORIES = (
     CATEGORY_SPAN,
@@ -66,6 +68,8 @@ CATEGORIES = (
     CATEGORY_RECOVERY,
     CATEGORY_CACHE,
     CATEGORY_LIFECYCLE,
+    CATEGORY_CANCELLED,
+    CATEGORY_RETRY,
 )
 
 
@@ -386,6 +390,7 @@ class ProgressCounts:
     ok: int = 0
     degraded: int = 0
     failed: int = 0
+    cancelled: int = 0
 
 
 class ProgressRenderer:
@@ -397,7 +402,7 @@ class ProgressRenderer:
     """
 
     #: lifecycle phases that terminate one file
-    TERMINAL = ("ok", "degraded", "failed")
+    TERMINAL = ("ok", "degraded", "failed", "cancelled")
 
     def __init__(self, stream: Optional[IO[str]] = None):
         import sys

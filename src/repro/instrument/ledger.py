@@ -43,7 +43,11 @@ LEDGER_FILENAME = "ledger.jsonl"
 OUTCOME_OK = "ok"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_FAILED = "failed"
+OUTCOME_CANCELLED = "cancelled"
+#: the always-reported outcome buckets; ``cancelled`` only appears in
+#: summaries when cancelled runs actually exist
 OUTCOMES = (OUTCOME_OK, OUTCOME_DEGRADED, OUTCOME_FAILED)
+ALL_OUTCOMES = OUTCOMES + (OUTCOME_CANCELLED,)
 
 
 @dataclass
@@ -315,6 +319,29 @@ def record_for_failure(
     )
 
 
+def record_for_cancelled(
+    run_id: str,
+    source: str,
+    source_label: str,
+    elapsed_s: float,
+    options,
+    reason: str = "cancelled",
+) -> LedgerRecord:
+    """Build the ledger record of a run that was cancelled mid-flight."""
+    return LedgerRecord(
+        run_id=run_id,
+        kind="synth",
+        ts=time.time(),
+        source=source_label,
+        source_fp=source_digest(source),
+        options_fp=options_digest(options),
+        outcome=OUTCOME_CANCELLED,
+        degraded=False,
+        metrics={"error": str(reason)},
+        durations={"total_s": elapsed_s},
+    )
+
+
 def record_for_batch(
     report, run_id: str, source_label: str, files, options
 ) -> LedgerRecord:
@@ -323,6 +350,8 @@ def record_for_batch(
 
     if report.failed:
         outcome = OUTCOME_FAILED
+    elif getattr(report, "cancelled", 0):
+        outcome = OUTCOME_CANCELLED
     elif report.degraded:
         outcome = OUTCOME_DEGRADED
     else:
@@ -425,7 +454,12 @@ def format_stats(stats: Dict[str, object]) -> str:
         ),
         f"outcomes: {outcomes['ok']} ok, "  # type: ignore[index]
         f"{outcomes['degraded']} degraded, "  # type: ignore[index]
-        f"{outcomes['failed']} failed",  # type: ignore[index]
+        f"{outcomes['failed']} failed"  # type: ignore[index]
+        + (
+            f", {outcomes[OUTCOME_CANCELLED]} cancelled"  # type: ignore[index]
+            if outcomes.get(OUTCOME_CANCELLED)  # type: ignore[union-attr]
+            else ""
+        ),
         f"degradation rate: {stats['degradation_rate'] * 100:.1f}%",  # type: ignore[operator]
         f"failure rate: {stats['failure_rate'] * 100:.1f}%",  # type: ignore[operator]
         f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es) "  # type: ignore[index]

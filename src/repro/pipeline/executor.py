@@ -40,9 +40,29 @@ eagerly, live for the executor's lifetime (one interpreter start and
 one ``import repro`` per worker, amortized over all its tasks), and
 are shut down gracefully with a poison-pill message.  A worker that
 crashes (killed, segfaulted, ``os._exit``) is detected by EOF on its
-pipe: its in-flight task fails with a :class:`~repro.diagnostics.VaseError`
-— never a hang — and a replacement worker is spawned.  An optional
-``task_timeout_s`` terminates workers stuck on one task.
+pipe: its in-flight task is *retried* with exponential backoff and
+deterministic jitter (crashes are transient until proven otherwise)
+while a replacement worker is spawned; once the bounded retries are
+exhausted — or a per-task circuit breaker trips after consecutive
+crashes of the same task, so a poisoned input cannot crash-loop the
+pool — the task fails with a
+:class:`~repro.robust.lifecycle.WorkerCrashError` — never a hang.
+An optional ``task_timeout_s`` terminates workers stuck on one task
+(timeouts are not retried: a stuck task would stick again).
+
+Cancellation: each backend participates in the run-lifecycle layer
+(:mod:`repro.robust.lifecycle`).  ``serial`` runs inline under the
+caller's active context; ``thread`` re-enters the submitting thread's
+context on the worker thread; ``process`` installs a fresh context in
+the worker and relays ``Future.cancel()`` on a *running* task over the
+worker's pipe, cancelling that context's token — the task then
+abandons work at its next cooperative checkpoint and the future
+completes with :class:`~repro.robust.lifecycle.CancelledError`.
+
+Imports from :mod:`repro.robust.lifecycle` are deliberately deferred
+to call sites: ``repro.robust`` imports ``repro.pipeline`` back (for
+the batch runner), so a module-level import here would make the
+package initialisation order circular.
 """
 
 from __future__ import annotations
@@ -50,6 +70,7 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 import traceback
 from collections import deque
 from concurrent.futures import Future
@@ -229,12 +250,19 @@ class ThreadExecutor(Executor):
 
     def submit(self, fn: Callable, *args) -> "Future":
         from repro.instrument.events import current_run_id, run_scope
+        from repro.robust.lifecycle import active_context, run_context
 
         rid = current_run_id()
+        context = active_context()
 
         def run():
             with run_scope(rid):
-                return fn(*args)
+                if context is None:
+                    return fn(*args)
+                # Re-enter the submitter's lifecycle context so a
+                # cancel of its token reaches work on pool threads.
+                with run_context(context):
+                    return fn(*args)
 
         return self._pool.submit(run)
 
@@ -279,32 +307,95 @@ def _decode_error(encoded: Tuple[Optional[bytes], str, str]) -> BaseException:
 def _worker_main(conn) -> None:
     """The loop of one spawn worker: recv task, run, send result.
 
-    Messages from the parent are ``(task_id, fn, args, run_id,
-    forward)`` tuples, or the poison pill (``None``) meaning exit.
-    Replies are ``("event", task_id, category, payload)`` — telemetry
-    forwarded live while the task runs — and one terminal ``("done",
-    task_id, ok, value)``.  All sends happen from this single thread,
-    in order, so the parent always sees a task's events before its
-    result.
+    Messages from the parent are ``("task", task_id, fn, args, run_id,
+    forward, faults, attempt)`` tuples, ``("cancel", task_id)``
+    requests, or the poison pill (``None``) meaning exit.  Replies are
+    ``("event", task_id, category, payload)`` — telemetry forwarded
+    live while the task runs — and one terminal ``("done", task_id,
+    ok, value)``.  All sends happen from the main thread, in order, so
+    the parent always sees a task's events before its result.
+
+    A dedicated *listener* thread drains the pipe so a ``cancel``
+    request is seen while a task runs: it cancels the current task's
+    lifecycle token, and the task abandons work at its next
+    cooperative checkpoint (the raised ``CancelledError`` ships back
+    like any other task exception).  The fault sites armed in the
+    submitting process travel with each task and are re-armed here, so
+    parent-side ``inject_faults`` reaches code running in workers; the
+    ``executor.*`` sites are handled directly in this loop.
     """
+    import queue as queue_mod
     import signal
     from contextlib import ExitStack
 
     from repro.instrument.events import TelemetryBus, run_scope, telemetry
+    from repro.robust.faultinject import inject_faults
+    from repro.robust.lifecycle import (
+        CancellationToken,
+        CancelledError,
+        RunContext,
+        TransientError,
+        run_context,
+    )
 
     try:  # the parent handles interrupts; workers die by pill or pipe
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
 
+    inbox: "queue_mod.Queue" = queue_mod.Queue()
+    current_lock = threading.Lock()
+    current: Dict[str, object] = {"id": None, "token": None}
+    #: cancel requests that arrived before their task left the inbox
+    early_cancels: set = set()
+
+    def listen() -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                inbox.put(_PILL)
+                return
+            if message is _PILL:
+                inbox.put(_PILL)
+                return
+            if message[0] == "cancel":
+                _mkind, target_id = message
+                with current_lock:
+                    if current["id"] == target_id:
+                        token = current["token"]
+                    else:
+                        # The task message is still in the inbox (or in
+                        # flight): remember the cancel so the main loop
+                        # never starts the task at all.
+                        early_cancels.add(target_id)
+                        token = None
+                if token is not None:
+                    token.cancel("cancelled by the submitting process")
+                continue
+            inbox.put(message)
+
+    threading.Thread(
+        target=listen, name="vase-worker-listener", daemon=True
+    ).start()
+
     while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
+        message = inbox.get()
         if message is _PILL:
             break
-        task_id, fn, args, run_id, forward = message
+        (_mkind, task_id, fn, args, run_id, forward, faults,
+         attempt) = message
+
+        with current_lock:
+            cancelled_early = task_id in early_cancels
+            early_cancels.discard(task_id)
+        if cancelled_early:
+            conn.send(("done", task_id, False, _encode_error(
+                CancelledError(
+                    "task cancelled before it started on the worker"
+                )
+            )))
+            continue
 
         def forward_event(event, _tid=task_id):
             try:
@@ -315,19 +406,39 @@ def _worker_main(conn) -> None:
             except Exception:  # noqa: BLE001 - never kill the task
                 pass
 
+        if "executor.worker_crash_always" in faults or (
+            "executor.worker_crash" in faults and attempt == 0
+        ):
+            os._exit(13)  # injected hard crash, as if segfaulted
+
+        token = CancellationToken()
+        with current_lock:
+            current["id"] = task_id
+            current["token"] = token
         ok = True
         try:
+            if "executor.transient" in faults and attempt == 0:
+                raise TransientError(
+                    "injected transient failure on the first attempt"
+                )
             with ExitStack() as stack:
+                if faults:
+                    stack.enter_context(inject_faults(*faults))
                 if forward:
                     bus = TelemetryBus()
                     bus.subscribe(forward_event)
                     stack.enter_context(telemetry(bus))
                 if run_id is not None:
                     stack.enter_context(run_scope(run_id))
+                stack.enter_context(run_context(RunContext(token=token)))
                 value = fn(*args)
         except BaseException as err:  # noqa: BLE001 - shipped to parent
             ok = False
             value = _encode_error(err)
+        finally:
+            with current_lock:
+                current["id"] = None
+                current["token"] = None
         try:
             conn.send(("done", task_id, ok, value))
         except Exception as err:  # noqa: BLE001 - unpicklable result
@@ -340,6 +451,32 @@ def _worker_main(conn) -> None:
     conn.close()
 
 
+class _TaskFuture(Future):
+    """A future whose ``cancel()`` also reaches *running* tasks.
+
+    While the task is queued this behaves exactly like a standard
+    future.  Once the task runs on a worker process, ``cancel()``
+    relays a cooperative cancel request over the worker's pipe: the
+    worker cancels the task's lifecycle token and the task abandons
+    work at its next checkpoint, completing this future with
+    :class:`~repro.robust.lifecycle.CancelledError`.  The True return
+    then means the request was *delivered*, not that the task already
+    stopped.
+    """
+
+    def __init__(self, executor: "ProcessExecutor", task_id: int):
+        super().__init__()
+        self._vase_executor = executor
+        self._vase_task_id = task_id
+
+    def cancel(self) -> bool:
+        if super().cancel():
+            return True
+        if self.done():
+            return False
+        return self._vase_executor._cancel_task(self._vase_task_id)
+
+
 @dataclass
 class _Pending:
     """Parent-side bookkeeping of one submitted process task."""
@@ -350,6 +487,19 @@ class _Pending:
     run_id: Optional[str]
     forward: bool
     future: "Future" = field(default_factory=Future)
+    #: fault sites armed in the submitting process, shipped along
+    faults: Tuple[str, ...] = ()
+    #: stable task identity for retry jitter and the circuit breaker
+    fingerprint: str = ""
+    #: retry attempt number (0 = first execution)
+    attempt: int = 0
+    #: earliest monotonic time the next attempt may dispatch
+    not_before: float = 0.0
+    #: the parent terminated this task's worker for exceeding
+    #: ``task_timeout_s`` (timeouts are never retried)
+    timed_out: bool = False
+    #: a cooperative cancel was requested for this task
+    cancel_requested: bool = False
 
 
 class _WorkerHandle:
@@ -390,12 +540,22 @@ class ProcessExecutor(Executor):
         workers: int,
         task_timeout_s: Optional[float] = None,
         start_method: str = "spawn",
+        retry: Optional["RetryPolicy"] = None,
     ):
+        from repro.robust.lifecycle import RetryPolicy
+
         super().__init__(workers=workers)
         self.task_timeout_s = task_timeout_s
+        self._retry = retry if retry is not None else RetryPolicy()
         self._ctx = get_context(start_method)
         self._lock = threading.Lock()
         self._queue: Deque[_Pending] = deque()
+        #: retried tasks waiting out their backoff delay
+        self._delayed: List[_Pending] = []
+        #: consecutive crash count per task fingerprint
+        self._crashes: Dict[str, int] = {}
+        #: tripped circuit breakers: task fingerprint -> reason
+        self._broken: Dict[str, str] = {}
         self._handles: List[_WorkerHandle] = []
         self._next_id = 0
         self._closed = False
@@ -415,6 +575,8 @@ class ProcessExecutor(Executor):
 
     def submit(self, fn: Callable, *args) -> "Future":
         from repro.instrument.events import active_bus, current_run_id
+        from repro.robust.faultinject import active_faults
+        from repro.robust.lifecycle import task_fingerprint
 
         with self._lock:
             if self._closed:
@@ -425,6 +587,9 @@ class ProcessExecutor(Executor):
                 args=args,
                 run_id=current_run_id(),
                 forward=active_bus() is not None,
+                future=_TaskFuture(self, self._next_id),
+                faults=tuple(sorted(active_faults())),
+                fingerprint=task_fingerprint(fn, args),
             )
             self._next_id += 1
             self._queue.append(pending)
@@ -440,12 +605,11 @@ class ProcessExecutor(Executor):
     # -- the bridge thread --------------------------------------------------
 
     def _bridge_loop(self) -> None:
-        import time
-
         while True:
             with self._lock:
                 if self._stopping:
                     break
+                self._promote_due_locked(time.monotonic())
                 self._dispatch_locked()
                 conns = [
                     handle.conn for handle in self._handles
@@ -465,6 +629,17 @@ class ProcessExecutor(Executor):
             if self.task_timeout_s is not None:
                 self._enforce_timeout(time.monotonic())
 
+    def _promote_due_locked(self, now: float) -> None:
+        """Move retries whose backoff elapsed back into the queue."""
+        if not self._delayed:
+            return
+        due = [p for p in self._delayed if p.not_before <= now]
+        if due:
+            self._delayed = [
+                p for p in self._delayed if p.not_before > now
+            ]
+            self._queue.extend(sorted(due, key=lambda p: p.id))
+
     def _dispatch_locked(self) -> None:
         """Hand queued tasks to idle workers (under the lock)."""
         for handle in self._handles:
@@ -472,21 +647,31 @@ class ProcessExecutor(Executor):
                 continue
             while self._queue:
                 pending = self._queue.popleft()
-                if not pending.future.set_running_or_notify_cancel():
-                    continue  # cancelled while queued
+                if pending.attempt == 0:
+                    if not pending.future.set_running_or_notify_cancel():
+                        continue  # cancelled while queued
+                elif pending.future.done():
+                    continue  # resolved while awaiting retry
+                if pending.fingerprint in self._broken:
+                    pending.future.set_exception(VaseError(
+                        f"circuit breaker open: "
+                        f"{self._broken[pending.fingerprint]}"
+                    ))
+                    self._idle.notify_all()
+                    continue
                 try:
                     handle.conn.send((
-                        pending.id, pending.fn, pending.args,
-                        pending.run_id, pending.forward,
+                        "task", pending.id, pending.fn, pending.args,
+                        pending.run_id, pending.forward, pending.faults,
+                        pending.attempt,
                     ))
                 except Exception as err:  # noqa: BLE001 - unpicklable task
                     pending.future.set_exception(VaseError(
                         f"task could not be shipped to a worker "
                         f"process: {err}"
                     ))
+                    self._idle.notify_all()
                     continue
-                import time
-
                 handle.busy = pending
                 handle.busy_since = time.monotonic()
                 break
@@ -512,13 +697,19 @@ class ProcessExecutor(Executor):
             _mkind, _tid, ok, value = message
             with self._lock:
                 pending, handle.busy = handle.busy, None
+                if pending is not None and ok:
+                    # A success resets the consecutive-crash streak.
+                    self._crashes.pop(pending.fingerprint, None)
                 self._idle.notify_all()
             if pending is None:  # pragma: no cover - defensive
                 return
             if ok:
                 pending.future.set_result(value)
-            else:
-                pending.future.set_exception(_decode_error(value))
+                return
+            error = _decode_error(value)
+            if self._maybe_retry(pending, error, crashed=False):
+                return
+            pending.future.set_exception(error)
 
     def _republish(self, handle: _WorkerHandle, category: str,
                    payload: Dict[str, object]) -> None:
@@ -536,7 +727,10 @@ class ProcessExecutor(Executor):
         bus.publish(category, payload, run_id=pending.run_id)
 
     def _worker_died(self, handle: _WorkerHandle) -> None:
-        """EOF on a worker pipe: fail its task, spawn a replacement."""
+        """EOF on a worker pipe: retry or fail its task, spawn a
+        replacement worker."""
+        from repro.robust.lifecycle import CancelledError, WorkerCrashError
+
         with self._lock:
             pending, handle.busy = handle.busy, None
             try:
@@ -550,11 +744,109 @@ class ProcessExecutor(Executor):
                 self._handles.remove(handle)
             self._idle.notify_all()
         handle.process.join(timeout=0.5)
-        if pending is not None:
+        if pending is None:
+            return
+        if pending.timed_out:
             pending.future.set_exception(VaseError(
-                f"pipeline worker crashed while running a task "
-                f"(exit code {handle.process.exitcode})"
+                f"pipeline worker timed out after "
+                f"{self.task_timeout_s}s and was terminated"
             ))
+            return
+        if pending.cancel_requested:
+            pending.future.set_exception(CancelledError(
+                "task cancelled; its worker exited before confirming"
+            ))
+            return
+        error = WorkerCrashError(
+            f"pipeline worker crashed while running a task "
+            f"(exit code {handle.process.exitcode}, "
+            f"attempt {pending.attempt + 1})"
+        )
+        if self._maybe_retry(pending, error, crashed=True):
+            return
+        pending.future.set_exception(error)
+
+    def _maybe_retry(
+        self, pending: _Pending, error: BaseException, crashed: bool
+    ) -> bool:
+        """Requeue a transiently-failed task with backoff.
+
+        Returns False when the task must fail for real: the error is
+        not transient, retries are exhausted, the task's circuit
+        breaker tripped, or the task was cancelled/timed out.  Worker
+        crashes count toward the breaker; in-band transient errors do
+        not (the worker survived them).
+        """
+        from repro.instrument.events import CATEGORY_RETRY, active_bus
+        from repro.robust.lifecycle import is_transient
+
+        if pending.cancel_requested or pending.timed_out:
+            return False
+        if not crashed and not is_transient(error):
+            return False
+        policy = self._retry
+        with self._lock:
+            if self._closed or self._stopping:
+                return False
+            if crashed:
+                count = self._crashes.get(pending.fingerprint, 0) + 1
+                self._crashes[pending.fingerprint] = count
+                if count >= policy.breaker_threshold:
+                    self._broken.setdefault(
+                        pending.fingerprint,
+                        f"task crashed its worker {count} consecutive "
+                        f"time(s); refusing to run it again",
+                    )
+                    return False
+            if pending.attempt >= policy.max_retries:
+                return False
+            pending.attempt += 1
+            delay = policy.delay_s(pending.fingerprint, pending.attempt)
+            pending.not_before = time.monotonic() + delay
+            self._delayed.append(pending)
+        bus = active_bus()
+        if bus is not None:
+            bus.publish(CATEGORY_RETRY, {
+                "task": pending.fingerprint[:12],
+                "attempt": pending.attempt,
+                "delay_s": round(delay, 4),
+                "crashed": crashed,
+                "error": str(error),
+            }, run_id=pending.run_id)
+        return True
+
+    def _cancel_task(self, task_id: int) -> bool:
+        """Cooperatively cancel a task past the queued state."""
+        from repro.robust.lifecycle import CancelledError
+
+        awaiting_retry: Optional[_Pending] = None
+        with self._lock:
+            for pending in self._delayed:
+                if pending.id == task_id:
+                    awaiting_retry = pending
+                    break
+            if awaiting_retry is not None:
+                self._delayed.remove(awaiting_retry)
+                awaiting_retry.cancel_requested = True
+                self._idle.notify_all()
+            else:
+                handle = next(
+                    (h for h in self._handles
+                     if h.busy is not None and h.busy.id == task_id),
+                    None,
+                )
+                if handle is None:
+                    return False
+                handle.busy.cancel_requested = True
+                try:
+                    handle.conn.send(("cancel", task_id))
+                except (OSError, ValueError):
+                    return False
+                return True
+        awaiting_retry.future.set_exception(CancelledError(
+            "task cancelled while awaiting its retry backoff"
+        ))
+        return True
 
     def _enforce_timeout(self, now: float) -> None:
         stale: List[_WorkerHandle] = []
@@ -564,6 +856,7 @@ class ProcessExecutor(Executor):
                     handle.busy is not None
                     and now - handle.busy_since > self.task_timeout_s
                 ):
+                    handle.busy.timed_out = True
                     stale.append(handle)
         for handle in stale:
             handle.process.terminate()
@@ -573,6 +866,9 @@ class ProcessExecutor(Executor):
     # -- lifecycle ----------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
+        from repro.robust.lifecycle import CancelledError
+
+        abandoned: List[_Pending] = []
         with self._lock:
             if self._closed:
                 return
@@ -580,11 +876,26 @@ class ProcessExecutor(Executor):
             if wait:
                 self._idle.wait_for(
                     lambda: not self._queue
+                    and not self._delayed
                     and all(h.busy is None for h in self._handles)
                 )
             else:
-                while self._queue:
-                    self._queue.popleft().future.cancel()
+                # Drain under the lock, resolve futures outside it:
+                # cancelling a retried (already-running) future would
+                # re-enter _cancel_task and deadlock on self._lock.
+                queued = list(self._queue)
+                self._queue.clear()
+                abandoned = list(self._delayed)
+                self._delayed.clear()
+                for pending in queued:
+                    if pending.attempt == 0:
+                        pending.future.cancel()
+                    else:
+                        abandoned.append(pending)
+        for pending in abandoned:
+            pending.future.set_exception(CancelledError(
+                "executor shut down before the task's retry"
+            ))
         with self._lock:
             self._stopping = True
             handles = list(self._handles)

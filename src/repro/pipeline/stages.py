@@ -47,6 +47,7 @@ from repro.instrument.metrics import metrics
 from repro.instrument.tracer import trace_phase
 from repro.pipeline.cache import MISS, ArtifactCache
 from repro.pipeline.fingerprint import fingerprint, library_fingerprint
+from repro.robust.lifecycle import checkpoint
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,9 @@ class PipelineSession:
         annotate: Optional[Callable[[object], dict]] = None,
     ) -> object:
         """Serve ``digest`` from the cache or compute-and-store it."""
+        # Stage boundaries are the pipeline's cancellation points: a
+        # cancelled or over-budget run stops before the next compute.
+        checkpoint(f"stage:{stage.name}")
         with trace_phase(stage.span) as span:
             value = self.cache.get(digest, stage=stage.name)
             if value is not MISS:

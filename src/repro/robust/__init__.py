@@ -15,6 +15,11 @@ exception.  This package makes the flow degrade gracefully and report
   non-finite waveform detection);
 * :mod:`repro.robust.batch` — multi-design sweeps with per-file
   isolation and a machine-readable ok/degraded/failed summary;
+* :mod:`repro.robust.lifecycle` — cooperative cancellation tokens,
+  whole-flow deadline propagation, and the transient-failure taxonomy
+  the executors' retry machinery classifies against;
+* :mod:`repro.robust.journal` — the fsync'd completion journal behind
+  crash-safe ``vase batch --resume``;
 * :mod:`repro.robust.faultinject` — the deterministic fault-injection
   harness that forces each failure class so every recovery path is
   exercised in tests and CI.
@@ -25,12 +30,27 @@ from repro.robust.batch import (
     BatchReport,
     find_sources,
     run_batch,
+    schedule_longest_first,
 )
 from repro.robust.faultinject import (
     FaultInjector,
     active_faults,
     fault_active,
     inject_faults,
+)
+from repro.robust.journal import BatchJournal
+from repro.robust.lifecycle import (
+    CancellationToken,
+    CancelledError,
+    DeadlineExceeded,
+    RetryPolicy,
+    RunContext,
+    TransientError,
+    WorkerCrashError,
+    active_context,
+    checkpoint,
+    is_transient,
+    run_context,
 )
 from repro.robust.guards import (
     NumericalWarning,
@@ -46,18 +66,31 @@ from repro.robust.recovery import (
 
 __all__ = [
     "BatchEntry",
+    "BatchJournal",
     "BatchReport",
+    "CancellationToken",
+    "CancelledError",
+    "DeadlineExceeded",
     "FaultInjector",
     "NumericalWarning",
     "RecoveryEvent",
     "RecoveryOptions",
+    "RetryPolicy",
+    "RunContext",
+    "TransientError",
+    "WorkerCrashError",
+    "active_context",
     "active_faults",
     "check_finite",
+    "checkpoint",
     "condition_estimate",
     "fault_active",
     "find_sources",
     "inject_faults",
+    "is_transient",
     "relax_constraints",
     "run_batch",
+    "run_context",
+    "schedule_longest_first",
     "singular_suspects",
 ]

@@ -11,7 +11,9 @@ in exactly one bucket:
   :class:`~repro.robust.recovery.RecoveryEvent`);
 * ``failed`` — no netlist: syntax errors (collected with the parser's
   error-recovery mode, so *all* of them are reported), semantic or
-  synthesis errors, or an unexpected exception.
+  synthesis errors, or an unexpected exception;
+* ``cancelled`` — the run was cancelled (or exhausted its wall-clock
+  budget) before the file could finish.
 
 ``parallel`` selects the execution backend
 (:class:`~repro.pipeline.ParallelOptions`: ``serial``, the in-process
@@ -49,7 +51,6 @@ from repro.instrument.events import (
 from repro.pipeline import (
     ArtifactCache,
     ParallelOptions,
-    Task,
     create_executor,
     stats_delta,
     worker_cache,
@@ -59,6 +60,9 @@ from repro.pipeline import (
 STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
 STATUS_FAILED = "failed"
+#: the run was cancelled (or ran out of its wall-clock budget) before
+#: this file could finish
+STATUS_CANCELLED = "cancelled"
 
 #: Source suffixes ``vase batch <dir>`` picks up.
 SOURCE_SUFFIXES = (".vhd", ".vhdl", ".vass")
@@ -134,6 +138,12 @@ class BatchReport:
     def failed(self) -> int:
         return sum(1 for e in self.entries if e.status == STATUS_FAILED)
 
+    @property
+    def cancelled(self) -> int:
+        return sum(
+            1 for e in self.entries if e.status == STATUS_CANCELLED
+        )
+
     def as_dict(self, timing: bool = True) -> Dict[str, object]:
         """JSON-ready report; ``timing=False`` zeroes wall-clock fields
         (and drops the cache counters) so two runs of the same inputs
@@ -143,6 +153,7 @@ class BatchReport:
             "ok": self.ok,
             "degraded": self.degraded,
             "failed": self.failed,
+            "cancelled": self.cancelled,
             "elapsed_s": round(self.elapsed_s, 6) if timing else 0.0,
             "entries": [e.as_dict(timing=timing) for e in self.entries],
         }
@@ -159,14 +170,17 @@ class BatchReport:
             f"{len(self.entries)} files: {self.ok} ok, "
             f"{self.degraded} degraded, {self.failed} failed"
         )
+        if self.cancelled:
+            tail += f", {self.cancelled} cancelled"
         if timing:
             tail += f" ({self.elapsed_s:.2f} s)"
         lines.append(tail)
         return "\n".join(lines)
 
     def exit_code(self, strict: bool = False) -> int:
-        """``0`` all usable, ``1`` any failure (degraded too if strict)."""
-        if self.failed:
+        """``0`` all usable, ``1`` any failure or cancellation
+        (degraded too if strict)."""
+        if self.failed or self.cancelled:
             return 1
         if strict and self.degraded:
             return 1
@@ -182,6 +196,49 @@ def find_sources(root: Path) -> List[Path]:
         for path in root.rglob("*")
         if path.is_file() and path.suffix.lower() in SOURCE_SUFFIXES
     )
+
+
+#: nominal synthesis throughput used to turn a file size into a
+#: duration estimate when the ledger has no history for the file
+_EST_BYTES_PER_SECOND = 1e6
+
+
+def schedule_longest_first(files, ledger=None) -> List[int]:
+    """Submission order for a batch: indices into ``files``, longest
+    first.
+
+    Long-pole scheduling: a parallel batch that starts its slowest
+    file last serializes the whole tail of the run behind it.  With a
+    run ledger available, each file's expected duration is the
+    ``total_s`` of its most recent ``synth`` record (matched by source
+    label); files the ledger has never seen fall back to a
+    size-derived estimate.  Ties (and the no-ledger case with
+    equal-sized files) keep input order, so the schedule is
+    deterministic.  Only *scheduling* is affected — batch reports
+    always list entries in input order.
+    """
+    durations: Dict[str, float] = {}
+    if ledger is not None:
+        try:
+            for record in ledger.records():
+                if record.kind != "synth":
+                    continue
+                total = record.durations.get("total_s")
+                if total is not None:
+                    durations[record.source] = float(total)
+        except OSError:  # pragma: no cover - unreadable ledger
+            pass
+    weighted = []
+    for index, path in enumerate(files):
+        weight = durations.get(str(path))
+        if weight is None:
+            try:
+                size = Path(path).stat().st_size
+            except OSError:
+                size = 0
+            weight = size / _EST_BYTES_PER_SECOND
+        weighted.append((-weight, index))
+    return [index for _, index in sorted(weighted)]
 
 
 def run_source(
@@ -208,6 +265,7 @@ def run_source(
     # fault-injection hooks from this package.
     from repro.diagnostics import Severity, VaseError
     from repro.flow import synthesize
+    from repro.robust.lifecycle import CancelledError
     from repro.vass.parser import parse_source_collecting
 
     entry = BatchEntry(file=label, status=STATUS_FAILED)
@@ -230,6 +288,12 @@ def run_source(
             library=library,
             source_filename=label,
         )
+    except CancelledError as err:
+        # Before VaseError: CancelledError subclasses it, and a
+        # cancelled run is an outcome of its own, not a failure.
+        entry.status = STATUS_CANCELLED
+        entry.error = str(err)
+        error = err
     except VaseError as err:
         entry.error = str(err)
         error = err
@@ -288,7 +352,8 @@ def _finish_entry(entry: BatchEntry, bus) -> BatchEntry:
         }
         if entry.design:
             payload["design"] = entry.design
-        if entry.status == STATUS_FAILED and (entry.error or entry.errors):
+        if entry.status in (STATUS_FAILED, STATUS_CANCELLED) \
+                and (entry.error or entry.errors):
             payload["error"] = entry.error or entry.errors[0]
         bus.publish(CATEGORY_LIFECYCLE, payload)
     return entry
@@ -325,6 +390,7 @@ def run_batch(
     ledger=None,
     source_label: Optional[str] = None,
     jobs: Optional[int] = None,
+    journal=None,
 ) -> BatchReport:
     """Synthesize every file, isolating failures per file.
 
@@ -338,17 +404,28 @@ def run_batch(
     (:class:`~repro.pipeline.ParallelOptions`; defaults to
     ``options.parallel``).  Entries always come back in input order,
     so the report content is independent of backend and worker count.
-    ``cache`` is an artifact cache shared by every file of the run
-    (stage keys are content-addressed, so sharing is always safe);
-    under the ``process`` backend its on-disk tier is the store the
-    worker processes share.  ``jobs`` is the deprecated pre-executor
-    width knob (mapped onto ``parallel``, with a
-    :class:`DeprecationWarning`).
+    Under a parallel backend, *submission* order is long-pole
+    scheduled (:func:`schedule_longest_first`): the files the ledger
+    knows to be slowest start first, so a straggler never serializes
+    the tail of the run.  ``cache`` is an artifact cache shared by
+    every file of the run (stage keys are content-addressed, so
+    sharing is always safe); under the ``process`` backend its on-disk
+    tier is the store the worker processes share.  ``jobs`` is the
+    deprecated pre-executor width knob (mapped onto ``parallel``, with
+    a :class:`DeprecationWarning`).
+
+    ``journal`` is a :class:`~repro.robust.journal.BatchJournal`: each
+    completed entry is appended (fsync'd) as it finishes, and entries
+    a previous interrupted run already journaled — keyed by source
+    *content* plus the options digest — are resumed instead of re-run,
+    so a killed batch restarted with the same journal produces the
+    same report without repeating finished work.
 
     With a telemetry bus active, the whole batch shares one run id:
     every file emits ``lifecycle`` events (``queued`` up front, then
-    ``started`` and a terminal ``ok``/``degraded``/``failed``), and
-    the per-file synthesis events carry the same id from the workers —
+    ``started`` and a terminal ``ok``/``degraded``/``failed``/
+    ``cancelled`` — or ``resumed`` for journaled entries), and the
+    per-file synthesis events carry the same id from the workers —
     process workers forward theirs over the result channel.  A
     ``ledger`` (:class:`~repro.instrument.ledger.RunLedger`) gets one
     batch-level record appended.
@@ -374,6 +451,29 @@ def run_batch(
         options = replace(options, cache=cache)
 
     paths = [Path(path) for path in files]
+    entries: List[Optional[BatchEntry]] = [None] * len(paths)
+    keys: List[Optional[str]] = [None] * len(paths)
+    if journal is not None:
+        from repro.instrument.ledger import options_digest
+
+        opts_fp = options_digest(options)
+        completed = journal.load()
+        for index, path in enumerate(paths):
+            try:
+                text = path.read_text()
+            except OSError:
+                continue  # unreadable: runs (and fails) again below
+            key = journal.entry_key(text, opts_fp)
+            keys[index] = key
+            data = completed.get(key)
+            if data is not None:
+                entries[index] = BatchEntry(**data)
+    pending = [
+        (index, path)
+        for index, path in enumerate(paths)
+        if entries[index] is None
+    ]
+
     report = BatchReport()
     rid = current_run_id() or new_run_id()
     with run_scope(rid):
@@ -384,14 +484,33 @@ def run_batch(
                     CATEGORY_LIFECYCLE,
                     {"kind": "file", "phase": "queued", "file": str(path)},
                 )
+            for entry in entries:
+                if entry is not None:
+                    bus.publish(CATEGORY_LIFECYCLE, {
+                        "kind": "file",
+                        "phase": "resumed",
+                        "file": entry.file,
+                        "status": entry.status,
+                    })
         batch_start = time.perf_counter()
+
+        effective = parallel.bounded(max(1, len(pending)))
+        if effective.executor != "serial" and len(pending) > 1:
+            # Long-pole scheduling: submit the expected-slowest files
+            # first.  Input order is restored via the indices.
+            order = schedule_longest_first(
+                [path for _, path in pending], ledger
+            )
+            pending = [pending[position] for position in order]
+
+        def journal_entry(index: int, entry: BatchEntry) -> None:
+            if journal is not None and keys[index] is not None:
+                journal.record(keys[index], entry.as_dict())
 
         # The executor propagates this scope's run id to its workers
         # (thread workers re-enter it, process workers ship it and
         # forward their telemetry), so the whole batch shares one run.
-        with create_executor(
-            parallel.bounded(max(1, len(paths)))
-        ) as executor:
+        with create_executor(effective) as executor:
             if executor.distributed:
                 shared = options.cache
                 cache_dir = (
@@ -400,21 +519,47 @@ def run_batch(
                     else None
                 )
                 opts = transportable_options(options)
-                outcomes = executor.map_ordered([
-                    Task(_run_one_remote,
-                         (str(path), opts, library, cache_dir))
-                    for path in paths
-                ])
-                report.entries = []
-                for entry, delta in outcomes:
-                    if delta is not None and shared is not None:
-                        shared.stats.apply_delta(delta)
-                    report.entries.append(entry)
+                futures = [
+                    executor.submit(
+                        _run_one_remote, str(path), opts, library,
+                        cache_dir,
+                    )
+                    for _, path in pending
+                ]
+                try:
+                    for (index, _path), future in zip(pending, futures):
+                        entry, delta = future.result()
+                        if delta is not None and shared is not None:
+                            shared.stats.apply_delta(delta)
+                        entries[index] = entry
+                        journal_entry(index, entry)
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+            elif executor.kind == "serial":
+                # Inline, one file at a time: each entry is journaled
+                # before the next file starts, so a kill at any point
+                # loses at most the file that was running.
+                for index, path in pending:
+                    entry = _run_one(path, options, library)
+                    entries[index] = entry
+                    journal_entry(index, entry)
             else:
-                report.entries = executor.map_ordered([
-                    Task(_run_one, (path, options, library))
-                    for path in paths
-                ])
+                futures = [
+                    executor.submit(_run_one, path, options, library)
+                    for _, path in pending
+                ]
+                try:
+                    for (index, _path), future in zip(pending, futures):
+                        entry = future.result()
+                        entries[index] = entry
+                        journal_entry(index, entry)
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+        report.entries = [entry for entry in entries if entry is not None]
         report.elapsed_s = time.perf_counter() - batch_start
         if cache is not None:
             report.cache = cache.stats.as_dict()

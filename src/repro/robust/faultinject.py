@@ -24,6 +24,20 @@ that tests flip on deterministically:
 ``parse``
     :func:`repro.vass.parser.parse_source` raises a ``ParseError``
     before reading any token.
+``mapper.cancel``
+    the active run-lifecycle context (if any) is cancelled just as the
+    mapper search starts, driving the in-loop cooperative-cancellation
+    path.
+``executor.worker_crash``
+    a process-pool worker hard-exits (as if it segfaulted) on the
+    *first* attempt of each task, driving the transient-retry path:
+    the retried attempt succeeds.
+``executor.worker_crash_always``
+    a process-pool worker hard-exits on *every* attempt, driving
+    retry exhaustion and the per-task circuit breaker.
+``executor.transient``
+    a process-pool worker raises :class:`TransientError` on the first
+    attempt of each task (an in-band transient failure, no crash).
 
 The production cost is one truthiness test of a module-level frozenset
 per site (`fault_active` returns immediately while no faults are
@@ -45,10 +59,14 @@ KNOWN_SITES: FrozenSet[str] = frozenset(
     {
         "mapper.deadline",
         "mapper.infeasible",
+        "mapper.cancel",
         "spice.singular",
         "spice.ac.singular",
         "spice.nonfinite",
         "parse",
+        "executor.worker_crash",
+        "executor.worker_crash_always",
+        "executor.transient",
     }
 )
 

@@ -1,0 +1,105 @@
+"""Crash-safe batch journal: fsync'd per-file completion records.
+
+``vase batch --resume`` must survive a hard mid-run kill: a restarted
+batch should skip every file the interrupted run already finished and
+produce a report identical to an uninterrupted run.  The journal is the
+durable half of that contract — one JSONL file, one line per completed
+entry::
+
+    {"key": "<fingerprint>", "entry": {...BatchEntry.as_dict()...}}
+
+The key fingerprints the *source text* (not the path) together with the
+:func:`~repro.instrument.ledger.options_digest` of the run's options,
+so a journal never resumes stale results: editing a file or changing
+any result-shaping option changes the key and the file re-runs.  Every
+append is flushed and ``fsync``'d before the batch runner moves on to
+the next file, and :meth:`BatchJournal.load` tolerates a torn final
+line (the only corruption a crash mid-append can produce on a local
+filesystem).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, TextIO
+
+#: journal format version; bump on incompatible line-shape changes so
+#: an old journal is ignored rather than misread (stale keys never
+#: match)
+JOURNAL_VERSION = 1
+
+
+class BatchJournal:
+    """Append-only JSONL journal of completed batch entries.
+
+    The runner calls :meth:`load` once up front (to learn what an
+    interrupted predecessor already finished) and :meth:`record` after
+    each completed file.  The write handle is opened lazily on the
+    first append, so a fully-resumed run never touches the file.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+
+    @staticmethod
+    def entry_key(source_text: str, options_fp: str) -> str:
+        """Resume key of one file: content + options, never the path."""
+        from repro.pipeline.fingerprint import fingerprint
+
+        return fingerprint(
+            "batch-entry", JOURNAL_VERSION, source_text, options_fp
+        )[:24]
+
+    def load(self) -> Dict[str, dict]:
+        """Completed entries by key (last write wins).
+
+        Unparseable lines — the torn tail a crash mid-append leaves —
+        are skipped; the file they describe simply runs again.
+        """
+        completed: Dict[str, dict] = {}
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return completed
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            entry = record.get("entry")
+            if isinstance(key, str) and isinstance(entry, dict):
+                completed[key] = entry
+        return completed
+
+    def record(self, key: str, entry: Dict[str, object]) -> None:
+        """Append one completion; durable before this returns."""
+        if self._handle is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps({"key": key, "entry": entry}, sort_keys=True) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -12,6 +12,7 @@ ledger.  See ``serve/server.py`` for the endpoint map and
 from repro.serve.queue import (
     ALLOWED_OPTIONS,
     Job,
+    JobConflictError,
     JobError,
     JobEventLog,
     JobManager,
@@ -29,12 +30,13 @@ from repro.serve.sse import (
     format_message,
     parse_sse,
 )
-from repro.serve.watch import watch
+from repro.serve.watch import open_stream, watch
 
 __all__ = [
     "ALLOWED_OPTIONS",
     "END_EVENT",
     "Job",
+    "JobConflictError",
     "JobError",
     "JobEventLog",
     "JobManager",
@@ -48,6 +50,7 @@ __all__ = [
     "format_comment",
     "format_event",
     "format_message",
+    "open_stream",
     "parse_sse",
     "render_server_metrics",
     "watch",

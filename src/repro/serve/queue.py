@@ -25,6 +25,13 @@ HTTP-specific, so it is directly testable:
   :class:`JobEventLog`; late SSE subscribers replay from seq 0 and
   then tail live, and :meth:`JobManager.counts` feeds the
   ``vase_serve_*`` gauges on ``/metrics``;
+* **lifecycle** — :meth:`JobManager.cancel` cancels a job at any
+  pre-terminal point (queued jobs are dequeued on the spot; running
+  jobs are cancelled cooperatively through their
+  :class:`~repro.robust.lifecycle.CancellationToken`, relayed to the
+  worker pipe under the ``process`` backend), and
+  :meth:`JobManager.drain` is the SIGTERM path: stop admission, let
+  running jobs finish within a timeout, cancel the rest;
 * **persistence** — every completed job is appended to the run ledger
   through :func:`~repro.instrument.ledger.record_for_result` /
   :func:`~repro.instrument.ledger.record_for_failure`, so ``/history``
@@ -54,16 +61,22 @@ from repro.pipeline import (
     worker_cache,
 )
 from repro.pipeline.parallel import WorkerPool
+from repro.robust.lifecycle import (
+    CancellationToken,
+    RunContext,
+    run_context,
+)
 
 #: job states before the terminal batch buckets take over
 STATUS_QUEUED = "queued"
 STATUS_RUNNING = "running"
-#: terminal states (the batch runner's vocabulary)
-TERMINAL_STATUSES = ("ok", "degraded", "failed")
+STATUS_CANCELLED = "cancelled"
+#: terminal states (the batch runner's vocabulary plus ``cancelled``)
+TERMINAL_STATUSES = ("ok", "degraded", "failed", STATUS_CANCELLED)
 
 #: whitelisted per-job flow options a POST may override
 ALLOWED_OPTIONS = (
-    "deadline_s", "recovery", "explore_solvers",
+    "deadline_s", "budget_s", "recovery", "explore_solvers",
     "executor", "workers", "jobs",
 )
 #: cap on the per-job ``workers``/``jobs`` override (solver-exploration
@@ -95,6 +108,10 @@ class UnknownJobError(JobError):
     """No job with that id (HTTP 404)."""
 
 
+class JobConflictError(JobError):
+    """The job is already terminal and cannot be cancelled (HTTP 409)."""
+
+
 def build_job_options(base, payload: Optional[Dict[str, object]]):
     """A per-job :class:`~repro.flow.FlowOptions` from the whitelist.
 
@@ -123,6 +140,17 @@ def build_job_options(base, payload: Optional[Dict[str, object]]):
             options,
             mapper=replace(base.mapper, deadline_s=float(deadline)),
         )
+    if "budget_s" in payload:
+        # The hard whole-flow budget: unlike the mapper's soft
+        # deadline_s (which truncates the search and keeps the
+        # incumbent), an exhausted budget cancels the run with a
+        # DeadlineExceeded and a terminal ``cancelled`` outcome.
+        budget = payload["budget_s"]
+        if isinstance(budget, bool) or not isinstance(
+            budget, (int, float)
+        ) or budget <= 0:
+            raise JobOptionsError("budget_s must be a positive number")
+        options = replace(options, deadline_s=float(budget))
     for name in ("recovery", "explore_solvers"):
         if name in payload:
             value = payload[name]
@@ -215,6 +243,7 @@ def _run_job_remote(
     from dataclasses import replace as _replace
 
     from repro.instrument.ledger import (
+        record_for_cancelled,
         record_for_failure,
         record_for_result,
     )
@@ -234,6 +263,11 @@ def _run_job_remote(
             record = record_for_result(
                 result, source, label, entry.elapsed_s, options,
             )
+    elif want_record and entry.status == STATUS_CANCELLED:
+        record = record_for_cancelled(
+            current_run_id() or "", source, label, entry.elapsed_s,
+            options, entry.error or "cancelled",
+        )
     elif want_record:
         record = record_for_failure(
             current_run_id() or "", source, label, entry.elapsed_s,
@@ -330,6 +364,14 @@ class Job:
     #: rendered artifacts by name (report/netlist/spice/explain)
     artifacts: Dict[str, str] = field(default_factory=dict)
     events: JobEventLog = field(default_factory=JobEventLog)
+    #: cooperative-cancellation token shared with the job's run context
+    token: CancellationToken = field(
+        default_factory=CancellationToken, repr=False
+    )
+    #: True once a cancel was requested (queued or running)
+    cancel_requested: bool = False
+    #: the in-flight process-pool future (``--executor process`` only)
+    remote_future: Optional[object] = field(default=None, repr=False)
 
     @property
     def terminal(self) -> bool:
@@ -354,6 +396,7 @@ class Job:
             return data
         data.update({
             "summary": self.summary,
+            "cancel_requested": self.cancel_requested,
             "error": self.error,
             "errors": list(self.errors),
             "warnings": list(self.warnings),
@@ -492,13 +535,16 @@ class JobManager:
 
     def _execute(self, job: Job) -> None:
         from repro.instrument.ledger import (
+            record_for_cancelled,
             record_for_failure,
             record_for_result,
         )
         from repro.robust.batch import run_source
 
         with self._lock:
-            if job.status != STATUS_QUEUED:  # pragma: no cover - defensive
+            if job.status != STATUS_QUEUED:
+                # Cancelled while queued: cancel() already finalized
+                # the job (status, ledger, closed event log).
                 return
             job.status = STATUS_RUNNING
             job.started_ts = time.time()
@@ -515,13 +561,16 @@ class JobManager:
             if self._remote is not None:
                 entry, record = self._execute_remote(job)
             else:
-                entry, result, error = run_source(
-                    job.source,
-                    job.label,
-                    job.options,
-                    self.library,
-                    entity_name=job.entity,
-                )
+                # The job's token becomes the thread-path run context,
+                # so cancel() reaches every checkpoint of the flow.
+                with run_context(RunContext(token=job.token)):
+                    entry, result, error = run_source(
+                        job.source,
+                        job.label,
+                        job.options,
+                        self.library,
+                        entity_name=job.entity,
+                    )
                 if result is not None:
                     job.artifacts = render_artifacts(job.label, result)
             if bus is not None:
@@ -533,7 +582,8 @@ class JobManager:
                 }
                 if entry.design:
                     payload["design"] = entry.design
-                if entry.status == "failed" and entry.error:
+                if entry.status in ("failed", STATUS_CANCELLED) \
+                        and entry.error:
                     payload["error"] = entry.error
                 bus.publish(CATEGORY_LIFECYCLE, payload)
         if self.ledger is not None:
@@ -546,6 +596,11 @@ class JobManager:
                     self.ledger.append(record_for_result(
                         result, job.source, job.label,
                         entry.elapsed_s, job.options,
+                    ))
+                elif entry.status == STATUS_CANCELLED:
+                    self.ledger.append(record_for_cancelled(
+                        job.id, job.source, job.label, entry.elapsed_s,
+                        job.options, entry.error or "cancelled",
                     ))
                 else:
                     self.ledger.append(record_for_failure(
@@ -581,9 +636,12 @@ class JobManager:
         the live ``SynthesisResult`` runs on this side.  A crashed or
         timed-out worker surfaces as a FAILED entry, never a hang.
         """
+        from concurrent.futures import CancelledError as FutureCancelled
+
         from repro.diagnostics import VaseError
         from repro.flow import transportable_options
         from repro.robust.batch import BatchEntry
+        from repro.robust.lifecycle import CancelledError
 
         options = transportable_options(job.options)
         fanout = job.options.parallel
@@ -606,13 +664,33 @@ class JobManager:
             job.source, job.label, job.entity, options,
             self.library, cache_dir, self.ledger is not None,
         )
+        with self._lock:
+            job.remote_future = future
+        if job.cancel_requested:
+            # cancel() raced ahead of the submission; relay it now so
+            # the worker-side token still gets the request.
+            future.cancel()
         try:
             outcome = future.result()
+        except CancelledError as err:
+            entry = BatchEntry(
+                file=job.label, status=STATUS_CANCELLED, error=str(err),
+            )
+            return entry, None
+        except FutureCancelled:
+            entry = BatchEntry(
+                file=job.label, status=STATUS_CANCELLED,
+                error=job.token.reason or "cancelled",
+            )
+            return entry, None
         except VaseError as err:
             entry = BatchEntry(
                 file=job.label, status="failed", error=str(err),
             )
             return entry, None
+        finally:
+            with self._lock:
+                job.remote_future = None
         job.artifacts = outcome["artifacts"]
         return outcome["entry"], outcome["record"]
 
@@ -640,6 +718,114 @@ class JobManager:
             }
 
     # -- lifecycle -----------------------------------------------------------
+
+    def cancel(self, job_id: str, reason: str = "cancelled by request") -> Job:
+        """Cancel one job; returns it with the cancel under way.
+
+        A *queued* job is dequeued and finalized immediately (terminal
+        ``cancelled`` status, ledger record, closed event log — its
+        scheduled execution slot becomes a no-op).  A *running* job is
+        cancelled cooperatively: its token is set, so the flow abandons
+        work at the next checkpoint; under the ``process`` backend the
+        request is additionally relayed to the worker over its pipe.
+        A terminal job raises :class:`JobConflictError`.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.terminal:
+                raise JobConflictError(
+                    f"job {job.id} is already {job.status}"
+                )
+            job.cancel_requested = True
+            was_queued = job.status == STATUS_QUEUED
+            if was_queued:
+                job.status = STATUS_CANCELLED
+                job.error = reason
+                job.finished_ts = time.time()
+                self.done[STATUS_CANCELLED] = (
+                    self.done.get(STATUS_CANCELLED, 0) + 1
+                )
+            remote = job.remote_future
+        job.token.cancel(reason)
+        if remote is not None:
+            remote.cancel()
+        if was_queued:
+            self._finalize_cancelled_queued(job, reason)
+        return job
+
+    def _finalize_cancelled_queued(self, job: Job, reason: str) -> None:
+        """Terminal bookkeeping of a job cancelled before it started."""
+        bus = active_bus()
+        if bus is not None:
+            with run_scope(job.id):
+                bus.publish(CATEGORY_LIFECYCLE, {
+                    "kind": "job",
+                    "phase": STATUS_CANCELLED,
+                    "label": job.label,
+                    "elapsed_s": 0.0,
+                    "error": reason,
+                })
+        if self.ledger is not None:
+            from repro.instrument.ledger import record_for_cancelled
+
+            try:
+                self.ledger.append(record_for_cancelled(
+                    job.id, job.source, job.label, 0.0, job.options,
+                    reason,
+                ))
+            except OSError:  # pragma: no cover - ledger on a full disk
+                pass
+        job.events.close()
+
+    def drain(self, timeout_s: float = 30.0) -> Dict[str, int]:
+        """Graceful shutdown: stop admission, finish, then cancel.
+
+        Closes admission (further submits get
+        :class:`QueueFullError`/503), cancels every still-queued job
+        immediately, lets running jobs finish for up to ``timeout_s``
+        seconds, cancels the stragglers cooperatively, and finally
+        shuts the worker pools down.  Returns ``{"finished": ...,
+        "cancelled": ...}`` for the operator log line.
+        """
+        with self._lock:
+            self._closed = True
+            snapshot = list(self._jobs.values())
+        for job in snapshot:
+            if job.status == STATUS_QUEUED:
+                try:
+                    self.cancel(
+                        job.id, reason="server draining: job dequeued"
+                    )
+                except JobError:  # started or finished meanwhile
+                    pass
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while time.monotonic() < deadline:
+            if not any(
+                job.status in (STATUS_QUEUED, STATUS_RUNNING)
+                for job in snapshot
+            ):
+                break
+            time.sleep(0.05)
+        for job in snapshot:
+            if job.status in (STATUS_QUEUED, STATUS_RUNNING):
+                try:
+                    self.cancel(
+                        job.id,
+                        reason="server draining: drain timeout expired",
+                    )
+                except JobError:
+                    pass
+        self.stop(wait=True)
+        return {
+            "finished": sum(
+                1 for job in snapshot
+                if job.status in ("ok", "degraded", "failed")
+            ),
+            "cancelled": sum(
+                1 for job in snapshot
+                if job.status == STATUS_CANCELLED
+            ),
+        }
 
     def stop(self, wait: bool = True) -> None:
         """Refuse new jobs and shut the worker pool(s) down."""

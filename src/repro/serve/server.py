@@ -8,6 +8,9 @@ Stdlib only — :class:`http.server.ThreadingHTTPServer` fronting a
   when the bounded queue is full;
 * ``GET /jobs`` — all known jobs, brief form;
 * ``GET /jobs/<id>`` — full status, including the available artifacts;
+* ``POST /jobs/<id>/cancel`` — cancel a queued or running job (202;
+  409 once terminal); queued jobs are dequeued immediately, running
+  jobs stop cooperatively at the flow's next cancellation point;
 * ``GET /jobs/<id>/events`` — the job's telemetry stream as
   Server-Sent Events: replay from seq 0 (or ``Last-Event-ID`` /
   ``?since=N``), then live tail with heartbeats, ending with an
@@ -19,6 +22,9 @@ Stdlib only — :class:`http.server.ThreadingHTTPServer` fronting a
   series;
 * ``GET /history``, ``GET /stats`` — the run ledger as JSON;
 * ``GET /healthz`` — liveness; ``POST /shutdown`` — graceful stop.
+
+With a ``token`` configured, every endpoint except ``GET /healthz``
+requires ``Authorization: Bearer <token>`` and answers 401 otherwise.
 
 Concurrency model: every request runs on its own handler thread
 (SSE streams hold theirs for the job's lifetime), synthesis runs on
@@ -35,6 +41,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.serve.queue import (
+    JobConflictError,
     JobManager,
     JobOptionsError,
     QueueFullError,
@@ -102,11 +109,15 @@ class VaseServer(ThreadingHTTPServer):
         manager: JobManager,
         heartbeat_s: float = 10.0,
         verbose: bool = False,
+        token: Optional[str] = None,
     ):
         super().__init__(address, VaseServeHandler)
         self.manager = manager
         self.heartbeat_s = heartbeat_s
         self.verbose = verbose
+        #: bearer token every request (except /healthz) must present;
+        #: None disables authentication (loopback binds)
+        self.token = token
 
 
 class VaseServeHandler(BaseHTTPRequestHandler):
@@ -138,6 +149,26 @@ class VaseServeHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
 
+    # -- bearer-token authentication -----------------------------------------
+
+    def _authorized(self) -> bool:
+        token = getattr(self.server, "token", None)
+        if not token:
+            return True
+        header = self.headers.get("Authorization") or ""
+        return header == f"Bearer {token}"
+
+    def _send_unauthorized(self) -> None:
+        body = (json.dumps(
+            {"error": "missing or invalid bearer token"}, indent=2
+        ) + "\n").encode("utf-8")
+        self.send_response(401)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("WWW-Authenticate", "Bearer")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
@@ -145,10 +176,14 @@ class VaseServeHandler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         query = parse_qs(url.query)
         try:
+            if parts == ["healthz"]:
+                # Liveness stays unauthenticated: probes must not need
+                # the token.
+                return self._send_json({"status": "ok"})
+            if not self._authorized():
+                return self._send_unauthorized()
             if not parts:
                 return self._get_index()
-            if parts == ["healthz"]:
-                return self._send_json({"status": "ok"})
             if parts == ["metrics"]:
                 body = render_server_metrics(self.manager).encode("utf-8")
                 return self._send_body(200, body, PROM_CONTENT_TYPE)
@@ -180,8 +215,13 @@ class VaseServeHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib API
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        if not self._authorized():
+            return self._send_unauthorized()
         if parts == ["jobs"]:
             return self._post_job()
+        if parts[:1] == ["jobs"] and len(parts) == 3 \
+                and parts[2] == "cancel":
+            return self._post_cancel(parts[1])
         if parts == ["shutdown"]:
             return self._post_shutdown()
         return self._send_error_json(404, f"no such path: {url.path}")
@@ -193,6 +233,7 @@ class VaseServeHandler(BaseHTTPRequestHandler):
             "service": "vase serve",
             "endpoints": [
                 "POST /jobs", "GET /jobs", "GET /jobs/<id>",
+                "POST /jobs/<id>/cancel",
                 "GET /jobs/<id>/events (SSE)",
                 *(f"GET /jobs/<id>/{name}" for name in
                   sorted(ARTIFACT_TYPES)),
@@ -248,6 +289,21 @@ class VaseServeHandler(BaseHTTPRequestHandler):
                 "status": f"/jobs/{job.id}",
                 "events": f"/jobs/{job.id}/events",
             },
+        }, status=202)
+
+    def _post_cancel(self, job_id: str) -> None:
+        """Cancel a queued or running job (202; 404 unknown, 409
+        already terminal)."""
+        try:
+            job = self.manager.cancel(job_id)
+        except UnknownJobError as err:
+            return self._send_error_json(404, str(err))
+        except JobConflictError as err:
+            return self._send_error_json(409, str(err))
+        self._send_json({
+            "id": job.id,
+            "status": job.status,
+            "cancel_requested": True,
         }, status=202)
 
     def _post_shutdown(self) -> None:
@@ -359,12 +415,17 @@ def create_server(
     manager: JobManager,
     heartbeat_s: float = 10.0,
     verbose: bool = False,
+    token: Optional[str] = None,
 ) -> VaseServer:
     """A configured (not yet serving) :class:`VaseServer`.
 
     Pass ``port=0`` to bind an ephemeral port (tests); the bound
-    address is ``server.server_address``.
+    address is ``server.server_address``.  ``token`` arms bearer-token
+    authentication: every request except ``GET /healthz`` must carry
+    ``Authorization: Bearer <token>`` or is answered with 401 (the CLI
+    *requires* a token for non-loopback binds).
     """
     return VaseServer(
-        (host, port), manager, heartbeat_s=heartbeat_s, verbose=verbose
+        (host, port), manager, heartbeat_s=heartbeat_s, verbose=verbose,
+        token=token,
     )

@@ -10,14 +10,23 @@ the same :class:`~repro.instrument.events.ProgressRenderer` the local
 phase, so a watcher sees ``queued`` → ``running`` → terminal status
 exactly as the server does.
 
+A dropped connection does not lose the watch: the client reconnects
+with bounded exponential backoff, resuming exactly where it left off
+via the ``Last-Event-ID`` header (the server replays seq ``last+1``
+onward, so no frame is duplicated or skipped).  Any successfully
+received event resets the retry budget; ``max_retries`` *consecutive*
+failures give up.
+
 Exit code mirrors the job: ``0`` for ``ok``/``degraded``, ``1`` for
-``failed`` (or when the stream ends without a terminal status).
+``failed``/``cancelled`` (or when the watch gives up without seeing a
+terminal status).
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Optional
+import time
+from typing import IO, Callable, Optional
 from urllib.request import Request, urlopen
 
 from repro.instrument.events import (
@@ -30,6 +39,9 @@ from repro.serve.sse import END_EVENT, parse_sse
 #: job statuses that map to exit code 0
 _GOOD_STATUSES = ("ok", "degraded")
 
+#: ceiling on the reconnect backoff, seconds
+_MAX_BACKOFF_S = 15.0
+
 
 def _event_url(url: str) -> str:
     """Normalize a job URL to its SSE endpoint."""
@@ -37,6 +49,25 @@ def _event_url(url: str) -> str:
     if not trimmed.endswith("/events"):
         trimmed += "/events"
     return trimmed
+
+
+def open_stream(url: str, since: int, token: Optional[str] = None):
+    """One SSE connection, resuming after seq ``since``.
+
+    The resume position travels as the standard ``Last-Event-ID``
+    header (the query parameter is kept for first connections so the
+    URL stays copy-pasteable).  Returns the open response object.
+    """
+    headers = {"Accept": "text/event-stream"}
+    if since >= 0:
+        headers["Last-Event-ID"] = str(since)
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    request = Request(
+        _event_url(url) + (f"?since={since}" if since >= 0 else ""),
+        headers=headers,
+    )
+    return urlopen(request)
 
 
 def event_from_frame(data: str) -> Optional[TelemetryEvent]:
@@ -64,42 +95,103 @@ def watch(
     stream: Optional[IO[str]] = None,
     since: int = -1,
     verbose: bool = False,
+    token: Optional[str] = None,
+    max_retries: int = 5,
+    retry_backoff_s: float = 0.5,
+    opener: Optional[Callable] = None,
 ) -> int:
     """Tail one job's SSE stream until its ``end`` frame.
 
     ``since`` resumes mid-stream (the server replays seq ``since+1``
     onward); ``verbose`` prints every event as JSON instead of the
-    progress rendering.
+    progress rendering; ``token`` is sent as a bearer credential for
+    token-protected servers.  Connection failures and mid-stream drops
+    are retried up to ``max_retries`` consecutive times with bounded
+    exponential backoff, resuming from the last seq actually rendered.
+    ``opener`` overrides the connection factory
+    (:func:`open_stream`'s ``(url, since, token)`` signature) — tests
+    inject fake streams through it.
     """
     import sys
 
     out = stream if stream is not None else sys.stderr
+    open_fn = opener if opener is not None else open_stream
     renderer = ProgressRenderer(stream=out)
     final_status: Optional[str] = None
-    request = Request(
-        _event_url(url) + (f"?since={since}" if since >= 0 else ""),
-        headers={"Accept": "text/event-stream"},
-    )
-    with urlopen(request) as response:
-        lines = (raw.decode("utf-8") for raw in response)
-        for message in parse_sse(lines):
-            if message.is_comment:
-                continue
-            if message.event == END_EVENT:
-                try:
-                    final_status = json.loads(message.data).get("status")
-                except (json.JSONDecodeError, AttributeError):
-                    final_status = None
-                break
-            event = event_from_frame(message.data)
-            if event is None:
-                continue
-            if verbose:
-                out.write(event.to_json() + "\n")
+    last = since
+    failures = 0
+    while final_status is None:
+        try:
+            response = open_fn(url, last, token)
+        except OSError as err:
+            failures += 1
+            if failures > max_retries:
+                out.write(
+                    f"watch: giving up after {max_retries} "
+                    f"consecutive connection failures: {err}\n"
+                )
                 out.flush()
-                continue
-            renderer(event)
-            _render_job_line(event, out)
+                break
+            delay = min(
+                retry_backoff_s * 2.0 ** (failures - 1), _MAX_BACKOFF_S
+            )
+            out.write(
+                f"watch: connection failed ({err}); retrying in "
+                f"{delay:.1f} s ({failures}/{max_retries})\n"
+            )
+            out.flush()
+            time.sleep(delay)
+            continue
+        try:
+            lines = (raw.decode("utf-8") for raw in response)
+            for message in parse_sse(lines):
+                if message.is_comment:
+                    continue
+                if message.event == END_EVENT:
+                    try:
+                        final_status = json.loads(
+                            message.data
+                        ).get("status")
+                    except (json.JSONDecodeError, AttributeError):
+                        final_status = None
+                    break
+                event = event_from_frame(message.data)
+                if event is None:
+                    continue
+                failures = 0  # live data: reset the retry budget
+                last = max(last, event.seq)
+                if verbose:
+                    out.write(event.to_json() + "\n")
+                    out.flush()
+                    continue
+                renderer(event)
+                _render_job_line(event, out)
+        except OSError:
+            pass  # dropped mid-stream: fall through to the retry path
+        finally:
+            try:
+                response.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if final_status is None:
+            # The stream ended (or dropped) without an end frame.
+            failures += 1
+            if failures > max_retries:
+                out.write(
+                    f"watch: stream ended without a terminal status "
+                    f"after {max_retries} reconnect attempts\n"
+                )
+                out.flush()
+                break
+            delay = min(
+                retry_backoff_s * 2.0 ** (failures - 1), _MAX_BACKOFF_S
+            )
+            out.write(
+                f"watch: stream interrupted; reconnecting from seq "
+                f"{last} in {delay:.1f} s ({failures}/{max_retries})\n"
+            )
+            out.flush()
+            time.sleep(delay)
     if final_status is not None:
         out.write(f"job finished: {final_status}\n")
         out.flush()

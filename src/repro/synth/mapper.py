@@ -41,6 +41,7 @@ from repro.instrument import active_explog, metrics, trace_phase
 from repro.library.components import ComponentLibrary, default_library
 from repro.library.patterns import PatternMatch, PatternMatcher
 from repro.robust.faultinject import INJECTED_VIOLATION, fault_active
+from repro.robust.lifecycle import active_context
 from repro.synth.netlist import ComponentInstance, Netlist
 from repro.vhif.design import VhifDesign
 from repro.vhif.sfg import Block, BlockKind, CONTROL_PORT, SignalFlowGraph
@@ -210,6 +211,10 @@ class ArchitectureMapper:
         #: the exploration recorder, captured once per run; ``None``
         #: keeps every decision site on the zero-allocation fast path
         self._explog = None
+        #: the run-lifecycle context, captured once per run; checked
+        #: in the branch loop so a cancel request or an exhausted
+        #: whole-flow budget stops the search between decision nodes
+        self._lifecycle = None
 
     # -- net aliasing (hardware sharing) ----------------------------------------
 
@@ -433,6 +438,11 @@ class ArchitectureMapper:
     ) -> None:
         if self._abort:
             return
+        if self._lifecycle is not None:
+            # Raises CancelledError / DeadlineExceeded: a lifecycle
+            # stop abandons the search outright, unlike the mapper's
+            # own soft deadline which truncates to the incumbent.
+            self._lifecycle.checkpoint("mapper.search")
         if self._stats.nodes_visited >= self.options.max_nodes:
             self._truncate("nodes", parent_node)
             return
@@ -656,6 +666,11 @@ class ArchitectureMapper:
             # Fault injection: behave as if the wall clock expired
             # before the first decision node.
             self._deadline = start
+        self._lifecycle = active_context()
+        if self._lifecycle is not None and fault_active("mapper.cancel"):
+            # Fault injection: the run is cancelled just as the search
+            # starts, driving the in-loop cancellation path.
+            self._lifecycle.token.cancel("injected mapper.cancel fault")
         self._explog = active_explog()
         if self._explog is not None:
             self._explog.emit(
