@@ -5,11 +5,16 @@ from repro.library.components import (
     ComponentSpec,
     default_library,
 )
-from repro.library.patterns import PatternMatch, PatternMatcher
+from repro.library.patterns import (
+    CandidateIndex,
+    PatternMatch,
+    PatternMatcher,
+)
 
 __all__ = [
     "ComponentLibrary",
     "ComponentSpec",
+    "CandidateIndex",
     "PatternMatch",
     "PatternMatcher",
     "default_library",

@@ -22,7 +22,18 @@ Multi-block patterns implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.instrument import metrics
 from repro.library.components import ComponentLibrary, ComponentSpec
@@ -562,3 +573,121 @@ class PatternMatcher:
             registry.inc("patterns.cones_examined", n_cones)
             registry.inc("patterns.matches", len(out))
         return out
+
+
+class CandidateIndex:
+    """Incremental candidate store for the mapper's branch-and-bound.
+
+    The naive search calls :meth:`PatternMatcher.candidates` — a full
+    cone enumeration plus pattern matching — at *every* decision node,
+    then filters out candidates overlapping the covered set and re-sorts
+    the remainder.  This index enumerates each root exactly once and
+    keeps the covered-cone filter incremental: every candidate carries a
+    counter of how many of its cone blocks are currently covered, and
+    :meth:`cover` / :meth:`uncover` adjust only the counters of the
+    candidates that actually contain the touched blocks (via a
+    block → candidate reverse map).  A query is then a single pass
+    selecting the entries whose counter is zero.
+
+    Ordering stays byte-identical to the naive path: the entry lists are
+    sorted once at enumeration time with the mapper's sequencing key,
+    and because Python's sort is stable, ``filter(sort(L)) ==
+    sort(filter(L))`` — pre-sorting then filtering yields exactly the
+    sequence the seed produced by filtering then sorting.
+
+    The mapper must keep the index's covered view in sync by routing
+    every ``self._covered`` mutation through :meth:`cover` /
+    :meth:`uncover`; cones are disjoint from the covered set at
+    alloc/share time (the query filter guarantees it), so the counter
+    arithmetic never double-counts.
+    """
+
+    def __init__(
+        self,
+        matcher: PatternMatcher,
+        sfg: SignalFlowGraph,
+        max_cone_size: int = 4,
+        include_transforms: bool = True,
+        sort_key: Optional[Callable[[PatternMatch], object]] = None,
+    ):
+        self.matcher = matcher
+        self.sfg = sfg
+        self.max_cone_size = max_cone_size
+        self.include_transforms = include_transforms
+        #: sequencing order, applied once per root; ``None`` keeps the
+        #: matcher's own order ("arbitrary" sequencing)
+        self.sort_key = sort_key
+        #: root block id -> its candidates, in final query order
+        self._entries: Dict[int, List[PatternMatch]] = {}
+        #: root block id -> per-entry count of covered cone blocks
+        self._blocked: Dict[int, List[int]] = {}
+        #: block id -> the (root, entry index) pairs whose cones hold it
+        self._by_block: Dict[int, List[Tuple[int, int]]] = {}
+        self._covered: Set[int] = set()
+        #: queries served from an already-enumerated root
+        self.hits = 0
+        #: queries that had to enumerate (once per distinct root)
+        self.misses = 0
+
+    def _build(self, root: Block) -> None:
+        entries = self.matcher.candidates(
+            self.sfg, root, max_size=self.max_cone_size
+        )
+        if not self.include_transforms:
+            entries = [m for m in entries if m.transform is None]
+        if self.sort_key is not None:
+            entries.sort(key=self.sort_key)
+        root_id = root.block_id
+        blocked: List[int] = []
+        for index, match in enumerate(entries):
+            blocked.append(len(match.cone & self._covered))
+            for block_id in match.cone:
+                self._by_block.setdefault(block_id, []).append(
+                    (root_id, index)
+                )
+        self._entries[root_id] = entries
+        self._blocked[root_id] = blocked
+
+    def candidates(self, root: Block) -> List[PatternMatch]:
+        """The viable candidates of ``root`` under the covered set."""
+        root_id = root.block_id
+        if root_id not in self._entries:
+            self.misses += 1
+            self._build(root)
+        else:
+            self.hits += 1
+        blocked = self._blocked[root_id]
+        return [
+            match
+            for index, match in enumerate(self._entries[root_id])
+            if not blocked[index]
+        ]
+
+    def all_entries(self, root: Block) -> List[PatternMatch]:
+        """Every enumerated candidate of ``root``, covered or not.
+
+        Bound computations use this: the minimum instance area over the
+        *unfiltered* list lower-bounds whatever the search can allocate
+        for the root, whatever the covered set looks like by then.
+        """
+        root_id = root.block_id
+        if root_id not in self._entries:
+            self.misses += 1
+            self._build(root)
+        return self._entries[root_id]
+
+    def cover(self, blocks: Iterable[int]) -> None:
+        """Blocks became covered: bump the overlap counters."""
+        by_block = self._by_block
+        for block_id in blocks:
+            self._covered.add(block_id)
+            for root_id, index in by_block.get(block_id, ()):
+                self._blocked[root_id][index] += 1
+
+    def uncover(self, blocks: Iterable[int]) -> None:
+        """Backtrack: blocks became uncovered again."""
+        by_block = self._by_block
+        for block_id in blocks:
+            self._covered.discard(block_id)
+            for root_id, index in by_block.get(block_id, ()):
+                self._blocked[root_id][index] -= 1

@@ -92,6 +92,46 @@ def singular_suspects(
     return suspects
 
 
+def zero_first_unknown(matrix: np.ndarray) -> np.ndarray:
+    """Fault-injection helper: disconnect the first unknown (on a copy).
+
+    Zeroing the first row and column makes the system exactly singular,
+    driving the real singular-matrix error path from tests.  Works on a
+    single ``(n, n)`` system and on a stacked ``(m, n, n)`` grid alike,
+    so the batched AC backend fails through the same code path as the
+    per-point loop.
+    """
+    faulted = matrix.copy()
+    if faulted.shape[-1]:
+        faulted[..., 0, :] = 0.0
+        faulted[..., :, 0] = 0.0
+    return faulted
+
+
+def describe_singular_system(
+    system: str,
+    matrix: np.ndarray,
+    labels: Sequence[str],
+    err: Exception,
+    where: str = "",
+) -> str:
+    """The one singular-matrix message both engines raise.
+
+    ``system`` is the analysis noun ("MNA", "AC"), ``where`` an optional
+    location clause ('' / " at t=0.1 s" / " at 50.0 Hz").  The suspect
+    unknowns come from :func:`singular_suspects`, so the error names the
+    part of the circuit the equations fail to determine.
+    """
+    suspects = singular_suspects(matrix, labels)
+    message = f"singular {system} matrix{where}: {err}"
+    if suspects:
+        message += (
+            f"; suspect unknowns: {', '.join(suspects)} "
+            "(floating node, or conflicting ideal sources?)"
+        )
+    return message
+
+
 def check_finite(
     x: np.ndarray, labels: Sequence[str], max_named: int = 3
 ) -> Optional[List[str]]:

@@ -17,21 +17,21 @@ Nonlinear elements are linearized at the operating point:
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.diagnostics import SimulationError
 from repro.instrument import metrics, trace_phase
-from repro.robust.faultinject import fault_active
-from repro.robust.guards import (
-    ILL_CONDITION_THRESHOLD,
-    NumericalWarning,
-    check_finite,
-    condition_estimate,
-    singular_suspects,
+from repro.robust.guards import check_finite
+from repro.spice.linalg import (
+    AnalysisGuard,
+    BatchedSolver,
+    DenseSolver,
+    LinearSolver,
+    guarded_solve,
+    resolve_backend,
 )
 from repro.spice.mna import (
     Capacitor,
@@ -94,11 +94,20 @@ class AcResult:
 class AcSolver:
     """Linearized frequency-domain solver over one :class:`Circuit`."""
 
-    def __init__(self, circuit: Circuit, ac_source: Optional[str] = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        ac_source: Optional[str] = None,
+        linalg: Optional[str] = None,
+    ):
         """``ac_source`` names the voltage source carrying the 1 V AC
-        stimulus; by default the first voltage source is used."""
+        stimulus; by default the first voltage source is used.
+        ``linalg`` picks the solver backend (``auto``/``dense``/
+        ``batched``/``sparse``); ``None`` defers to the process
+        default."""
         self.circuit = circuit
-        self._mna = MnaSolver(circuit)
+        self._linalg = linalg
+        self._mna = MnaSolver(circuit, linalg=linalg)
         self._size = self._mna._size
         self._operating_point = None
         sources = [
@@ -131,27 +140,37 @@ class AcSolver:
 
     # -- stamping -------------------------------------------------------------
 
-    def _assemble(self, omega: float, bias: np.ndarray) -> tuple:
+    def _assemble_parts(
+        self, bias: np.ndarray
+    ) -> tuple:
+        """The ω-independent parts of the AC system.
+
+        Every stamp except the capacitor's is frequency-independent, so
+        the system factors as ``A(ω) = G + jω·C`` with one shared
+        right-hand side ``b`` — assembled once per sweep, for every
+        backend, instead of once per frequency point.
+        """
         size = self._size
-        A = np.zeros((size, size), dtype=complex)
+        G = np.zeros((size, size))
+        C = np.zeros((size, size))
         b = np.zeros(size, dtype=complex)
         for i in range(self._mna._n):
-            A[i, i] += self._mna.gmin
+            G[i, i] += self._mna.gmin
 
         idx = self._mna._index
 
-        def stamp(i, j, value):
+        def stamp(matrix, i, j, value):
             if i >= 0 and j >= 0:
-                A[i, j] += value
+                matrix[i, j] += value
 
         for element in self.circuit.elements:
             if isinstance(element, Resistor):
                 g = 1.0 / element.resistance
                 i, j = idx(element.n1), idx(element.n2)
-                stamp(i, i, g)
-                stamp(j, j, g)
-                stamp(i, j, -g)
-                stamp(j, i, -g)
+                stamp(G, i, i, g)
+                stamp(G, j, j, g)
+                stamp(G, i, j, -g)
+                stamp(G, j, i, -g)
             elif isinstance(element, Switch):
                 vc = self._voltage_at(bias, element.control)
                 on = vc > element.threshold
@@ -159,45 +178,45 @@ class AcSolver:
                     on = not on
                 g = 1.0 / (element.ron if on else element.roff)
                 i, j = idx(element.n1), idx(element.n2)
-                stamp(i, i, g)
-                stamp(j, j, g)
-                stamp(i, j, -g)
-                stamp(j, i, -g)
+                stamp(G, i, i, g)
+                stamp(G, j, j, g)
+                stamp(G, i, j, -g)
+                stamp(G, j, i, -g)
             elif isinstance(element, Capacitor):
-                y = 1j * omega * element.capacitance
+                c = element.capacitance
                 i, j = idx(element.n1), idx(element.n2)
-                stamp(i, i, y)
-                stamp(j, j, y)
-                stamp(i, j, -y)
-                stamp(j, i, -y)
+                stamp(C, i, i, c)
+                stamp(C, j, j, c)
+                stamp(C, i, j, -c)
+                stamp(C, j, i, -c)
             elif isinstance(element, CurrentSource):
                 continue  # independent sources are quiet in AC
             elif isinstance(element, VoltageSource):
                 i, j = idx(element.npos), idx(element.nneg)
                 k = element.branch_index
-                stamp(i, k, 1.0)
-                stamp(j, k, -1.0)
-                stamp(k, i, 1.0)
-                stamp(k, j, -1.0)
+                stamp(G, i, k, 1.0)
+                stamp(G, j, k, -1.0)
+                stamp(G, k, i, 1.0)
+                stamp(G, k, j, -1.0)
                 if element.name == self.ac_source:
                     b[k] += 1.0  # 1 V AC stimulus
             elif isinstance(element, Vcvs):
                 i, j = idx(element.npos), idx(element.nneg)
                 ci, cj = idx(element.cpos), idx(element.cneg)
                 k = element.branch_index
-                stamp(i, k, 1.0)
-                stamp(j, k, -1.0)
-                stamp(k, i, 1.0)
-                stamp(k, j, -1.0)
-                stamp(k, ci, -element.gain)
-                stamp(k, cj, element.gain)
+                stamp(G, i, k, 1.0)
+                stamp(G, j, k, -1.0)
+                stamp(G, k, i, 1.0)
+                stamp(G, k, j, -1.0)
+                stamp(G, k, ci, -element.gain)
+                stamp(G, k, cj, element.gain)
             elif isinstance(element, Vccs):
                 i, j = idx(element.npos), idx(element.nneg)
                 ci, cj = idx(element.cpos), idx(element.cneg)
-                stamp(i, ci, element.gm)
-                stamp(i, cj, -element.gm)
-                stamp(j, ci, -element.gm)
-                stamp(j, cj, element.gm)
+                stamp(G, i, ci, element.gm)
+                stamp(G, i, cj, -element.gm)
+                stamp(G, j, ci, -element.gm)
+                stamp(G, j, cj, element.gm)
             elif isinstance(element, SaturatingVcvs):
                 i, j = idx(element.npos), idx(element.nneg)
                 ci, cj = idx(element.cpos), idx(element.cneg)
@@ -206,12 +225,12 @@ class AcSolver:
                     bias, element.cneg
                 )
                 slope = element.derivative(vc)
-                stamp(i, k, 1.0)
-                stamp(j, k, -1.0)
-                stamp(k, i, 1.0)
-                stamp(k, j, -1.0)
-                stamp(k, ci, -slope)
-                stamp(k, cj, slope)
+                stamp(G, i, k, 1.0)
+                stamp(G, j, k, -1.0)
+                stamp(G, k, i, 1.0)
+                stamp(G, k, j, -1.0)
+                stamp(G, k, ci, -slope)
+                stamp(G, k, cj, slope)
             elif isinstance(element, FunctionSource):
                 out = idx(element.nout)
                 k = element.branch_index
@@ -219,17 +238,65 @@ class AcSolver:
                     self._voltage_at(bias, n) for n in element.inputs
                 ]
                 grads = element.partials(values)
-                stamp(out, k, 1.0)
-                stamp(k, out, 1.0)
+                stamp(G, out, k, 1.0)
+                stamp(G, k, out, 1.0)
                 for node, grad in zip(element.inputs, grads):
-                    stamp(k, idx(node), -grad)
+                    stamp(G, k, idx(node), -grad)
             else:  # pragma: no cover - defensive
                 raise SimulationError(
                     f"AC analysis cannot stamp {type(element).__name__}"
                 )
-        return A, b
+        return G, C, b
+
+    def _assemble(self, omega: float, bias: np.ndarray) -> tuple:
+        """One frequency point's complex system (compatibility path)."""
+        G, C, b = self._assemble_parts(bias)
+        return G + (1j * omega) * C, b.copy()
 
     # -- sweep ------------------------------------------------------------------
+
+    def _solve_grid(
+        self,
+        backend: LinearSolver,
+        guard: AnalysisGuard,
+        frequencies: np.ndarray,
+        G: np.ndarray,
+        C: np.ndarray,
+        b: np.ndarray,
+    ) -> np.ndarray:
+        """All frequency points' solutions, ``(n_points, n)``.
+
+        The batched backend factorizes the whole ``(m, n, n)`` stack in
+        one call; when that stack contains a singular point the gufunc
+        cannot name the offending frequency, so the sweep falls back to
+        the dense per-point loop — which reproduces the located error
+        (and per-point counters) exactly.
+        """
+        registry = metrics()
+        omegas = 2.0 * math.pi * frequencies
+        if isinstance(backend, BatchedSolver):
+            A_stack = (
+                G[np.newaxis, :, :]
+                + (1j * omegas)[:, np.newaxis, np.newaxis]
+                * C[np.newaxis, :, :]
+            )
+            A_stack = guard.inject_fault(A_stack)
+            try:
+                solutions = backend.solve_grid(A_stack, b)
+            except np.linalg.LinAlgError:
+                registry.inc("spice.linalg.batched_fallbacks")
+                backend = DenseSolver()
+            else:
+                registry.inc("spice.mna.factorizations", len(frequencies))
+                guard.check_condition(A_stack[0])
+                return solutions
+        solutions = np.empty((len(frequencies), self._size), dtype=complex)
+        for i, f in enumerate(frequencies):
+            A = G + (1j * omegas[i]) * C
+            solutions[i] = guarded_solve(
+                backend, A, b, guard, where=f" at {f} Hz"
+            )
+        return solutions
 
     def sweep(
         self,
@@ -251,59 +318,38 @@ class AcSolver:
             math.log10(f_start), math.log10(f_stop), n_points
         )
         bias = self._bias()
-        records: Dict[str, List[complex]] = {name: [] for name in names}
+        G, C, b = self._assemble_parts(bias)
+        backend = resolve_backend(
+            self._linalg, size=self._size, grid=n_points
+        )
         with trace_phase("spice.ac_sweep", points=n_points):
             registry = metrics()
             registry.inc("spice.ac.sweeps")
             registry.inc("spice.ac.points", n_points)
-            condition_checked = False
-            for f in frequencies:
-                A, b = self._assemble(2.0 * math.pi * f, bias)
-                if fault_active("spice.ac.singular"):
-                    # Fault injection: disconnect the first unknown so
-                    # the factorization fails through the real path.
-                    A = A.copy()
-                    A[0, :] = 0.0
-                    A[:, 0] = 0.0
-                try:
-                    registry.inc("spice.mna.factorizations")
-                    x = np.linalg.solve(A, b)
-                except np.linalg.LinAlgError as err:
-                    suspects = singular_suspects(
-                        A, self._mna.unknown_labels
-                    )
-                    message = f"singular AC matrix at {f} Hz: {err}"
-                    if suspects:
-                        message += (
-                            "; suspect unknowns: "
-                            f"{', '.join(suspects)} (floating node, or "
-                            "conflicting ideal sources?)"
-                        )
-                    raise SimulationError(message)
-                if not condition_checked:
-                    # Once per sweep, at the lowest frequency.
-                    condition_checked = True
-                    cond = condition_estimate(A)
-                    if cond > ILL_CONDITION_THRESHOLD:
-                        warnings.warn(
-                            f"AC system of {self.circuit.title!r} is "
-                            f"ill-conditioned (cond ~ {cond:.2e} > "
-                            f"{ILL_CONDITION_THRESHOLD:.0e}); the "
-                            "response may be numerically meaningless",
-                            NumericalWarning,
-                            stacklevel=2,
-                        )
-                bad = check_finite(x, self._mna.unknown_labels)
+            registry.inc(f"spice.linalg.backend.{backend.name}")
+            guard = AnalysisGuard(
+                system="AC",
+                title=self.circuit.title,
+                labels=self._mna.unknown_labels,
+                fault_site="spice.ac.singular",
+                condition_text="the response may be numerically meaningless",
+            )
+            solutions = self._solve_grid(
+                backend, guard, frequencies, G, C, b
+            )
+            for i, f in enumerate(frequencies):
+                bad = check_finite(solutions[i], self._mna.unknown_labels)
                 if bad is not None:
                     raise SimulationError(
                         f"non-finite AC solution at {f} Hz: "
                         f"{', '.join(bad)} went NaN/Inf"
                     )
-                for name in names:
-                    records[name].append(complex(x[self._mna._index(name)]))
         return AcResult(
             frequencies=frequencies,
-            voltages={k: np.asarray(v) for k, v in records.items()},
+            voltages={
+                name: solutions[:, self._mna._index(name)].copy()
+                for name in names
+            },
         )
 
 
@@ -314,8 +360,9 @@ def ac_sweep(
     points_per_decade: int = 20,
     probes: Optional[Sequence[str]] = None,
     ac_source: Optional[str] = None,
+    linalg: Optional[str] = None,
 ) -> AcResult:
     """One-call AC analysis."""
-    return AcSolver(circuit, ac_source=ac_source).sweep(
+    return AcSolver(circuit, ac_source=ac_source, linalg=linalg).sweep(
         f_start, f_stop, points_per_decade=points_per_decade, probes=probes
     )

@@ -31,12 +31,12 @@ import numpy as np
 from repro.diagnostics import SimulationError
 from repro.instrument import metrics
 from repro.robust.faultinject import fault_active
-from repro.robust.guards import (
-    ILL_CONDITION_THRESHOLD,
-    NumericalWarning,
-    check_finite,
-    condition_estimate,
-    singular_suspects,
+from repro.robust.guards import check_finite
+from repro.spice.linalg import (
+    AnalysisGuard,
+    LinearSolver,
+    guarded_solve,
+    resolve_backend,
 )
 
 GROUND_NAMES = ("0", "gnd", "ground")
@@ -378,9 +378,15 @@ class TransientResult:
 class MnaSolver:
     """Assembles and solves the MNA system of a :class:`Circuit`."""
 
-    def __init__(self, circuit: Circuit, gmin: float = 1e-12):
+    def __init__(
+        self,
+        circuit: Circuit,
+        gmin: float = 1e-12,
+        linalg: Optional[str] = None,
+    ):
         self.circuit = circuit
         self.gmin = gmin
+        self._linalg = linalg
         self._n = circuit.n_nodes()
         # Assign branch currents to every voltage-defining element.
         self._branches = 0
@@ -399,7 +405,17 @@ class MnaSolver:
         self.unknown_labels: List[str] = [
             f"v({name})" for name in circuit.node_names
         ] + branch_labels
-        self._condition_checked = False
+        #: the numerical-guard boundary every factorization goes
+        #: through: fault injection, singular-suspect naming, the
+        #: once-per-analysis condition estimate
+        self._guard = AnalysisGuard(
+            system="MNA",
+            title=circuit.title,
+            labels=self.unknown_labels,
+            fault_site="spice.singular",
+            condition_text="voltages may be numerically meaningless",
+        )
+        self._backend: Optional[LinearSolver] = None
 
     # -- helpers -----------------------------------------------------------------
 
@@ -422,23 +438,13 @@ class MnaSolver:
         index = self._index(node)
         return 0.0 if index < 0 else float(x[index])
 
-    def _singular_error(
-        self,
-        what: str,
-        matrix: np.ndarray,
-        err: Exception,
-        t: Optional[float] = None,
-    ) -> SimulationError:
-        """A singular-matrix error that names the suspect unknowns."""
-        suspects = singular_suspects(matrix, self.unknown_labels)
-        where = f" at t={t:g} s" if t is not None else ""
-        message = f"singular {what} matrix{where}: {err}"
-        if suspects:
-            message += (
-                f"; suspect unknowns: {', '.join(suspects)} "
-                "(floating node, or conflicting ideal sources?)"
-            )
-        return SimulationError(message)
+    def _solver_backend(self) -> LinearSolver:
+        """The linear-solver backend of this analysis (resolved lazily
+        so a changed process default applies to freshly built solvers)."""
+        if self._backend is None:
+            self._backend = resolve_backend(self._linalg, size=self._size)
+            metrics().inc(f"spice.linalg.backend.{self._backend.name}")
+        return self._backend
 
     def _check_solution_finite(
         self, x: np.ndarray, t: Optional[float] = None
@@ -613,34 +619,16 @@ class MnaSolver:
         if not x.size:
             return x
         residual = self._residual_norm(x, t, dt, prev, switch_controls)
+        backend = self._solver_backend()
         for _ in range(max_iter):
             A, b = self._assemble(x, t, dt, prev, switch_controls)
-            if fault_active("spice.singular"):
-                # Fault injection: disconnect the first unknown so the
-                # factorization fails through the real error path.
-                A = A.copy()
-                A[0, :] = 0.0
-                A[:, 0] = 0.0
-            try:
-                metrics().inc("spice.mna.factorizations")
-                x_new = np.linalg.solve(A, b)
-            except np.linalg.LinAlgError as err:
-                raise self._singular_error("MNA", A, err, t=t)
-            if not self._condition_checked:
-                # Once per analysis, not per Newton step: flag systems
-                # whose factorization succeeds but whose solution is
-                # numerically meaningless.
-                self._condition_checked = True
-                cond = condition_estimate(A)
-                if cond > ILL_CONDITION_THRESHOLD:
-                    warnings.warn(
-                        f"MNA system of {self.circuit.title!r} is "
-                        f"ill-conditioned (cond ~ {cond:.2e} > "
-                        f"{ILL_CONDITION_THRESHOLD:.0e}); voltages may "
-                        "be numerically meaningless",
-                        NumericalWarning,
-                        stacklevel=2,
-                    )
+            # The guard boundary owns fault injection, the singular
+            # error (with suspect naming), the success/failure
+            # factorization counters, and the once-per-analysis
+            # condition estimate.
+            x_new = guarded_solve(
+                backend, A, b, self._guard, where=f" at t={t:g} s"
+            )
             step = x_new - x
             delta = float(np.max(np.abs(step)))
             if delta < tol:
@@ -675,7 +663,7 @@ class MnaSolver:
 
     def dc_operating_point(self) -> Dict[str, float]:
         """Newton DC solution (capacitors open)."""
-        self._condition_checked = False
+        self._guard.reset()
         x = self._newton(np.zeros(self._size), 0.0, None, None, None)
         self._check_solution_finite(x)
         return {
@@ -697,7 +685,7 @@ class MnaSolver:
         for name in names:
             if name.lower() not in GROUND_NAMES and name not in self.circuit._nodes:
                 raise SimulationError(f"unknown probe node {name!r}")
-        self._condition_checked = False
+        self._guard.reset()
         n_steps = int(round(t_end / dt))
         times = np.empty(n_steps)
         records: Dict[str, List[float]] = {name: [] for name in names}
@@ -734,6 +722,9 @@ def simulate_transient(
     t_end: float,
     dt: float,
     probes: Optional[Sequence[str]] = None,
+    linalg: Optional[str] = None,
 ) -> TransientResult:
     """One-call transient analysis."""
-    return MnaSolver(circuit).transient(t_end, dt, probes=probes)
+    return MnaSolver(circuit, linalg=linalg).transient(
+        t_end, dt, probes=probes
+    )

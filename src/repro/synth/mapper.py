@@ -39,7 +39,7 @@ from repro.estimation.constraints import (
 from repro.estimation.estimator import Estimator
 from repro.instrument import active_explog, metrics, trace_phase
 from repro.library.components import ComponentLibrary, default_library
-from repro.library.patterns import PatternMatch, PatternMatcher
+from repro.library.patterns import CandidateIndex, PatternMatch, PatternMatcher
 from repro.robust.faultinject import INJECTED_VIOLATION, fault_active
 from repro.robust.lifecycle import active_context
 from repro.synth.netlist import ComponentInstance, Netlist
@@ -65,6 +65,12 @@ class MapperOptions:
     #: try the sharing branch before allocating new hardware
     share_first: bool = True
     max_cone_size: int = 4
+    #: enumerate candidates once per root through an incremental
+    #: :class:`~repro.library.patterns.CandidateIndex` instead of
+    #: re-running the pattern matcher at every decision node; the
+    #: decision sequence is identical either way (the legacy path is
+    #: kept for the differential test and as an escape hatch)
+    candidate_index: bool = True
     #: safety cap on visited decision nodes
     max_nodes: int = 500_000
     #: wall-clock deadline for the search, seconds (None = unbounded);
@@ -173,6 +179,21 @@ class MappingResult:
         return text
 
 
+def _largest_first_key(match: PatternMatch) -> Tuple[int, int, str]:
+    return (-match.size, match.opamps, match.component)
+
+
+def _smallest_first_key(match: PatternMatch) -> Tuple[int, int, str]:
+    return (match.size, match.opamps, match.component)
+
+
+#: sequencing rule -> candidate sort key ("arbitrary" keeps matcher order)
+_SEQUENCING_KEYS = {
+    "largest_first": _largest_first_key,
+    "smallest_first": _smallest_first_key,
+}
+
+
 class ArchitectureMapper:
     """The Figure-5 algorithm over one signal-flow graph."""
 
@@ -203,6 +224,23 @@ class ArchitectureMapper:
         self._best_estimate: Optional[PerformanceEstimate] = None
         self._stats = MappingStatistics()
         self._area_cache: Dict[Tuple[str, str], float] = {}
+        # The incremental candidate index (and the memos it makes
+        # sound): index entries are long-lived, so per-match areas can
+        # be memoized by object identity, and per-root minimum areas
+        # feed the tightened lower bound.
+        self._index: Optional[CandidateIndex] = None
+        self._area_by_match: Optional[Dict[int, float]] = None
+        self._min_area_memo: Dict[int, Optional[float]] = {}
+        if self.options.candidate_index:
+            sort_key = _SEQUENCING_KEYS.get(self.options.sequencing)
+            self._index = CandidateIndex(
+                self.matcher,
+                self.sfg,
+                max_cone_size=self.options.max_cone_size,
+                include_transforms=self.options.enable_transforms,
+                sort_key=sort_key,
+            )
+            self._area_by_match = {}
         self._tree: List[DecisionNode] = []
         self._solutions: List[int] = []
         self._abort = False
@@ -246,22 +284,35 @@ class ArchitectureMapper:
         return frozenset(pending)
 
     def _frontier_after(
-        self, pending: FrozenSet[int], match: PatternMatch
+        self,
+        pending: FrozenSet[int],
+        match: PatternMatch,
+        covered: Optional[Set[int]] = None,
     ) -> FrozenSet[int]:
-        """Update the worklist after covering ``match.cone``."""
+        """Update the worklist after covering ``match.cone``.
+
+        ``covered`` previews the frontier against a hypothetical covered
+        set (the bound computation asks "what if this match were
+        covered?" *before* mutating state); the default is the live one.
+        This matters for self-feeding cones — an integrator loop's input
+        driver can sit inside its own cone, so pre- and post-cover
+        frontiers differ.
+        """
+        if covered is None:
+            covered = self._covered
         new_pending = set(pending)
         new_pending -= match.cone
         for net in match.inputs:
             block = self.sfg.block(net)
             if block.kind.is_source():
                 continue
-            if block.block_id not in self._covered:
+            if block.block_id not in covered:
                 new_pending.add(block.block_id)
         if isinstance(match.control, int):
             control_block = self.sfg.block(match.control)
             if (
                 not control_block.kind.is_source()
-                and control_block.block_id not in self._covered
+                and control_block.block_id not in covered
             ):
                 new_pending.add(control_block.block_id)
         return frozenset(new_pending)
@@ -269,6 +320,9 @@ class ArchitectureMapper:
     # -- candidate ordering -------------------------------------------------------------
 
     def _ordered_candidates(self, root: Block) -> List[PatternMatch]:
+        if self._index is not None:
+            return self._index.candidates(root)
+        # Legacy path: full re-enumeration at every decision node.
         candidates = self.matcher.candidates(
             self.sfg, root, max_size=self.options.max_cone_size
         )
@@ -278,17 +332,39 @@ class ArchitectureMapper:
         candidates = [
             c for c in candidates if not (c.cone & self._covered)
         ]
-        if self.options.sequencing == "largest_first":
-            candidates.sort(key=lambda m: (-m.size, m.opamps, m.component))
-        elif self.options.sequencing == "smallest_first":
-            candidates.sort(key=lambda m: (m.size, m.opamps, m.component))
+        sort_key = _SEQUENCING_KEYS.get(self.options.sequencing)
+        if sort_key is not None:
+            candidates.sort(key=sort_key)
         # "arbitrary": keep the matcher's order.
         return candidates
+
+    # -- covered-set bookkeeping (kept in sync with the index) ------------------
+
+    def _cover(self, cone: FrozenSet[int]) -> None:
+        self._covered |= cone
+        if self._index is not None:
+            self._index.cover(cone)
+
+    def _uncover(self, cone: FrozenSet[int]) -> None:
+        self._covered -= cone
+        if self._index is not None:
+            self._index.uncover(cone)
 
     # -- tree bookkeeping ------------------------------------------------------------------
 
     def _instance_area(self, match: PatternMatch) -> float:
-        """Estimated area of one candidate instance (cached by key)."""
+        """Estimated area of one candidate instance (cached by key).
+
+        With the candidate index active, matches are long-lived objects
+        enumerated once per root, so the area is additionally memoized
+        by object identity — skipping even the params-repr key build on
+        the hot bound-computation path.
+        """
+        memo = self._area_by_match
+        if memo is not None:
+            by_id = memo.get(id(match))
+            if by_id is not None:
+                return by_id
         key = (match.component, repr(sorted(match.params.items())))
         cached = self._area_cache.get(key)
         if cached is None:
@@ -299,7 +375,27 @@ class ArchitectureMapper:
             )
             cached = self.estimator.estimate_instance(dummy).area
             self._area_cache[key] = cached
+        if memo is not None:
+            memo[id(match)] = cached
         return cached
+
+    def _min_alloc_area(self, root: Block) -> Optional[float]:
+        """Least instance area any candidate of ``root`` can have.
+
+        Memoized per root over the index's *unfiltered* entry list, so
+        it lower-bounds the allocation whatever the covered set is when
+        the search reaches the root; ``None`` when the root has no
+        candidates at all (a dead-end the search reports as such rather
+        than pruning on a vacuous bound).
+        """
+        memo = self._min_area_memo
+        root_id = root.block_id
+        if root_id not in memo:
+            entries = self._index.all_entries(root)
+            memo[root_id] = min(
+                (self._instance_area(m) for m in entries), default=None
+            )
+        return memo[root_id]
 
     def _trace(
         self, parent: Optional[int], decision: str, opamps: int
@@ -507,6 +603,29 @@ class ArchitectureMapper:
                 lower_bound = max(minarea_bound, exact_bound)
             if (
                 self.options.enable_bounding
+                and self.options.bounding_mode != "minarea"
+                and self._index is not None
+                and not self.options.enable_sharing
+                and self._best_estimate is not None
+            ):
+                # Min-area memo: without sharing, every frontier root
+                # still costs at least its cheapest candidate, so the
+                # next root's memoized minimum tightens the exact
+                # bound.  (Sharing covers a cone at zero extra area,
+                # which would make this inadmissible.)
+                preview = self._frontier_after(
+                    pending, match, covered=self._covered | match.cone
+                )
+                if preview:
+                    next_min = self._min_alloc_area(
+                        self.sfg.block(max(preview))
+                    )
+                    if next_min is not None:
+                        lower_bound = max(
+                            lower_bound, exact_bound + next_min
+                        )
+            if (
+                self.options.enable_bounding
                 and self._best_estimate is not None
                 and lower_bound >= self._best_estimate.area
             ):
@@ -560,13 +679,13 @@ class ArchitectureMapper:
             self._instances.append(instance)
             self._area_stack.append(instance_area)
             self._area_so_far += instance_area
-            self._covered |= match.cone
+            self._cover(match.cone)
             self._map(
                 self._frontier_after(pending, match),
                 opamp_nr + match.opamps,
                 node,
             )
-            self._covered -= match.cone
+            self._uncover(match.cone)
             self._instances.pop()
             self._area_so_far -= self._area_stack.pop()
             if self._abort:
@@ -629,9 +748,9 @@ class ArchitectureMapper:
                 )
             self._alias[match.root_id] = instance.output  # type: ignore[assignment]
             instance.covers.extend(sorted(match.cone))
-            self._covered |= match.cone
+            self._cover(match.cone)
             self._map(self._frontier_after(pending, match), opamp_nr, node)
-            self._covered -= match.cone
+            self._uncover(match.cone)
             del instance.covers[-len(match.cone):]
             del self._alias[match.root_id]
             if self._abort:
@@ -655,6 +774,9 @@ class ArchitectureMapper:
             registry.inc(f"mapper.violations.{name}", count)
         if stats.truncated:
             registry.inc("mapper.truncations")
+        if self._index is not None:
+            registry.inc("mapper.index.hits", self._index.hits)
+            registry.inc("mapper.index.misses", self._index.misses)
         registry.observe("mapper.runtime_s", stats.runtime_s)
 
     def run(self) -> MappingResult:
